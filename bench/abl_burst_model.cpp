@@ -1,0 +1,84 @@
+/// \file abl_burst_model.cpp
+/// Ablation of design decision #3 (DESIGN.md): hyperexponential (cv^2 > 1)
+/// burst durations versus a memoryless exponential model with the same
+/// means. The burst-length tail is what drives barrier amplification in the
+/// parallel results; single-node stealing ratios barely notice.
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "node/fine_node_sim.hpp"
+#include "parallel/bsp.hpp"
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ll;
+
+  util::Flags flags("abl_burst_model",
+                    "H2 bursts vs exponential bursts with equal means.");
+  auto seed = flags.add_uint64("seed", 42, "RNG seed");
+  auto csv_path = flags.add_string("csv", "", "optional CSV output path");
+  flags.parse(argc, argv);
+
+  benchx::banner("Ablation: burst distribution (H2 vs exponential)",
+                 "Same means, different tails: the H2 tail is what the "
+                 "barrier max amplifies.",
+                 *seed);
+
+  const workload::BurstTable& h2 = workload::default_burst_table();
+  const workload::BurstTable expo = benchx::exponential_burst_table();
+
+  util::CsvWriter csv(*csv_path);
+  csv.row({"metric", "utilization", "h2", "exponential"});
+
+  // Single-node stealing metrics.
+  util::Table fine({"util", "LDR h2", "LDR exp", "FCSR h2", "FCSR exp"});
+  for (double u : {0.2, 0.5, 0.8}) {
+    auto run = [&](const workload::BurstTable& t) {
+      node::FineNodeConfig cfg;
+      cfg.utilization = u;
+      cfg.duration = 3000.0;
+      return node::simulate_fine_node(
+          cfg, t, rng::Stream(*seed).fork("fine",
+                                          static_cast<std::uint64_t>(u * 100)));
+    };
+    const auto a = run(h2);
+    const auto b = run(expo);
+    fine.add_row({util::percent(u, 0), util::percent(a.ldr(), 2),
+                  util::percent(b.ldr(), 2), util::percent(a.fcsr(), 1),
+                  util::percent(b.fcsr(), 1)});
+    csv.row({"ldr", util::fixed(u, 1), util::fixed(a.ldr(), 5),
+             util::fixed(b.ldr(), 5)});
+    csv.row({"fcsr", util::fixed(u, 1), util::fixed(a.fcsr(), 5),
+             util::fixed(b.fcsr(), 5)});
+  }
+  std::printf("Single-node stealing metrics:\n%s\n", fine.render().c_str());
+
+  // Parallel barrier amplification (Figure 9 setup).
+  util::Table par({"busy-node util", "slowdown h2", "slowdown exp"});
+  parallel::BspConfig bsp;
+  bsp.processes = 8;
+  bsp.granularity = 0.1;
+  bsp.phases = 150;
+  for (double u : {0.2, 0.4, 0.6, 0.8}) {
+    std::vector<double> utils(8, 0.0);
+    for (std::size_t i = 0; i < 4; ++i) utils[i] = u;  // 4 busy nodes
+    const auto a = parallel::simulate_bsp(
+        bsp, utils, h2, rng::Stream(*seed).fork("h2",
+                                                static_cast<std::uint64_t>(u * 100)));
+    const auto b = parallel::simulate_bsp(
+        bsp, utils, expo, rng::Stream(*seed).fork("exp",
+                                                  static_cast<std::uint64_t>(u * 100)));
+    par.add_row({util::percent(u, 0), util::fixed(a.slowdown(), 2),
+                 util::fixed(b.slowdown(), 2)});
+    csv.row({"bsp_slowdown_4busy", util::fixed(u, 1),
+             util::fixed(a.slowdown(), 4), util::fixed(b.slowdown(), 4)});
+  }
+  std::printf("8-process BSP, 4 busy nodes:\n%s", par.render().c_str());
+  std::printf("\nThe exponential model understates barrier slowdown — "
+              "evidence the cv^2 > 1 fit matters.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared helpers for the bench binaries. Each bench reproduces one table or
+/// figure of the paper; these helpers keep the trace-pool construction and
+/// policy iteration identical across them so figures are comparable.
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "trace/coarse_generator.hpp"
+#include "workload/burst_table.hpp"
+
+namespace ll::benchx {
+
+/// The standard trace pool used by the cluster benches: full-day traces so
+/// the diurnal cycle is represented, as in the paper's 40-day Berkeley
+/// traces (length is the configurable compromise for bench runtime).
+inline std::vector<trace::CoarseTrace> standard_pool(std::size_t machines,
+                                                     double hours,
+                                                     std::uint64_t seed) {
+  trace::CoarseGenConfig gen;
+  gen.duration = hours * 3600.0;
+  // Short pools cover working hours; full days start at midnight.
+  gen.start_hour = hours < 24.0 ? 9.0 : 0.0;
+  return trace::generate_machine_pool(gen, machines, rng::Stream(seed));
+}
+
+inline constexpr std::array<core::PolicyKind, 4> kAllPolicies{
+    core::PolicyKind::LingerLonger, core::PolicyKind::LingerForever,
+    core::PolicyKind::ImmediateEviction, core::PolicyKind::PauseAndMigrate};
+
+/// Burst table with the same means as the default but exponential (cv^2=1)
+/// burst durations — the abl_burst_model ablation of design decision #3.
+inline workload::BurstTable exponential_burst_table() {
+  std::array<workload::BurstMoments, workload::kUtilizationLevels> levels{};
+  const workload::BurstTable& h2 = workload::default_burst_table();
+  for (std::size_t i = 0; i < workload::kUtilizationLevels; ++i) {
+    const workload::BurstMoments& m = h2.level(i);
+    levels[i] = workload::BurstMoments{m.run_mean, m.run_mean * m.run_mean,
+                                       m.idle_mean, m.idle_mean * m.idle_mean};
+  }
+  return workload::BurstTable(levels);
+}
+
+/// Prints the standard bench banner (figure id, seed, reminder that shapes —
+/// not absolute values — are the comparison target).
+inline void banner(const char* figure, const char* claim, std::uint64_t seed) {
+  std::printf("=== %s ===\n%s\nseed=%llu (shapes, not absolute values, are "
+              "the comparison target)\n\n",
+              figure, claim, static_cast<unsigned long long>(seed));
+}
+
+}  // namespace ll::benchx

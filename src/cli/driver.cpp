@@ -1,0 +1,342 @@
+#include "cli/driver.hpp"
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+
+#include "cluster/experiment.hpp"
+#include "trace/coarse_analysis.hpp"
+#include "trace/coarse_generator.hpp"
+#include "trace/trace_io.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "workload/fit.hpp"
+#include "workload/table_io.hpp"
+
+namespace ll::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kUsage =
+    "llsim — Linger-Longer cluster-scheduling simulator\n"
+    "\n"
+    "Usage: llsim <subcommand> [flags]   (each subcommand accepts --help)\n"
+    "\n"
+    "Subcommands:\n"
+    "  traces    synthesize workstation trace files\n"
+    "  analyze   availability/memory statistics of a trace directory\n"
+    "  fit       fit a 21-level burst table from a fine dispatch trace\n"
+    "  cluster   run sequential foreign jobs under a scheduling policy\n"
+    "  parallel  run parallel jobs under a width policy\n";
+
+std::vector<const char*> to_argv(const std::vector<std::string>& args) {
+  std::vector<const char*> argv{"llsim"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  return argv;
+}
+
+/// Loads every .coarse file in a directory, sorted by name for determinism.
+std::vector<trace::CoarseTrace> load_trace_dir(const std::string& dir) {
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".coarse") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<trace::CoarseTrace> pool;
+  pool.reserve(paths.size());
+  for (const fs::path& p : paths) pool.push_back(trace::load_coarse(p.string()));
+  if (pool.empty()) {
+    throw std::runtime_error("no .coarse traces found in " + dir);
+  }
+  return pool;
+}
+
+/// Builds the pool either from --traces DIR or synthetically.
+std::vector<trace::CoarseTrace> pool_from_flags(const std::string& dir,
+                                                std::int64_t machines,
+                                                double days,
+                                                std::uint64_t seed) {
+  if (!dir.empty()) return load_trace_dir(dir);
+  trace::CoarseGenConfig gen;
+  gen.duration = days * 86400.0;
+  gen.start_hour = days < 1.0 ? 9.0 : 0.0;
+  return trace::generate_machine_pool(gen, static_cast<std::size_t>(machines),
+                                      rng::Stream(seed));
+}
+
+int cmd_traces(const std::vector<std::string>& args, std::ostream& out) {
+  util::Flags flags("llsim traces", "Synthesize workstation trace files.");
+  auto machines = flags.add_int("machines", 16, "machines to synthesize");
+  auto days = flags.add_double("days", 1.0, "days per machine");
+  auto out_dir = flags.add_string("out", "", "output directory (required)");
+  auto seed = flags.add_uint64("seed", 42, "RNG seed");
+  auto argv = to_argv(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  if (out_dir->empty()) {
+    throw std::invalid_argument("traces: --out is required\n" + flags.usage());
+  }
+  fs::create_directories(*out_dir);
+  trace::CoarseGenConfig gen;
+  gen.duration = *days * 86400.0;
+  const auto pool = trace::generate_machine_pool(
+      gen, static_cast<std::size_t>(*machines), rng::Stream(*seed));
+  for (std::size_t m = 0; m < pool.size(); ++m) {
+    trace::save_coarse(pool[m], *out_dir + "/machine" + std::to_string(m) +
+                                    ".coarse");
+  }
+  const auto stats = trace::analyze_coarse(pool);
+  out << "wrote " << pool.size() << " traces (" << *days
+      << " day(s) each) to " << *out_dir << "\n"
+      << "non-idle " << util::percent(stats.nonidle_fraction, 1)
+      << ", mean cpu " << util::percent(stats.mean_cpu_overall, 1) << "\n";
+  return 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& args, std::ostream& out) {
+  util::Flags flags("llsim analyze", "Availability statistics of traces.");
+  auto dir = flags.add_string("dir", "", "directory of .coarse traces");
+  auto argv = to_argv(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  if (dir->empty()) {
+    throw std::invalid_argument("analyze: --dir is required\n" + flags.usage());
+  }
+  const auto pool = load_trace_dir(*dir);
+  const auto stats = trace::analyze_coarse(pool);
+  util::Table table({"metric", "value"});
+  table.add_row({"traces", std::to_string(pool.size())});
+  table.add_row({"samples", std::to_string(stats.sample_count)});
+  table.add_row({"non-idle fraction", util::percent(stats.nonidle_fraction, 1)});
+  table.add_row({"non-idle below 10% cpu",
+                 util::percent(stats.nonidle_below_10pct, 1)});
+  table.add_row({"mean cpu overall", util::percent(stats.mean_cpu_overall, 1)});
+  table.add_row({"mean cpu idle (l)", util::percent(stats.mean_cpu_idle, 1)});
+  table.add_row({"mean cpu non-idle (h)",
+                 util::percent(stats.mean_cpu_nonidle, 1)});
+  table.add_row({"mean idle episode",
+                 util::format("%.0f s", stats.mean_idle_episode)});
+  table.add_row({"mean non-idle episode",
+                 util::format("%.0f s", stats.mean_nonidle_episode)});
+  const auto mem = trace::memory_availability(pool);
+  table.add_row({">= 14 MB free",
+                 util::percent(
+                     trace::fraction_with_at_least(mem.all_kb, 14 * 1024), 1)});
+  table.add_row({">= 10 MB free",
+                 util::percent(
+                     trace::fraction_with_at_least(mem.all_kb, 10 * 1024), 1)});
+  out << table.render();
+  return 0;
+}
+
+int cmd_fit(const std::vector<std::string>& args, std::ostream& out) {
+  util::Flags flags("llsim fit",
+                    "Fit a 21-level burst table from a fine dispatch trace.");
+  auto fine = flags.add_string("fine", "", "fine trace file (required)");
+  auto out_path = flags.add_string("out", "", "burst-table output (required)");
+  auto window = flags.add_double("window", 2.0, "bucketing window (s)");
+  auto argv = to_argv(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  if (fine->empty() || out_path->empty()) {
+    throw std::invalid_argument("fit: --fine and --out are required\n" +
+                                flags.usage());
+  }
+  const trace::FineTrace dispatch = trace::load_fine(*fine);
+  const auto analysis = workload::analyze_fine_trace(dispatch, *window);
+  const workload::BurstTable table = analysis.to_table();
+  workload::save_table(table, *out_path);
+  std::size_t run_samples = 0;
+  for (const auto& level : analysis.levels) run_samples += level.run.size();
+  out << "fitted " << *out_path << " from " << dispatch.size()
+      << " bursts (" << run_samples << " run samples), trace utilization "
+      << util::percent(dispatch.utilization(), 1) << "\n";
+  return 0;
+}
+
+int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
+  util::Flags flags("llsim cluster",
+                    "Run sequential foreign jobs under a scheduling policy.");
+  auto policy_name = flags.add_string("policy", "LL",
+                                      "LL, LF, IE, PM, or LL-oracle");
+  auto nodes = flags.add_int("nodes", 64, "cluster size");
+  auto jobs = flags.add_int("jobs", 128, "foreign jobs");
+  auto demand = flags.add_double("demand", 600.0, "CPU-seconds per job");
+  auto traces_dir = flags.add_string("traces", "", "trace directory (optional)");
+  auto machines = flags.add_int("machines", 32, "synthetic machines if no dir");
+  auto days = flags.add_double("days", 1.0, "synthetic trace days");
+  auto table_path = flags.add_string("burst-table", "",
+                                     "burst table file (default: built-in)");
+  auto closed = flags.add_double("closed", 0.0,
+                                 "if > 0: closed-system run of this many "
+                                 "seconds (throughput mode)");
+  auto pause = flags.add_double("pause-time", 60.0, "PM grace period");
+  auto job_log = flags.add_string("job-log", "",
+                                  "write per-job state transitions as CSV "
+                                  "(open mode only)");
+  auto seed = flags.add_uint64("seed", 42, "RNG seed");
+  auto argv = to_argv(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+
+  const auto policy = parse_policy(*policy_name);
+  if (!policy) {
+    throw std::invalid_argument("cluster: unknown policy '" + *policy_name +
+                                "' (LL, LF, IE, PM, LL-oracle)");
+  }
+  const auto pool = pool_from_flags(*traces_dir, *machines, *days, *seed + 1);
+  const workload::BurstTable table = table_path->empty()
+                                         ? workload::default_burst_table()
+                                         : workload::load_table(*table_path);
+
+  cluster::ExperimentConfig cfg;
+  cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
+  cfg.cluster.policy = *policy;
+  cfg.cluster.policy_params.pause_time = *pause;
+  cfg.workload =
+      cluster::WorkloadSpec{static_cast<std::size_t>(*jobs), *demand};
+  cfg.seed = *seed;
+
+  util::Table report({"metric", "value"});
+  report.add_row({"policy", std::string(core::to_string(*policy))});
+  if (*closed > 0.0) {
+    const auto r = cluster::run_closed(cfg, pool, table, *closed);
+    report.add_row({"mode", util::format("closed (%.0f s)", *closed)});
+    report.add_row({"throughput (cpu-s/s)", util::fixed(r.throughput, 2)});
+    report.add_row({"completions", std::to_string(r.completed)});
+    report.add_row({"migrations", std::to_string(r.migrations)});
+    report.add_row({"foreground delay", util::percent(r.foreground_delay, 2)});
+  } else {
+    std::deque<cluster::JobRecord> job_records;
+    const auto r = cluster::run_open(cfg, pool, table,
+                                     job_log->empty() ? nullptr : &job_records);
+    if (!job_log->empty()) {
+      cluster::write_job_log(job_records, *job_log);
+      out << "wrote job log to " << *job_log << "\n";
+    }
+    report.add_row({"mode", "open (family)"});
+    report.add_row({"avg job (s)", util::fixed(r.avg_completion, 1)});
+    report.add_row({"p50 / p90 (s)",
+                    util::format("%.1f / %.1f", r.p50_completion,
+                                 r.p90_completion)});
+    report.add_row({"variation", util::percent(r.variation, 1)});
+    report.add_row({"family time (s)", util::fixed(r.family_time, 1)});
+    report.add_row({"migrations", std::to_string(r.migrations)});
+    report.add_row({"foreground delay", util::percent(r.foreground_delay, 2)});
+    report.add_row({"avg queued/running/lingering (s)",
+                    util::format("%.0f / %.0f / %.0f", r.avg_queued,
+                                 r.avg_running, r.avg_lingering)});
+  }
+  out << report.render();
+  return 0;
+}
+
+int cmd_parallel(const std::vector<std::string>& args, std::ostream& out) {
+  util::Flags flags("llsim parallel",
+                    "Run parallel jobs under a width policy.");
+  auto policy_name = flags.add_string(
+      "policy", "hybrid", "reconfigure, fixed-linger, or hybrid");
+  auto nodes = flags.add_int("nodes", 32, "cluster size");
+  auto jobs = flags.add_int("jobs", 4, "jobs held in the system");
+  auto work = flags.add_double("work", 300.0, "cpu-seconds per job");
+  auto granularity = flags.add_double("granularity", 0.5,
+                                      "sync granularity (s)");
+  auto duration = flags.add_double("duration", 3600.0, "simulated seconds");
+  auto traces_dir = flags.add_string("traces", "", "trace directory (optional)");
+  auto machines = flags.add_int("machines", 32, "synthetic machines if no dir");
+  auto days = flags.add_double("days", 1.0, "synthetic trace days");
+  auto seed = flags.add_uint64("seed", 42, "RNG seed");
+  auto argv = to_argv(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+
+  const auto policy = parse_width_policy(*policy_name);
+  if (!policy) {
+    throw std::invalid_argument(
+        "parallel: unknown policy '" + *policy_name +
+        "' (reconfigure, fixed-linger, hybrid)");
+  }
+  const auto pool = pool_from_flags(*traces_dir, *machines, *days, *seed + 1);
+
+  parallel::ParallelClusterConfig cfg;
+  cfg.node_count = static_cast<std::size_t>(*nodes);
+  cfg.policy = *policy;
+  cfg.fixed_width = cfg.node_count;
+
+  parallel::ParallelJobSpec spec;
+  spec.total_work = *work;
+  spec.bsp.granularity = *granularity;
+  spec.max_width = cfg.node_count;
+
+  parallel::ParallelClusterSim sim(cfg, pool,
+                                   workload::default_burst_table(),
+                                   rng::Stream(*seed));
+  sim.set_completion_callback(
+      [&sim, spec](const parallel::ParallelJobRecord&) { sim.submit(spec); });
+  for (std::int64_t j = 0; j < *jobs; ++j) sim.submit(spec);
+  sim.run_for(*duration);
+
+  std::size_t completed = 0;
+  double turnaround = 0.0;
+  double width = 0.0;
+  for (const auto& job : sim.jobs()) {
+    if (!job.completion) continue;
+    ++completed;
+    turnaround += job.turnaround();
+    width += static_cast<double>(job.width);
+  }
+  util::Table report({"metric", "value"});
+  report.add_row({"policy", std::string(parallel::to_string(*policy))});
+  report.add_row({"work delivered (cpu-s/s)",
+                  util::fixed(sim.delivered_work() / *duration, 2)});
+  report.add_row({"jobs completed", std::to_string(completed)});
+  if (completed > 0) {
+    report.add_row({"mean turnaround (s)",
+                    util::fixed(turnaround / static_cast<double>(completed), 1)});
+    report.add_row({"mean width",
+                    util::fixed(width / static_cast<double>(completed), 1)});
+  }
+  out << report.render();
+  return 0;
+}
+
+}  // namespace
+
+std::optional<core::PolicyKind> parse_policy(std::string_view name) {
+  if (name == "LL") return core::PolicyKind::LingerLonger;
+  if (name == "LF") return core::PolicyKind::LingerForever;
+  if (name == "IE") return core::PolicyKind::ImmediateEviction;
+  if (name == "PM") return core::PolicyKind::PauseAndMigrate;
+  if (name == "LL-oracle") return core::PolicyKind::OracleLinger;
+  return std::nullopt;
+}
+
+std::optional<parallel::WidthPolicy> parse_width_policy(std::string_view name) {
+  if (name == "reconfigure") return parallel::WidthPolicy::Reconfigure;
+  if (name == "fixed-linger") return parallel::WidthPolicy::FixedLinger;
+  if (name == "hybrid") return parallel::WidthPolicy::Hybrid;
+  return std::nullopt;
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "--help" || args[0] == "-h" ||
+        args[0] == "help") {
+      out << kUsage;
+      return args.empty() ? 2 : 0;
+    }
+    const std::string& cmd = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (cmd == "traces") return cmd_traces(rest, out);
+    if (cmd == "analyze") return cmd_analyze(rest, out);
+    if (cmd == "fit") return cmd_fit(rest, out);
+    if (cmd == "cluster") return cmd_cluster(rest, out);
+    if (cmd == "parallel") return cmd_parallel(rest, out);
+    err << "llsim: unknown subcommand '" << cmd << "'\n\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "llsim: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace ll::cli

@@ -1,0 +1,728 @@
+#include "cluster/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ll::cluster {
+namespace {
+
+constexpr double kRemainingEps = 1e-9;
+
+}  // namespace
+
+struct ClusterSim::Node {
+  const trace::CoarseTrace* trace = nullptr;
+  const std::vector<bool>* flags = nullptr;  // idle flags, per trace sample
+  // Seconds of non-idle time remaining from each sample (oracle baseline).
+  const std::vector<double>* remaining = nullptr;
+  std::size_t offset_windows = 0;
+
+  double util = 0.0;
+  bool idle = true;
+  double episode_start = 0.0;  // start of the current non-idle episode
+  std::vector<JobId> occupants;  // resident foreign jobs (paper: at most 1)
+  std::size_t reserved = 0;      // inbound migrations holding a slot
+  double mem_factor = 1.0;
+  std::optional<node::PagePool> pool;
+
+  [[nodiscard]] std::size_t used_slots() const {
+    return occupants.size() + reserved;
+  }
+};
+
+struct ClusterSim::Impl {
+  Impl(ClusterSim& owner, ClusterConfig config) : self(owner), cfg(std::move(config)) {}
+
+  ClusterSim& self;
+  ClusterConfig cfg;
+  des::Simulation sim;
+  std::unique_ptr<core::Policy> policy;
+  node::EffectiveRateTable rates =
+      node::EffectiveRateTable::analytic(workload::default_burst_table(), 100e-6);
+  std::vector<Node> nodes;
+
+  struct JobRuntime {
+    double rate = 0.0;
+    double last_update = 0.0;
+    des::EventId completion_event = des::kNoEvent;
+    des::EventId recheck_event = des::kNoEvent;
+    int node = -1;
+    bool wants_migration = false;
+    bool displaced = false;  // in the displaced FIFO
+  };
+  // Deque: grows from completion callbacks while engine frames still hold
+  // references to existing entries (see ClusterSim::jobs()).
+  std::deque<JobRuntime> rt;
+
+  std::deque<JobId> queue;      // fresh jobs awaiting first dispatch
+  std::deque<JobId> displaced;  // evicted jobs awaiting a migration target
+
+  double period = 2.0;
+  std::size_t inflight_migrations = 0;
+  double fg_delay = 0.0;
+  double fg_cpu = 0.0;
+  double idle_node_time = 0.0;
+  double total_node_time = 0.0;
+  bool tick_scheduled = false;
+  double tick_horizon = 0.0;
+  std::function<void(const JobRecord&)> on_complete;
+
+  // Idle-flag cache, one entry per distinct trace in the pool.
+  std::vector<std::vector<bool>> flag_cache;
+  // Remaining non-idle seconds from each sample (wrap-around; +inf when the
+  // whole trace is non-idle). Only the OracleLinger policy consults it.
+  std::vector<std::vector<double>> remaining_cache;
+
+  /// Seconds of consecutive non-idle windows starting at each sample,
+  /// honouring the wrap-around replay the nodes use.
+  static std::vector<double> remaining_nonidle(const std::vector<bool>& flags,
+                                               double period) {
+    const std::size_t n = flags.size();
+    std::vector<double> out(n, 0.0);
+    bool any_idle = false;
+    for (bool f : flags) any_idle |= f;
+    if (!any_idle) {
+      std::fill(out.begin(), out.end(),
+                std::numeric_limits<double>::infinity());
+      return out;
+    }
+    double run = 0.0;
+    // Two reverse passes over the circular buffer: the first seeds the runs
+    // across the wrap point, the second records them.
+    for (std::size_t pass = 0; pass < 2; ++pass) {
+      for (std::size_t k = n; k-- > 0;) {
+        if (flags[k]) {
+          run = 0.0;
+        } else {
+          run += period;
+        }
+        if (pass == 1) out[k] = run;
+      }
+    }
+    return out;
+  }
+
+  // ---- helpers -----------------------------------------------------------
+
+  [[nodiscard]] double now() const { return sim.now(); }
+
+  [[nodiscard]] double migration_cost(const JobRecord& job) const {
+    return cfg.migration.cost(job.bytes);
+  }
+
+  void ensure_tick() {
+    if (tick_scheduled) return;
+    if (self.active_jobs_ == 0 && now() >= tick_horizon) return;
+    const double next =
+        (std::floor(now() / period + 1e-9) + 1.0) * period;
+    tick_scheduled = true;
+    sim.schedule_at(next, [this] { tick(); });
+  }
+
+  /// Occupants currently consuming CPU (Running or Lingering) — they
+  /// processor-share the node's leftover rate.
+  [[nodiscard]] std::size_t executing_count(const Node& n) const {
+    std::size_t k = 0;
+    for (JobId id : n.occupants) {
+      const JobState s = self.jobs_[id].state;
+      if (s == JobState::Running || s == JobState::Lingering) ++k;
+    }
+    return k;
+  }
+
+  /// Re-evaluates the donated page pool split across the node's occupants.
+  void update_memory(Node& n) {
+    if (!cfg.model_memory || !n.pool) return;
+    const auto ws_pages = node::PagePool::kb_to_pages(cfg.job_mem_kb);
+    const auto total =
+        static_cast<std::uint32_t>(ws_pages * n.occupants.size());
+    const auto resident = n.pool->request_foreign_pages(total);
+    n.mem_factor = n.occupants.empty()
+                       ? 1.0
+                       : node::memory_progress_factor(resident, total);
+  }
+
+  void update_sample(Node& n) {
+    const std::size_t count = n.trace->samples().size();
+    const auto window =
+        (n.offset_windows +
+         static_cast<std::size_t>(std::floor(now() / period + 1e-9))) % count;
+    n.util = std::clamp(n.trace->samples()[window].cpu, 0.0, 1.0);
+    const bool was_idle = n.idle;
+    n.idle = (*n.flags)[window];
+    if (was_idle && !n.idle) n.episode_start = now();
+    if (cfg.model_memory && n.pool) {
+      const auto free_kb =
+          std::max<std::int32_t>(0, n.trace->samples()[window].mem_free_kb);
+      const auto used_kb = static_cast<std::uint32_t>(
+          std::max<std::int64_t>(0, cfg.mem_total_kb - free_kb));
+      n.pool->set_local_pages(node::PagePool::kb_to_pages(used_kb));
+      update_memory(n);
+    }
+  }
+
+  /// Folds elapsed progress into the job; returns true if it just finished.
+  bool integrate(JobId id) {
+    JobRuntime& r = rt[id];
+    JobRecord& job = self.jobs_[id];
+    const double dt = now() - r.last_update;
+    r.last_update = now();
+    if (dt > 0.0 && r.rate > 0.0) {
+      const double work = std::min(job.remaining, r.rate * dt);
+      job.remaining -= work;
+      self.delivered_cpu_ += work;
+    }
+    return job.remaining <= kRemainingEps;
+  }
+
+  /// CPU rate one executing occupant of `n` receives right now: the node's
+  /// leftover rate, degraded by memory pressure, processor-shared among the
+  /// executing occupants.
+  [[nodiscard]] double execution_rate(const Node& n) const {
+    const std::size_t k = executing_count(n);
+    if (k == 0) return 0.0;
+    return rates.foreign_rate(n.util) *
+           (cfg.model_memory ? n.mem_factor : 1.0) / static_cast<double>(k);
+  }
+
+  void reschedule_completion(JobId id) {
+    JobRuntime& r = rt[id];
+    JobRecord& job = self.jobs_[id];
+    sim.cancel(r.completion_event);
+    r.completion_event = des::kNoEvent;
+    if (job.state != JobState::Running && job.state != JobState::Lingering) {
+      r.rate = 0.0;
+      return;
+    }
+    r.rate = execution_rate(nodes[static_cast<std::size_t>(r.node)]);
+    if (r.rate <= 0.0) return;
+    const double eta = job.remaining / r.rate;
+    r.completion_event = sim.schedule_in(eta, [this, id] {
+      if (integrate(id)) {
+        complete(id);
+      } else {
+        // Numerical slack: re-arm for the residue.
+        rt[id].completion_event = des::kNoEvent;
+        reschedule_completion(id);
+      }
+    });
+  }
+
+  /// Re-evaluates a job's progress rate after its node's window changed.
+  void refresh_rate(JobId id) {
+    if (integrate(id)) {
+      complete(id);
+      return;
+    }
+    reschedule_completion(id);
+  }
+
+  /// Processor-sharing: any change to a node's executing-occupant set or
+  /// utilization changes every co-occupant's share. Integrates each at its
+  /// old rate, then re-arms at the new share.
+  void refresh_node_rates(std::size_t node_idx) {
+    const std::vector<JobId> snapshot = nodes[node_idx].occupants;
+    for (JobId id : snapshot) {
+      const JobState s = self.jobs_[id].state;
+      if (s == JobState::Running || s == JobState::Lingering) {
+        refresh_rate(id);
+      }
+    }
+  }
+
+  void cancel_recheck(JobId id) {
+    sim.cancel(rt[id].recheck_event);
+    rt[id].recheck_event = des::kNoEvent;
+  }
+
+  void remove_from_displaced(JobId id) {
+    if (!rt[id].displaced) return;
+    rt[id].displaced = false;
+    auto it = std::find(displaced.begin(), displaced.end(), id);
+    if (it != displaced.end()) displaced.erase(it);
+  }
+
+  /// Policy consultation for a job occupying a non-idle node.
+  void handle_nonidle(JobId id) {
+    JobRuntime& r = rt[id];
+    JobRecord& job = self.jobs_[id];
+    Node& n = nodes[static_cast<std::size_t>(r.node)];
+    cancel_recheck(id);
+
+    core::PolicyContext ctx;
+    ctx.episode_age = now() - n.episode_start;
+    ctx.node_utilization = n.util;
+    ctx.idle_utilization = self.idle_util_;
+    ctx.migration_cost = migration_cost(job);
+    if (n.remaining) {
+      const std::size_t count = n.trace->samples().size();
+      const auto window =
+          (n.offset_windows +
+           static_cast<std::size_t>(std::floor(now() / period + 1e-9))) %
+          count;
+      ctx.episode_remaining = (*n.remaining)[window];
+    }
+    const core::Decision d = policy->on_nonidle(ctx);
+
+    switch (d.action) {
+      case core::Decision::Action::Continue:
+        if (integrate(id)) {
+          complete(id);
+          return;
+        }
+        job.set_state(JobState::Lingering, now());
+        reschedule_completion(id);
+        break;
+      case core::Decision::Action::Linger:
+        if (integrate(id)) {
+          complete(id);
+          return;
+        }
+        job.set_state(JobState::Lingering, now());
+        reschedule_completion(id);
+        r.recheck_event = sim.schedule_in(
+            std::max(d.recheck_in, 1e-6), [this, id] { on_recheck(id); });
+        break;
+      case core::Decision::Action::Pause:
+        if (integrate(id)) {
+          complete(id);
+          return;
+        }
+        job.set_state(JobState::Paused, now());
+        reschedule_completion(id);  // clears the rate / completion event
+        r.recheck_event = sim.schedule_in(
+            std::max(d.recheck_in, 1e-6), [this, id] { on_recheck(id); });
+        break;
+      case core::Decision::Action::Migrate:
+        r.wants_migration = true;
+        if (policy->allows_lingering()) {
+          // Keep executing while a target is sought.
+          if (integrate(id)) {
+            complete(id);
+            return;
+          }
+          job.set_state(JobState::Lingering, now());
+          reschedule_completion(id);
+        } else {
+          if (integrate(id)) {
+            complete(id);
+            return;
+          }
+          job.set_state(JobState::Paused, now());
+          reschedule_completion(id);
+          if (!r.displaced) {
+            r.displaced = true;
+            displaced.push_back(id);
+          }
+        }
+        break;
+    }
+  }
+
+  void on_recheck(JobId id) {
+    rt[id].recheck_event = des::kNoEvent;
+    const JobRecord& job = self.jobs_[id];
+    if (job.state == JobState::Done || job.state == JobState::Migrating ||
+        rt[id].node < 0) {
+      return;
+    }
+    const auto node_idx = static_cast<std::size_t>(rt[id].node);
+    if (nodes[node_idx].idle) return;  // transition handler resumed the job
+    handle_nonidle(id);
+    refresh_node_rates(node_idx);  // pausing/resuming shifts the shares
+    placement();
+  }
+
+  /// Owner departed: the node's occupants run at full (idle-node) terms.
+  void handle_idle_transition(std::size_t node_idx) {
+    const std::vector<JobId> snapshot = nodes[node_idx].occupants;
+    for (JobId id : snapshot) {
+      if (self.jobs_[id].state == JobState::Done) continue;
+      cancel_recheck(id);
+      rt[id].wants_migration = false;
+      remove_from_displaced(id);
+      if (integrate(id)) {
+        complete(id);
+        continue;
+      }
+      self.jobs_[id].set_state(JobState::Running, now());
+      reschedule_completion(id);
+    }
+    refresh_node_rates(node_idx);
+  }
+
+  void place_job(JobId id, std::size_t node_idx) {
+    Node& n = nodes[node_idx];
+    JobRuntime& r = rt[id];
+    JobRecord& job = self.jobs_[id];
+    n.occupants.push_back(id);
+    r.node = static_cast<int>(node_idx);
+    r.last_update = now();
+    update_memory(n);
+    job.set_state(n.idle ? JobState::Running : JobState::Lingering, now());
+    reschedule_completion(id);
+    if (!n.idle) handle_nonidle(id);
+    // The newcomer changes every co-occupant's processor share.
+    refresh_node_rates(node_idx);
+  }
+
+  void release_node(JobId id) {
+    JobRuntime& r = rt[id];
+    if (r.node < 0) return;
+    const auto node_idx = static_cast<std::size_t>(r.node);
+    Node& n = nodes[node_idx];
+    auto it = std::find(n.occupants.begin(), n.occupants.end(), id);
+    if (it != n.occupants.end()) {
+      n.occupants.erase(it);
+      update_memory(n);
+      // A guest leaving an active owner's machine forces the owner to
+      // re-fault the pages and cache lines the guest displaced (paper §1).
+      if (!n.idle) fg_delay += cfg.owner_restore_penalty;
+    }
+    r.node = -1;
+    refresh_node_rates(node_idx);  // survivors inherit the freed share
+  }
+
+  void start_migration(JobId id, std::size_t target_idx) {
+    JobRuntime& r = rt[id];
+    JobRecord& job = self.jobs_[id];
+    if (integrate(id)) {
+      complete(id);
+      return;
+    }
+    cancel_recheck(id);
+    sim.cancel(r.completion_event);
+    r.completion_event = des::kNoEvent;
+    r.rate = 0.0;
+    r.wants_migration = false;
+    remove_from_displaced(id);
+    release_node(id);
+
+    Node& target = nodes[target_idx];
+    ++target.reserved;
+    job.set_state(JobState::Migrating, now());
+    ++inflight_migrations;
+    ++self.migrations_;
+    sim.schedule_in(migration_cost(job), [this, id, target_idx] {
+      finish_migration(id, target_idx);
+    });
+  }
+
+  void finish_migration(JobId id, std::size_t target_idx) {
+    --inflight_migrations;
+    Node& target = nodes[target_idx];
+    --target.reserved;
+    place_job(id, target_idx);
+    placement();
+  }
+
+  [[nodiscard]] bool migration_slot_available() const {
+    return cfg.max_concurrent_migrations == 0 ||
+           inflight_migrations < cfg.max_concurrent_migrations;
+  }
+
+  /// Best node with a free slot, or nullopt. Preference order: emptier
+  /// first (spread before sharing), then lower utilization, then index.
+  [[nodiscard]] std::optional<std::size_t> best_free_node(bool want_idle) const {
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const Node& n = nodes[i];
+      if (n.idle != want_idle) continue;
+      if (n.used_slots() >= cfg.max_foreign_per_node) continue;
+      if (!best) {
+        best = i;
+        continue;
+      }
+      const Node& b = nodes[*best];
+      if (n.used_slots() != b.used_slots()) {
+        if (n.used_slots() < b.used_slots()) best = i;
+      } else if (n.util < b.util) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  bool in_placement = false;
+  bool placement_pending = false;
+
+  void placement() {
+    // Guard: completing a job inside start_migration() re-enters placement;
+    // defer the nested pass so target choices are never stale.
+    if (in_placement) {
+      placement_pending = true;
+      return;
+    }
+    in_placement = true;
+    do {
+      placement_pending = false;
+      placement_pass();
+    } while (placement_pending);
+    in_placement = false;
+  }
+
+  void placement_pass() {
+    // 1. Displaced (suspended) jobs migrate as soon as idle targets exist.
+    while (!displaced.empty() && migration_slot_available()) {
+      const auto target = best_free_node(/*want_idle=*/true);
+      if (!target) break;
+      const JobId id = displaced.front();
+      displaced.pop_front();
+      rt[id].displaced = false;
+      start_migration(id, *target);
+    }
+    // 2. Fresh queue onto free slots: idle first, then (if the policy
+    //    lingers) the most lightly loaded non-idle nodes.
+    while (!queue.empty()) {
+      auto target = best_free_node(/*want_idle=*/true);
+      if (!target && policy->allows_lingering()) {
+        target = best_free_node(/*want_idle=*/false);
+      }
+      if (!target) break;
+      const JobId id = queue.front();
+      queue.pop_front();
+      place_job(id, *target);
+    }
+    // 3. Lingering jobs past their linger deadline move to leftover idle
+    //    nodes, worst source first.
+    {
+      std::vector<JobId> movers;
+      for (JobId id = 0; id < self.jobs_.size(); ++id) {
+        if (rt[id].wants_migration && self.jobs_[id].state == JobState::Lingering) {
+          movers.push_back(id);
+        }
+      }
+      std::sort(movers.begin(), movers.end(), [this](JobId a, JobId b) {
+        const double ua = nodes[static_cast<std::size_t>(rt[a].node)].util;
+        const double ub = nodes[static_cast<std::size_t>(rt[b].node)].util;
+        if (ua != ub) return ua > ub;
+        return a < b;
+      });
+      for (JobId id : movers) {
+        if (!migration_slot_available()) break;
+        const auto target = best_free_node(/*want_idle=*/true);
+        if (!target) break;
+        start_migration(id, *target);
+      }
+    }
+  }
+
+  void complete(JobId id) {
+    JobRuntime& r = rt[id];
+    JobRecord& job = self.jobs_[id];
+    sim.cancel(r.completion_event);
+    r.completion_event = des::kNoEvent;
+    cancel_recheck(id);
+    r.wants_migration = false;
+    remove_from_displaced(id);
+    release_node(id);
+    job.remaining = 0.0;
+    job.set_state(JobState::Done, now());
+    --self.active_jobs_;
+    if (on_complete) on_complete(job);
+    placement();
+  }
+
+  void account_window() {
+    for (const Node& n : nodes) {
+      fg_cpu += n.util * period;
+      total_node_time += period;
+      if (n.idle) idle_node_time += period;
+      // Each guest actively stealing cycles adds its own switch overhead to
+      // the owner's work.
+      for (JobId id : n.occupants) {
+        const JobState s = self.jobs_[id].state;
+        if (s == JobState::Running || s == JobState::Lingering) {
+          fg_delay += rates.ldr(n.util) * n.util * period;
+        }
+      }
+    }
+  }
+
+  void tick() {
+    tick_scheduled = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      Node& n = nodes[i];
+      const bool was_idle = n.idle;
+      update_sample(n);
+      if (was_idle && !n.idle) {
+        // Owner returned mid-run: consult the policy for every occupant.
+        const std::vector<JobId> snapshot = n.occupants;
+        for (JobId id : snapshot) {
+          if (self.jobs_[id].state == JobState::Done) continue;
+          if (integrate(id)) {
+            complete(id);
+          } else {
+            handle_nonidle(id);
+          }
+        }
+        refresh_node_rates(i);
+      } else if (!was_idle && n.idle) {
+        handle_idle_transition(i);
+      } else {
+        // Same state, possibly new utilization level: refresh the shares.
+        refresh_node_rates(i);
+      }
+    }
+    account_window();
+    placement();
+    ensure_tick();
+  }
+};
+
+ClusterSim::ClusterSim(ClusterConfig config,
+                       std::span<const trace::CoarseTrace> pool,
+                       const workload::BurstTable& burst_table,
+                       rng::Stream stream)
+    : impl_(std::make_unique<Impl>(*this, std::move(config))) {
+  Impl& im = *impl_;
+  if (pool.empty()) {
+    throw std::invalid_argument("ClusterSim: empty trace pool");
+  }
+  if (im.cfg.node_count == 0) {
+    throw std::invalid_argument("ClusterSim: node_count must be > 0");
+  }
+  if (im.cfg.max_foreign_per_node == 0) {
+    throw std::invalid_argument("ClusterSim: max_foreign_per_node must be > 0");
+  }
+  im.period = pool.front().period();
+  for (const auto& t : pool) {
+    if (t.empty()) throw std::invalid_argument("ClusterSim: empty trace in pool");
+    if (t.period() != im.period) {
+      throw std::invalid_argument("ClusterSim: traces must share one period");
+    }
+  }
+
+  im.policy = core::make_policy(im.cfg.policy, im.cfg.policy_params);
+  im.rates = node::EffectiveRateTable::analytic(burst_table, im.cfg.context_switch);
+
+  // Idle-flag cache per pool entry + measured idle utilization "l".
+  im.flag_cache.reserve(pool.size());
+  double idle_cpu_sum = 0.0;
+  std::size_t idle_cpu_count = 0;
+  for (const auto& t : pool) {
+    im.flag_cache.push_back(trace::idle_flags(t, im.cfg.recruitment));
+    im.remaining_cache.push_back(
+        Impl::remaining_nonidle(im.flag_cache.back(), im.period));
+    const auto& flags = im.flag_cache.back();
+    for (std::size_t i = 0; i < flags.size(); ++i) {
+      if (flags[i]) {
+        idle_cpu_sum += t.samples()[i].cpu;
+        ++idle_cpu_count;
+      }
+    }
+  }
+  if (im.cfg.idle_utilization_estimate >= 0.0) {
+    idle_util_ = im.cfg.idle_utilization_estimate;
+  } else if (idle_cpu_count > 0) {
+    idle_util_ = idle_cpu_sum / static_cast<double>(idle_cpu_count);
+  }
+
+  // Node setup: random trace, random window-aligned offset.
+  rng::Stream setup = stream.fork("node-setup");
+  im.nodes.resize(im.cfg.node_count);
+  for (std::size_t i = 0; i < im.cfg.node_count; ++i) {
+    Node& n = im.nodes[i];
+    const auto pick = im.cfg.randomize_placement
+                          ? setup.uniform_index(pool.size())
+                          : i % pool.size();
+    n.trace = &pool[pick];
+    n.flags = &im.flag_cache[pick];
+    n.remaining = &im.remaining_cache[pick];
+    n.offset_windows = im.cfg.randomize_placement
+                           ? setup.uniform_index(n.trace->samples().size())
+                           : 0;
+    if (im.cfg.model_memory) {
+      node::PagePoolConfig pc;
+      pc.total_pages = node::PagePool::kb_to_pages(im.cfg.mem_total_kb);
+      n.pool.emplace(pc);
+    }
+    // Initial sample at t = 0; nodes starting non-idle have episode age 0.
+    im.update_sample(n);
+    n.episode_start = 0.0;
+  }
+  im.account_window();
+  im.tick_scheduled = true;
+  im.sim.schedule_at(im.period, [this] { impl_->tick(); });
+}
+
+ClusterSim::~ClusterSim() = default;
+
+JobId ClusterSim::submit(double cpu_demand_seconds) {
+  if (!(cpu_demand_seconds > 0.0)) {
+    throw std::invalid_argument("submit: demand must be > 0");
+  }
+  Impl& im = *impl_;
+  const auto id = static_cast<JobId>(jobs_.size());
+  JobRecord job;
+  job.id = id;
+  job.cpu_demand = cpu_demand_seconds;
+  job.remaining = cpu_demand_seconds;
+  job.bytes = im.cfg.job_bytes;
+  job.submit_time = im.now();
+  job.state = JobState::Queued;
+  job.state_since = im.now();
+  jobs_.push_back(job);
+  im.rt.emplace_back();
+  im.rt.back().last_update = im.now();
+  ++active_jobs_;
+  im.queue.push_back(id);
+  im.ensure_tick();
+  im.placement();
+  return id;
+}
+
+void ClusterSim::set_completion_callback(std::function<void(const JobRecord&)> cb) {
+  impl_->on_complete = std::move(cb);
+}
+
+void ClusterSim::run_until_all_complete(double max_horizon) {
+  Impl& im = *impl_;
+  while (active_jobs_ > 0) {
+    if (!im.sim.step()) {
+      throw std::logic_error(
+          "ClusterSim: event queue drained with jobs incomplete");
+    }
+    if (im.now() > max_horizon) {
+      throw std::runtime_error("ClusterSim: exceeded max horizon with " +
+                               std::to_string(active_jobs_) +
+                               " jobs incomplete");
+    }
+  }
+}
+
+void ClusterSim::run_for(double duration) {
+  Impl& im = *impl_;
+  if (!(duration >= 0.0)) {
+    throw std::invalid_argument("run_for: negative duration");
+  }
+  im.tick_horizon = std::max(im.tick_horizon, im.now() + duration);
+  im.ensure_tick();
+  im.sim.run_until(im.now() + duration);
+  // Fold partial progress at the horizon so delivered_cpu() is exact.
+  for (JobId id = 0; id < jobs_.size(); ++id) {
+    if (jobs_[id].state == JobState::Running ||
+        jobs_[id].state == JobState::Lingering) {
+      if (im.integrate(id)) im.complete(id);
+    }
+  }
+}
+
+double ClusterSim::now() const { return impl_->now(); }
+
+double ClusterSim::foreground_delay_ratio() const {
+  return impl_->fg_cpu > 0.0 ? impl_->fg_delay / impl_->fg_cpu : 0.0;
+}
+
+double ClusterSim::observed_idle_fraction() const {
+  return impl_->total_node_time > 0.0
+             ? impl_->idle_node_time / impl_->total_node_time
+             : 0.0;
+}
+
+}  // namespace ll::cluster

@@ -1,0 +1,163 @@
+#include "cluster/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <future>
+#include <ostream>
+#include <stdexcept>
+
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+
+namespace ll::cluster {
+namespace {
+
+void fill_state_breakdown(ClusterReport& report,
+                          const std::deque<JobRecord>& jobs,
+                          std::size_t job_count) {
+  if (job_count == 0) return;
+  const auto n = static_cast<double>(job_count);
+  for (std::size_t i = 0; i < job_count && i < jobs.size(); ++i) {
+    const JobRecord& job = jobs[i];
+    report.avg_queued += job.time_in(JobState::Queued) / n;
+    report.avg_running += job.time_in(JobState::Running) / n;
+    report.avg_lingering += job.time_in(JobState::Lingering) / n;
+    report.avg_paused += job.time_in(JobState::Paused) / n;
+    report.avg_migrating += job.time_in(JobState::Migrating) / n;
+  }
+}
+
+}  // namespace
+
+WorkloadSpec workload_1() { return WorkloadSpec{128, 600.0}; }
+
+WorkloadSpec workload_2() { return WorkloadSpec{16, 1800.0}; }
+
+ClusterReport run_open(const ExperimentConfig& config,
+                       std::span<const trace::CoarseTrace> pool,
+                       const workload::BurstTable& table,
+                       std::deque<JobRecord>* jobs_out) {
+  rng::Stream master(config.seed);
+  ClusterSim sim(config.cluster, pool, table, master.fork("cluster"));
+  for (std::size_t i = 0; i < config.workload.jobs; ++i) {
+    sim.submit(config.workload.demand);
+  }
+  sim.run_until_all_complete();
+
+  ClusterReport report;
+  stats::Summary turnaround;
+  stats::Summary execution;
+  std::vector<double> turnarounds;
+  double family = 0.0;
+  for (const JobRecord& job : sim.jobs()) {
+    turnaround.add(job.turnaround());
+    turnarounds.push_back(job.turnaround());
+    execution.add(job.execution_time());
+    family = std::max(family, *job.completion);
+  }
+  report.avg_completion = turnaround.mean();
+  report.variation =
+      execution.mean() > 0.0 ? execution.sample_stddev() / execution.mean() : 0.0;
+  report.family_time = family;
+  if (!turnarounds.empty()) {
+    const stats::EmpiricalCdf cdf(std::move(turnarounds));
+    report.p50_completion = cdf.quantile(0.5);
+    report.p90_completion = cdf.quantile(0.9);
+  }
+  fill_state_breakdown(report, sim.jobs(), sim.jobs().size());
+  report.foreground_delay = sim.foreground_delay_ratio();
+  report.migrations = sim.migrations_started();
+  report.completed = sim.jobs().size();
+  report.observed_idle_fraction = sim.observed_idle_fraction();
+  report.wall_time = sim.now();
+  if (jobs_out) *jobs_out = sim.jobs();
+  return report;
+}
+
+ClusterReport run_closed(const ExperimentConfig& config,
+                         std::span<const trace::CoarseTrace> pool,
+                         const workload::BurstTable& table, double duration) {
+  if (!(duration > 0.0)) {
+    throw std::invalid_argument("run_closed: duration must be > 0");
+  }
+  rng::Stream master(config.seed);
+  ClusterSim sim(config.cluster, pool, table, master.fork("cluster"));
+  // Hold the job population constant: every completion immediately enters a
+  // replacement with the same demand.
+  const double demand = config.workload.demand;
+  sim.set_completion_callback(
+      [&sim, demand](const JobRecord&) { sim.submit(demand); });
+  for (std::size_t i = 0; i < config.workload.jobs; ++i) {
+    sim.submit(demand);
+  }
+  sim.run_for(duration);
+
+  ClusterReport report;
+  report.throughput = sim.delivered_cpu() / duration;
+  std::size_t completed = 0;
+  for (const JobRecord& job : sim.jobs()) {
+    if (job.state == JobState::Done) ++completed;
+  }
+  report.completed = completed;
+  fill_state_breakdown(report, sim.jobs(), sim.jobs().size());
+  report.foreground_delay = sim.foreground_delay_ratio();
+  report.migrations = sim.migrations_started();
+  report.observed_idle_fraction = sim.observed_idle_fraction();
+  report.wall_time = sim.now();
+  return report;
+}
+
+std::vector<ClusterReport> replicate(
+    std::size_t replications, std::uint64_t base_seed,
+    const std::function<ClusterReport(std::uint64_t seed)>& fn) {
+  if (replications == 0) {
+    throw std::invalid_argument("replicate: need at least one replication");
+  }
+  rng::Stream master(base_seed);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(replications);
+  for (std::size_t i = 0; i < replications; ++i) {
+    seeds.push_back(master.fork("replication", i).seed());
+  }
+  std::vector<std::future<ClusterReport>> futures;
+  futures.reserve(replications);
+  for (std::size_t i = 0; i < replications; ++i) {
+    futures.push_back(
+        std::async(std::launch::async, [&fn, seed = seeds[i]] { return fn(seed); }));
+  }
+  std::vector<ClusterReport> reports;
+  reports.reserve(replications);
+  for (auto& f : futures) reports.push_back(f.get());
+  return reports;
+}
+
+void write_job_log(const std::deque<JobRecord>& jobs, std::ostream& out) {
+  out << "job,time,state\n";
+  for (const JobRecord& job : jobs) {
+    // The submission itself (Queued at submit_time) precedes the recorded
+    // transitions.
+    out << job.id << ',' << job.submit_time << ','
+        << to_string(JobState::Queued) << '\n';
+    for (const JobRecord::Transition& t : job.history) {
+      out << job.id << ',' << t.time << ',' << to_string(t.to) << '\n';
+    }
+  }
+}
+
+void write_job_log(const std::deque<JobRecord>& jobs, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_job_log: cannot open " + path);
+  write_job_log(jobs, out);
+}
+
+stats::ConfidenceInterval summarize(
+    const std::vector<ClusterReport>& reports,
+    const std::function<double(const ClusterReport&)>& metric) {
+  std::vector<double> values;
+  values.reserve(reports.size());
+  for (const ClusterReport& r : reports) values.push_back(metric(r));
+  return stats::mean_confidence_95(values);
+}
+
+}  // namespace ll::cluster

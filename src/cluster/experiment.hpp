@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file experiment.hpp
+/// Cluster experiment drivers for the paper's §4.2 evaluation.
+///
+/// Two workloads (Figure 7):
+///  * Workload-1: 128 foreign jobs × 600 CPU-seconds on 64 nodes — heavy
+///    demand, ~2 jobs per node.
+///  * Workload-2: 16 jobs × 1800 CPU-seconds — light demand, ~1/4 of nodes.
+///
+/// Two modes:
+///  * Open ("family"): all jobs submitted at t=0, run to completion —
+///    yields average completion time, variation, family time, Figure 8's
+///    state breakdown.
+///  * Closed: the number of jobs in the system is held constant for a fixed
+///    duration (completions trigger resubmission) — yields the throughput
+///    metric (foreign CPU-seconds delivered per second).
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "stats/confidence.hpp"
+#include "trace/coarse_generator.hpp"
+
+namespace ll::cluster {
+
+struct WorkloadSpec {
+  std::size_t jobs = 128;
+  double demand = 600.0;  // CPU-seconds per job
+};
+
+/// The paper's two workloads.
+[[nodiscard]] WorkloadSpec workload_1();
+[[nodiscard]] WorkloadSpec workload_2();
+
+struct ClusterReport {
+  // Open-mode metrics (zero for closed runs).
+  double avg_completion = 0.0;  // mean (completion - submit), paper "Avg. Job"
+  double variation = 0.0;       // stddev(execution time)/mean, paper "Variation"
+  double family_time = 0.0;     // completion of the last job
+  double p50_completion = 0.0;  // median turnaround
+  double p90_completion = 0.0;  // 90th-percentile turnaround
+  // Closed-mode metric (zero for open runs).
+  double throughput = 0.0;  // foreign CPU-seconds delivered per second
+
+  // Figure 8: average per-job time in each state.
+  double avg_queued = 0.0;
+  double avg_running = 0.0;
+  double avg_lingering = 0.0;
+  double avg_paused = 0.0;
+  double avg_migrating = 0.0;
+
+  double foreground_delay = 0.0;  // paper: < 0.5%
+  std::size_t migrations = 0;
+  std::size_t completed = 0;
+  double observed_idle_fraction = 0.0;
+  double wall_time = 0.0;  // virtual seconds simulated
+};
+
+struct ExperimentConfig {
+  ClusterConfig cluster;
+  WorkloadSpec workload;
+  std::uint64_t seed = 42;
+};
+
+/// Open-mode run over an existing trace pool. When `jobs_out` is non-null it
+/// receives the per-job records (state times, transition histories) for
+/// export via write_job_log or custom analysis.
+[[nodiscard]] ClusterReport run_open(const ExperimentConfig& config,
+                                     std::span<const trace::CoarseTrace> pool,
+                                     const workload::BurstTable& table,
+                                     std::deque<JobRecord>* jobs_out = nullptr);
+
+/// Closed-mode run: holds `workload.jobs` jobs in the system for `duration`.
+[[nodiscard]] ClusterReport run_closed(const ExperimentConfig& config,
+                                       std::span<const trace::CoarseTrace> pool,
+                                       const workload::BurstTable& table,
+                                       double duration = 3600.0);
+
+/// Runs `fn(seed)` for `replications` derived seeds in parallel and returns
+/// the reports in seed order. `fn` must be thread-safe (each call builds its
+/// own simulator).
+[[nodiscard]] std::vector<ClusterReport> replicate(
+    std::size_t replications, std::uint64_t base_seed,
+    const std::function<ClusterReport(std::uint64_t seed)>& fn);
+
+/// Mean of a metric across reports with its 95% confidence interval.
+[[nodiscard]] stats::ConfidenceInterval summarize(
+    const std::vector<ClusterReport>& reports,
+    const std::function<double(const ClusterReport&)>& metric);
+
+/// Exports every job's state-transition history as CSV
+/// (columns: job, time, state) — the debugging/visualization feed.
+void write_job_log(const std::deque<JobRecord>& jobs, std::ostream& out);
+void write_job_log(const std::deque<JobRecord>& jobs, const std::string& path);
+
+}  // namespace ll::cluster

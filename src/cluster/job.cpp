@@ -1,0 +1,53 @@
+#include "cluster/job.hpp"
+
+#include <stdexcept>
+
+namespace ll::cluster {
+
+std::string_view to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued:
+      return "queued";
+    case JobState::Running:
+      return "running";
+    case JobState::Lingering:
+      return "lingering";
+    case JobState::Paused:
+      return "paused";
+    case JobState::Migrating:
+      return "migrating";
+    case JobState::Done:
+      return "done";
+  }
+  throw std::logic_error("to_string: unknown JobState");
+}
+
+void JobRecord::set_state(JobState next, double now) {
+  if (now < state_since) {
+    throw std::logic_error("JobRecord::set_state: time went backwards");
+  }
+  if (next == state) return;
+  state_time[static_cast<std::size_t>(state)] += now - state_since;
+  state = next;
+  state_since = now;
+  history.push_back(Transition{now, next});
+  if ((next == JobState::Running || next == JobState::Lingering) &&
+      !first_start) {
+    first_start = now;
+  }
+  if (next == JobState::Done) completion = now;
+}
+
+double JobRecord::turnaround() const {
+  if (!completion) throw std::logic_error("turnaround: job not complete");
+  return *completion - submit_time;
+}
+
+double JobRecord::execution_time() const {
+  if (!completion || !first_start) {
+    throw std::logic_error("execution_time: job not complete or never started");
+  }
+  return *completion - *first_start;
+}
+
+}  // namespace ll::cluster

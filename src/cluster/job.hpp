@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file job.hpp
+/// Foreign (guest) batch jobs and their lifecycle accounting.
+///
+/// The paper profiles the time jobs spend in each state — queued, running,
+/// lingering (running on a non-idle node), paused, migrating (Figure 8) —
+/// so the record keeps a per-state stopwatch updated on every transition.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace ll::cluster {
+
+using JobId = std::uint32_t;
+
+enum class JobState : std::uint8_t {
+  Queued,     ///< submitted, waiting for a node
+  Running,    ///< executing on an idle node
+  Lingering,  ///< executing at starvation priority on a non-idle node
+  Paused,     ///< suspended in place (PM grace period / awaiting a target)
+  Migrating,  ///< suspended while its image moves between nodes
+  Done,
+};
+inline constexpr std::size_t kJobStateCount = 6;
+
+[[nodiscard]] std::string_view to_string(JobState state);
+
+/// One foreign job's static description plus dynamic bookkeeping.
+struct JobRecord {
+  JobId id = 0;
+  double cpu_demand = 0.0;   // total CPU-seconds required
+  double remaining = 0.0;    // CPU-seconds still to deliver
+  std::uint64_t bytes = 0;   // process image size (migration payload)
+  double submit_time = 0.0;
+
+  JobState state = JobState::Queued;
+  double state_since = 0.0;
+  std::array<double, kJobStateCount> state_time{};  // accumulated per state
+
+  std::optional<double> first_start;  // first dispatch onto a node
+  std::optional<double> completion;   // finish time
+
+  /// One entry per state transition (time and the state entered). Jobs see a
+  /// handful of transitions over their lifetime, so the log is cheap; it
+  /// feeds the debugging/event-export path (cluster::write_job_log) and the
+  /// trajectory assertions in the tests.
+  struct Transition {
+    double time = 0.0;
+    JobState to = JobState::Queued;
+  };
+  std::vector<Transition> history;
+
+  /// Transitions to `next` at time `now`, folding the elapsed stint into
+  /// state_time and appending to `history`. Transitioning to the current
+  /// state is a no-op.
+  void set_state(JobState next, double now);
+
+  [[nodiscard]] double time_in(JobState s) const {
+    return state_time[static_cast<std::size_t>(s)];
+  }
+
+  /// Queue wait + execution: completion - submit. Requires completion.
+  [[nodiscard]] double turnaround() const;
+
+  /// First-start to completion (the paper's "execution time" used for the
+  /// variation metric). Requires completion and first_start.
+  [[nodiscard]] double execution_time() const;
+};
+
+}  // namespace ll::cluster

@@ -1,0 +1,44 @@
+#include "core/cost_model.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ll::core {
+
+double MigrationCostModel::cost(std::uint64_t bytes) const {
+  if (!(bandwidth_bps > 0.0)) {
+    throw std::logic_error("MigrationCostModel: bandwidth must be > 0");
+  }
+  return processing_source +
+         static_cast<double>(bytes) * 8.0 / bandwidth_bps +
+         processing_destination;
+}
+
+double linger_duration(double h, double l, double migration_cost) {
+  if (!(h >= 0.0 && h <= 1.0) || !(l >= 0.0 && l <= 1.0)) {
+    throw std::invalid_argument("linger_duration: utilizations must be in [0,1]");
+  }
+  if (migration_cost < 0.0) {
+    throw std::invalid_argument("linger_duration: negative migration cost");
+  }
+  if (h <= l) return std::numeric_limits<double>::infinity();
+  return (1.0 - l) / (h - l) * migration_cost;
+}
+
+double min_beneficial_episode(double h, double l, double migration_cost,
+                              double linger_so_far) {
+  if (linger_so_far < 0.0) {
+    throw std::invalid_argument("min_beneficial_episode: negative linger time");
+  }
+  const double tail = linger_duration(h, l, migration_cost);
+  return linger_so_far + tail;
+}
+
+double predict_episode_total(double age) {
+  if (age < 0.0) {
+    throw std::invalid_argument("predict_episode_total: negative age");
+  }
+  return 2.0 * age;
+}
+
+}  // namespace ll::core

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file cost_model.hpp
+/// The Linger-Longer cost model (paper §2, Figure 1).
+///
+/// A foreign job lingering on a node that has become non-idle progresses at
+/// the leftover rate (1-h); migrating to an idle node costs T_migr of
+/// suspended time but then progresses at (1-l). Equating total CPU progress
+/// with and without migration over a non-idle episode of length T_nidle
+/// yields the break-even condition
+///
+///     T_nidle >= T_lingr + (1-l)/(h-l) * T_migr .
+///
+/// The episode length is unknown, so the paper predicts it with the
+/// median-remaining-life observation of Harchol-Balter & Downey and
+/// Leland & Ott: a process (here: an episode) that has lasted T is predicted
+/// to last 2T in total. Substituting T_nidle = 2*T_lingr gives the linger
+/// duration before migrating:
+///
+///     T_lingr = (1-l)/(h-l) * T_migr .
+///
+/// Episodes shorter than T_lingr therefore never provoke a migration, which
+/// is exactly the fine-grain-idleness insight the policy exploits.
+
+#include <cstdint>
+
+namespace ll::core {
+
+/// Process migration cost: fixed endpoint processing plus state transfer
+/// (paper §2: Processing_Time(src) + size/bandwidth + Processing_Time(dst)).
+struct MigrationCostModel {
+  double processing_source = 0.3;   // seconds of source-side work
+  double processing_destination = 0.3;  // seconds of destination-side work
+  /// Effective transfer bandwidth in bits/second. The paper uses a 10 Mbps
+  /// Ethernet throttled to an effective 3 Mbps to bound migration's network
+  /// load.
+  double bandwidth_bps = 3e6;
+
+  /// Total migration latency for a process image of `bytes`.
+  [[nodiscard]] double cost(std::uint64_t bytes) const;
+};
+
+/// Linger duration before migration is worthwhile:
+///   T_lingr = (1-l)/(h-l) * T_migr
+/// where h is the (non-idle) source node's local utilization and l the
+/// expected local utilization at the destination. Returns +infinity when
+/// h <= l — migration can never pay off toward a busier (or equal) node.
+[[nodiscard]] double linger_duration(double h, double l, double migration_cost);
+
+/// Minimum non-idle episode length for which migrating after T_lingr beats
+/// lingering through the whole episode:
+///   T_nidle >= T_lingr + (1-l)/(h-l) * T_migr
+[[nodiscard]] double min_beneficial_episode(double h, double l,
+                                            double migration_cost,
+                                            double linger_so_far);
+
+/// Median-remaining-life episode predictor (the "2T" rule): an episode of
+/// current age `age` is predicted to last `2 * age` in total.
+[[nodiscard]] double predict_episode_total(double age);
+
+}  // namespace ll::core

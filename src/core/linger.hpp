@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file linger.hpp
+/// Umbrella public header for the Linger-Longer library.
+///
+/// Pull this in to get the policy library, the cluster and parallel
+/// simulators, and the workload infrastructure:
+///
+///   #include "core/linger.hpp"
+///
+///   auto traces = ll::trace::generate_machine_pool(cfg, 16, master);
+///   ll::cluster::ClusterConfig cc;
+///   cc.policy = ll::core::PolicyKind::LingerLonger;
+///   ...
+///
+/// See examples/quickstart.cpp for a complete walk-through.
+
+#include "core/cost_model.hpp"       // IWYU pragma: export
+#include "core/policy.hpp"           // IWYU pragma: export
+#include "node/effective_rate.hpp"   // IWYU pragma: export
+#include "node/fine_node_sim.hpp"    // IWYU pragma: export
+#include "node/memory_model.hpp"     // IWYU pragma: export
+#include "rng/distributions.hpp"     // IWYU pragma: export
+#include "rng/rng.hpp"               // IWYU pragma: export
+#include "trace/coarse_analysis.hpp" // IWYU pragma: export
+#include "trace/coarse_generator.hpp" // IWYU pragma: export
+#include "trace/recruitment.hpp"     // IWYU pragma: export
+#include "workload/burst_table.hpp"  // IWYU pragma: export
+#include "workload/local_workload.hpp" // IWYU pragma: export

@@ -1,0 +1,83 @@
+#include "des/simulation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace ll::des {
+
+EventId Simulation::schedule_at(double when, Callback fn) {
+  if (!std::isfinite(when)) {
+    throw std::invalid_argument("schedule_at: non-finite time");
+  }
+  if (when < now_) {
+    throw std::invalid_argument("schedule_at: time " + std::to_string(when) +
+                                " is before now " + std::to_string(now_));
+  }
+  if (!fn) {
+    throw std::invalid_argument("schedule_at: empty callback");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulation::schedule_in(double delay, Callback fn) {
+  if (!(delay >= 0.0)) {
+    throw std::invalid_argument("schedule_in: negative or NaN delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulation::cancel(EventId id) {
+  if (id == kNoEvent) return false;
+  return callbacks_.erase(id) > 0;
+}
+
+bool Simulation::pending(EventId id) const {
+  return id != kNoEvent && callbacks_.contains(id);
+}
+
+std::size_t Simulation::pending_count() const { return callbacks_.size(); }
+
+bool Simulation::settle_top() {
+  while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
+    queue_.pop();  // lazily drop cancelled events
+  }
+  return !queue_.empty();
+}
+
+bool Simulation::step() {
+  if (!settle_top()) return false;
+  const Entry entry = queue_.top();
+  queue_.pop();
+  auto it = callbacks_.find(entry.id);
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = entry.time;
+  ++fired_;
+  fn();
+  return true;
+}
+
+std::size_t Simulation::run() {
+  std::size_t fired = 0;
+  while (step()) ++fired;
+  return fired;
+}
+
+std::size_t Simulation::run_until(double horizon) {
+  if (!std::isfinite(horizon) || horizon < now_) {
+    throw std::invalid_argument("run_until: invalid horizon");
+  }
+  std::size_t fired = 0;
+  while (settle_top() && queue_.top().time <= horizon) {
+    step();
+    ++fired;
+  }
+  now_ = horizon;
+  return fired;
+}
+
+}  // namespace ll::des

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file simulation.hpp
+/// Deterministic discrete-event simulation engine.
+///
+/// A Simulation owns a virtual clock (double seconds) and an event queue.
+/// Events with equal timestamps fire in scheduling order (a monotone
+/// sequence number breaks ties), which makes every experiment bit-for-bit
+/// reproducible regardless of queue internals.
+///
+/// Events are plain callbacks. Scheduling returns an EventId that can cancel
+/// the event later (lazy deletion: cancelled ids are skipped when popped).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace ll::des {
+
+/// Identifier of a scheduled event, usable with Simulation::cancel().
+/// Id 0 is reserved and never issued (a default EventId is "no event").
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time in seconds.
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now). Returns the
+  /// event's id. Throws std::invalid_argument for events in the past or
+  /// non-finite times.
+  EventId schedule_at(double when, Callback fn);
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(double delay, Callback fn);
+
+  /// Cancels a pending event. Cancelling an already-fired, already-cancelled
+  /// or kNoEvent id is a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// True if `id` is pending (scheduled, not fired, not cancelled).
+  [[nodiscard]] bool pending(EventId id) const;
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending_count() const;
+
+  /// Runs until the queue is empty. Returns the number of events fired.
+  std::size_t run();
+
+  /// Runs events with time <= horizon, then advances the clock to exactly
+  /// `horizon` (even if the queue empties earlier). Returns events fired.
+  std::size_t run_until(double horizon);
+
+  /// Fires the single earliest event, if any. Returns whether one fired.
+  bool step();
+
+  /// Total number of events fired so far (monitoring / perf tests).
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;
+    // Ordered min-first by (time, id); id is monotone so FIFO among ties.
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  // Pops cancelled entries off the top; returns false if queue exhausted.
+  bool settle_top();
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Callback storage by id; erased on fire/cancel. An unordered_map keeps
+  // cancel() O(1) without touching the heap.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace ll::des

@@ -1,0 +1,69 @@
+#include "node/effective_rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ll::node {
+namespace {
+
+// Utilizations are evaluated strictly inside (0,1); the endpoint levels copy
+// their inner neighbours so interpolation stays sane at the extremes.
+constexpr double kEdge = 1e-3;
+
+double level_u(std::size_t i) {
+  const double u = workload::BurstTable::level_utilization(i);
+  return std::clamp(u, kEdge, 1.0 - kEdge);
+}
+
+}  // namespace
+
+EffectiveRateTable EffectiveRateTable::analytic(const workload::BurstTable& table,
+                                                double context_switch) {
+  EffectiveRateTable out;
+  for (std::size_t i = 0; i < workload::kUtilizationLevels; ++i) {
+    const FineNodeExpectation e =
+        expected_fine_node(level_u(i), context_switch, table);
+    out.fcsr_[i] = e.fcsr;
+    out.ldr_[i] = e.ldr;
+  }
+  return out;
+}
+
+EffectiveRateTable EffectiveRateTable::simulated(const workload::BurstTable& table,
+                                                 double context_switch,
+                                                 double duration,
+                                                 const rng::Stream& stream) {
+  EffectiveRateTable out;
+  for (std::size_t i = 0; i < workload::kUtilizationLevels; ++i) {
+    FineNodeConfig config;
+    config.utilization = level_u(i);
+    config.context_switch = context_switch;
+    config.duration = duration;
+    const FineNodeResult r =
+        simulate_fine_node(config, table, stream.fork("level", i));
+    out.fcsr_[i] = r.fcsr();
+    out.ldr_[i] = r.ldr();
+  }
+  return out;
+}
+
+double EffectiveRateTable::interpolate(
+    const std::array<double, workload::kUtilizationLevels>& values, double u) {
+  u = std::clamp(u, 0.0, 1.0);
+  const double pos = u * static_cast<double>(workload::kUtilizationLevels - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  if (lo >= workload::kUtilizationLevels - 1) return values.back();
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+double EffectiveRateTable::fcsr(double u) const { return interpolate(fcsr_, u); }
+
+double EffectiveRateTable::ldr(double u) const { return interpolate(ldr_, u); }
+
+double EffectiveRateTable::foreign_rate(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  return (1.0 - u) * fcsr(u);
+}
+
+}  // namespace ll::node

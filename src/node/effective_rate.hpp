@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file effective_rate.hpp
+/// Calibrated effective-rate tables bridging the two simulation
+/// granularities.
+///
+/// The cluster simulator integrates foreign-job progress analytically within
+/// each 2-second coarse window: a lingering foreign job on a node whose owner
+/// utilization is u progresses at rate
+///
+///     rate(u) = (1 - u) * fcsr(u)
+///
+/// and imposes a foreground delay ratio ldr(u) on the owner's work. Both
+/// factors come from the fine-grain node simulation (or its closed form),
+/// evaluated once per utilization level and interpolated.
+
+#include <array>
+
+#include "node/fine_node_sim.hpp"
+#include "workload/burst_table.hpp"
+
+namespace ll::node {
+
+/// Per-utilization-level fcsr/ldr factors with linear interpolation.
+class EffectiveRateTable {
+ public:
+  /// Builds the table from the closed-form expectations (fast, exact under
+  /// the H2 model). Levels 0 and 1 are the natural limits (fcsr -> its
+  /// neighbour's value, unused in practice since u is clamped inside).
+  static EffectiveRateTable analytic(const workload::BurstTable& table,
+                                     double context_switch);
+
+  /// Builds the table by running the fine-grain simulation at each level
+  /// (slower; used by tests to validate `analytic` end-to-end).
+  static EffectiveRateTable simulated(const workload::BurstTable& table,
+                                      double context_switch, double duration,
+                                      const rng::Stream& stream);
+
+  /// Fraction of idle cycles a lingering foreign job captures at owner
+  /// utilization u.
+  [[nodiscard]] double fcsr(double u) const;
+
+  /// Foreground delay ratio imposed by a lingering foreign job at owner
+  /// utilization u.
+  [[nodiscard]] double ldr(double u) const;
+
+  /// Foreign-job progress rate (CPU-seconds per wall-second) on a node with
+  /// owner utilization u: (1-u) * fcsr(u).
+  [[nodiscard]] double foreign_rate(double u) const;
+
+ private:
+  EffectiveRateTable() = default;
+  [[nodiscard]] static double interpolate(
+      const std::array<double, workload::kUtilizationLevels>& values, double u);
+
+  std::array<double, workload::kUtilizationLevels> fcsr_{};
+  std::array<double, workload::kUtilizationLevels> ldr_{};
+};
+
+}  // namespace ll::node

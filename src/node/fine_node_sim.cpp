@@ -1,0 +1,123 @@
+#include "node/fine_node_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ll::node {
+
+FineNodeResult simulate_fine_node(const FineNodeConfig& config,
+                                  const workload::BurstTable& table,
+                                  rng::Stream stream) {
+  if (!(config.utilization > 0.0 && config.utilization < 1.0)) {
+    throw std::invalid_argument("simulate_fine_node: utilization must be in (0,1)");
+  }
+  if (config.context_switch < 0.0) {
+    throw std::invalid_argument("simulate_fine_node: negative context switch");
+  }
+  if (!(config.duration > 0.0)) {
+    throw std::invalid_argument("simulate_fine_node: duration must be > 0");
+  }
+
+  const workload::BurstDistributions dist =
+      table.distributions_at(config.utilization);
+  const double c = config.context_switch;
+
+  FineNodeResult result;
+  double t = 0.0;
+  bool foreign_on_cpu = false;  // foreign job warm on the CPU right now
+  bool run_phase = false;       // start with an idle gap
+
+  while (t < config.duration) {
+    if (run_phase) {
+      const double r = dist.run.sample(stream);
+      result.local_cpu += r;
+      double service = r;
+      if (foreign_on_cpu && config.foreign_present) {
+        // Interrupt preempts the foreign job instantly; the foreground
+        // process then pays the effective switch cost (cache reload) before
+        // its request completes.
+        service += c;
+        result.local_delay += c;
+        ++result.preemptions;
+        foreign_on_cpu = false;
+      }
+      t += service;
+    } else {
+      const double gap = dist.idle.sample(stream);
+      result.idle_cpu += gap;
+      if (config.foreign_present) {
+        if (gap > c) {
+          // Switch the foreign job in (cache warm-up), then it runs for the
+          // remainder of the gap.
+          result.foreign_cpu += gap - c;
+          foreign_on_cpu = true;
+        }
+        // Gaps shorter than the switch cost yield nothing and leave the
+        // foreign job cold; no preemption penalty will be charged either.
+      }
+      t += gap;
+    }
+    run_phase = !run_phase;
+  }
+  result.wall = t;
+  return result;
+}
+
+FineNodeResult simulate_fine_node_trace(const trace::CoarseTrace& coarse,
+                                        const workload::BurstTable& table,
+                                        double context_switch, double duration,
+                                        rng::Stream stream, double offset) {
+  if (context_switch < 0.0) {
+    throw std::invalid_argument("simulate_fine_node_trace: negative switch");
+  }
+  if (!(duration > 0.0)) {
+    throw std::invalid_argument("simulate_fine_node_trace: duration must be > 0");
+  }
+  workload::LocalWorkloadGenerator generator(coarse, table, std::move(stream),
+                                             offset);
+  const double c = context_switch;
+  FineNodeResult result;
+  bool foreign_on_cpu = false;
+  while (generator.now() < duration) {
+    const auto burst = generator.next();
+    // Truncate the final burst at the horizon so accounting is exact.
+    const double len =
+        std::min(burst.burst.duration, duration - burst.start);
+    if (len <= 0.0) break;
+    if (burst.burst.kind == trace::BurstKind::Run) {
+      result.local_cpu += len;
+      if (foreign_on_cpu) {
+        result.local_delay += c;
+        ++result.preemptions;
+        foreign_on_cpu = false;
+      }
+    } else {
+      result.idle_cpu += len;
+      if (len > c) {
+        result.foreign_cpu += len - c;
+        foreign_on_cpu = true;
+      }
+    }
+  }
+  result.wall = duration;
+  return result;
+}
+
+FineNodeExpectation expected_fine_node(double utilization, double context_switch,
+                                       const workload::BurstTable& table) {
+  const workload::BurstDistributions dist = table.distributions_at(utilization);
+  FineNodeExpectation out;
+  const double mean_idle = dist.idle.mean();
+  const double mean_run = dist.run.mean();
+  if (mean_idle > 0.0) {
+    out.fcsr = dist.idle.mean_excess(context_switch) / mean_idle;
+  }
+  if (mean_run > 0.0) {
+    const double p_warm = 1.0 - dist.idle.cdf(context_switch);
+    out.ldr = context_switch * p_warm / mean_run;
+  }
+  return out;
+}
+
+}  // namespace ll::node

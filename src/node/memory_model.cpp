@@ -1,0 +1,68 @@
+#include "node/memory_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ll::node {
+
+PagePool::PagePool(PagePoolConfig config) : config_(config) {
+  if (config_.total_pages == 0) {
+    throw std::invalid_argument("PagePool: total_pages must be > 0");
+  }
+  if (config_.reserved_pages >= config_.total_pages) {
+    throw std::invalid_argument("PagePool: reserve exceeds physical memory");
+  }
+}
+
+std::uint32_t PagePool::free_pages() const {
+  const std::uint32_t used = local_ + foreign_ + config_.reserved_pages;
+  return used >= config_.total_pages ? 0 : config_.total_pages - used;
+}
+
+std::uint32_t PagePool::set_local_pages(std::uint32_t pages) {
+  // Local demand is clamped to what the machine can hold with the foreign
+  // job fully evicted — beyond that the local jobs page against themselves.
+  const std::uint32_t capacity = config_.total_pages - config_.reserved_pages;
+  pages = std::min(pages, capacity);
+
+  std::uint32_t reclaimed = 0;
+  if (pages > local_) {
+    const std::uint32_t growth = pages - local_;
+    const std::uint32_t from_free = std::min(growth, free_pages());
+    const std::uint32_t still_needed = growth - from_free;
+    // Priority reclaim: take from the foreign pool before local paging.
+    reclaimed = std::min(still_needed, foreign_);
+    foreign_ -= reclaimed;
+  }
+  local_ = pages;
+  return reclaimed;
+}
+
+std::uint32_t PagePool::request_foreign_pages(std::uint32_t target) {
+  if (target >= foreign_) {
+    const std::uint32_t growth =
+        std::min<std::uint32_t>(target - foreign_, free_pages());
+    foreign_ += growth;
+  } else {
+    foreign_ = target;
+  }
+  return foreign_;
+}
+
+void PagePool::evict_foreign() { foreign_ = 0; }
+
+std::uint32_t PagePool::kb_to_pages(std::uint32_t kb, std::uint32_t page_kb) {
+  if (page_kb == 0) throw std::invalid_argument("kb_to_pages: page_kb == 0");
+  return (kb + page_kb - 1) / page_kb;
+}
+
+double memory_progress_factor(std::uint32_t resident_pages,
+                              std::uint32_t working_set_pages, double floor) {
+  if (working_set_pages == 0) return 1.0;
+  if (resident_pages >= working_set_pages) return 1.0;
+  const double frac = static_cast<double>(resident_pages) /
+                      static_cast<double>(working_set_pages);
+  return std::max(floor, frac);
+}
+
+}  // namespace ll::node

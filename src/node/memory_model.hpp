@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file memory_model.hpp
+/// Priority page allocation (paper §3.2, after the Stealth scheduler).
+///
+/// Memory is conceptually divided into two pools: pages owned by local
+/// (foreground) jobs and pages donated to the foreign job. Whenever a local
+/// job frees a page it becomes available to the foreign job; whenever local
+/// demand grows it reclaims pages *from the foreign job first* and only then
+/// pages out its own — so the owner's working set is never displaced by a
+/// lingering guest.
+///
+/// The pool model is page-accurate; the progress model maps foreign
+/// residency to a throughput factor so the cluster simulator can account for
+/// memory pressure without simulating individual references.
+
+#include <cstdint>
+
+namespace ll::node {
+
+struct PagePoolConfig {
+  std::uint32_t total_pages = 16384;  // 64 MB of 4 KB pages, as in the paper
+  std::uint32_t page_kb = 4;
+  /// Pages the kernel keeps on its own free list and never donates
+  /// (UNIX free-list reserve noted in the paper's §3.2 footnote).
+  std::uint32_t reserved_pages = 512;
+};
+
+/// The two-pool priority page allocator for one node.
+class PagePool {
+ public:
+  explicit PagePool(PagePoolConfig config);
+
+  /// Sets the local jobs' resident demand. Growth reclaims foreign pages
+  /// first; shrinkage releases pages to the free list (and thus to the
+  /// foreign job on its next request). Demand beyond physical capacity is
+  /// clamped (the local jobs page against themselves — invisible to the
+  /// foreign pool). Returns the number of foreign pages reclaimed.
+  std::uint32_t set_local_pages(std::uint32_t pages);
+
+  /// Foreign job asks to keep `target` pages resident; grants what the free
+  /// pool allows. Returns the new foreign residency.
+  std::uint32_t request_foreign_pages(std::uint32_t target);
+
+  /// Releases all foreign pages (job migrated away or finished).
+  void evict_foreign();
+
+  [[nodiscard]] std::uint32_t total_pages() const { return config_.total_pages; }
+  [[nodiscard]] std::uint32_t local_pages() const { return local_; }
+  [[nodiscard]] std::uint32_t foreign_pages() const { return foreign_; }
+  [[nodiscard]] std::uint32_t free_pages() const;
+
+  [[nodiscard]] static std::uint32_t kb_to_pages(std::uint32_t kb,
+                                                 std::uint32_t page_kb = 4);
+
+ private:
+  PagePoolConfig config_;
+  std::uint32_t local_ = 0;
+  std::uint32_t foreign_ = 0;
+};
+
+/// Maps a foreign job's residency to a progress factor in [floor, 1].
+///
+/// Fully resident => 1. Below the working set, the job page-faults against
+/// the donated pool; modelled as proportional slowdown with a floor that
+/// keeps jobs from stalling completely (matching the paper's observation
+/// that one moderate foreign job virtually always fits).
+[[nodiscard]] double memory_progress_factor(std::uint32_t resident_pages,
+                                            std::uint32_t working_set_pages,
+                                            double floor = 0.05);
+
+}  // namespace ll::node

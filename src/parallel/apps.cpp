@@ -1,0 +1,60 @@
+#include "parallel/apps.hpp"
+
+#include <stdexcept>
+
+namespace ll::parallel {
+
+AppModel sor_model(std::size_t processes) {
+  AppModel app;
+  app.name = "sor";
+  app.bsp.processes = processes;
+  app.bsp.phases = 40;
+  app.bsp.granularity = 0.200;         // relaxation sweep per iteration
+  app.bsp.messages_per_process = 2;    // north/south boundary rows
+  app.bsp.bytes_per_message = 4096;    // one boundary row
+  app.bsp.handler_cpu = 0.8e-3;
+  return app;
+}
+
+AppModel water_model(std::size_t processes) {
+  AppModel app;
+  app.name = "water";
+  app.bsp.processes = processes;
+  app.bsp.phases = 30;
+  app.bsp.granularity = 0.250;         // force computation is heavier
+  app.bsp.messages_per_process = 6;    // partial all-pairs force exchange
+  app.bsp.bytes_per_message = 8192;
+  app.bsp.handler_cpu = 1.2e-3;
+  return app;
+}
+
+AppModel fft_model(std::size_t processes) {
+  AppModel app;
+  app.name = "fft";
+  app.bsp.processes = processes;
+  app.bsp.phases = 30;
+  app.bsp.granularity = 0.100;         // butterfly stages are cheap
+  // All-to-all transpose: one message to every other process.
+  app.bsp.messages_per_process = processes > 1 ? processes - 1 : 0;
+  app.bsp.bytes_per_message = 16384;   // transpose blocks dominate
+  app.bsp.handler_cpu = 1.0e-3;
+  return app;
+}
+
+std::vector<AppModel> all_app_models(std::size_t processes) {
+  return {sor_model(processes), water_model(processes), fft_model(processes)};
+}
+
+double app_slowdown(const AppModel& app, std::size_t nonidle_nodes,
+                    double local_util, const workload::BurstTable& table,
+                    rng::Stream stream) {
+  if (nonidle_nodes > app.bsp.processes) {
+    throw std::invalid_argument("app_slowdown: more non-idle nodes than processes");
+  }
+  std::vector<double> utils(app.bsp.processes, 0.0);
+  for (std::size_t i = 0; i < nonidle_nodes; ++i) utils[i] = local_util;
+  const BspResult r = simulate_bsp(app.bsp, utils, table, std::move(stream));
+  return r.slowdown();
+}
+
+}  // namespace ll::parallel

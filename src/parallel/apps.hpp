@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file apps.hpp
+/// Application phase models for the three shared-memory programs of the
+/// paper's §5.2 (sor, water, fft).
+///
+/// The paper ran the real binaries through a CVM software-DSM simulator fed
+/// by ATOM instrumentation. That toolchain is not reproducible here, so each
+/// application is modelled by its bulk-synchronous phase profile — per-phase
+/// compute granularity, message count/size, and synchronization pattern —
+/// which is exactly the channel through which lingering affects them. The
+/// profiles encode the paper's characterization:
+///
+///  * sor   — Jacobi relaxation: modest per-phase compute, nearest-neighbour
+///            boundary exchange only. Almost all time is barrier-synchronized
+///            compute, so it is the *most* sensitive to local CPU activity.
+///  * water — molecular dynamics (SPLASH-2): larger compute phases with
+///            moderate all-pairs communication; intermediate sensitivity.
+///  * fft   — transpose-based FFT: communication-dominated (all-to-all
+///            transposes); time spent waiting on communication is not
+///            stretched by local CPU load, so it is the *least* sensitive.
+
+#include <string_view>
+#include <vector>
+
+#include "parallel/bsp.hpp"
+
+namespace ll::parallel {
+
+struct AppModel {
+  std::string_view name;
+  BspConfig bsp;  // processes/phases filled by the factory
+};
+
+/// Factories; `processes` is the parallel width the app runs at.
+[[nodiscard]] AppModel sor_model(std::size_t processes);
+[[nodiscard]] AppModel water_model(std::size_t processes);
+[[nodiscard]] AppModel fft_model(std::size_t processes);
+[[nodiscard]] std::vector<AppModel> all_app_models(std::size_t processes);
+
+/// Slowdown of `app` when `nonidle_nodes` of its nodes carry owner load
+/// `local_util` (paper Figure 12): ratio of completion time to the all-idle
+/// completion time.
+[[nodiscard]] double app_slowdown(const AppModel& app, std::size_t nonidle_nodes,
+                                  double local_util,
+                                  const workload::BurstTable& table,
+                                  rng::Stream stream);
+
+}  // namespace ll::parallel

@@ -1,0 +1,159 @@
+#include "parallel/bsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ll::parallel {
+namespace {
+
+constexpr double kUtilEps = 5e-3;
+
+/// Message destinations for process p: nearest neighbours on a ring
+/// (NEWS-style: alternating +1, -1, +2, -2, ... offsets).
+std::vector<std::size_t> message_destinations(std::size_t p, std::size_t procs,
+                                              std::size_t count) {
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  for (std::size_t m = 0; m < count; ++m) {
+    const auto distance = static_cast<long>(m / 2 + 1);
+    const long offset = (m % 2 == 0) ? distance : -distance;
+    const long raw = static_cast<long>(p) + offset;
+    const auto n = static_cast<long>(procs);
+    out.push_back(static_cast<std::size_t>(((raw % n) + n) % n));
+  }
+  return out;
+}
+
+void validate(const BspConfig& config, std::span<const double> node_utils) {
+  if (config.processes == 0) {
+    throw std::invalid_argument("BSP: processes must be > 0");
+  }
+  if (node_utils.size() != config.processes) {
+    throw std::invalid_argument("BSP: node_utils size must equal processes");
+  }
+  if (!(config.granularity > 0.0)) {
+    throw std::invalid_argument("BSP: granularity must be > 0");
+  }
+  for (double u : node_utils) {
+    if (!(u >= 0.0 && u < 1.0)) {
+      throw std::invalid_argument("BSP: node utilization must be in [0,1)");
+    }
+  }
+}
+
+}  // namespace
+
+double sample_phase_duration(const BspConfig& config, double granularity,
+                             std::span<const double> node_utils,
+                             const ContentionSampler& sampler,
+                             const workload::BurstTable& table,
+                             rng::Stream& stream) {
+  const std::size_t procs = config.processes;
+  double max_compute = 0.0;
+  std::vector<double> compute(procs, 0.0);
+  for (std::size_t p = 0; p < procs; ++p) {
+    compute[p] = sampler.sample(granularity, node_utils[p], stream);
+    max_compute = std::max(max_compute, compute[p]);
+  }
+
+  std::vector<double> comm(procs, 0.0);
+  double max_comm = 0.0;
+  const double wire = config.per_message_overhead +
+                      static_cast<double>(config.bytes_per_message) * 8.0 /
+                          config.bandwidth_bps;
+  for (std::size_t p = 0; p < procs; ++p) {
+    // Sends are pipelined: wire serializations add up, destination handler
+    // waits overlap (the section completes with the slowest destination).
+    double handler_max = 0.0;
+    std::size_t count = 0;
+    for (std::size_t dest :
+         message_destinations(p, procs, config.messages_per_process)) {
+      handler_max = std::max(
+          handler_max, expected_handler_delay(config, node_utils[dest], table));
+      ++count;
+    }
+    comm[p] = wire * static_cast<double>(count) + handler_max;
+    max_comm = std::max(max_comm, comm[p]);
+  }
+
+  if (config.closing_barrier) {
+    // Opening barrier ends compute; closing barrier ends communication.
+    return max_compute + max_comm;
+  }
+  // Without a closing barrier the next compute starts as each process
+  // finishes its own exchanges; the phase critical path is per-process.
+  double critical = 0.0;
+  for (std::size_t p = 0; p < procs; ++p) {
+    critical = std::max(critical, compute[p] + comm[p]);
+  }
+  return critical;
+}
+
+double expected_handler_delay(const BspConfig& config, double u,
+                              const workload::BurstTable& table) {
+  u = std::clamp(u, 0.0, 1.0);
+  if (u < kUtilEps) return config.handler_cpu;
+  // Receive-side software: stretched by the leftover rate, plus the expected
+  // residual owner run burst when the message lands mid-burst (prob. u).
+  const workload::BurstDistributions dist = table.distributions_at(u);
+  return config.handler_cpu / (1.0 - u) + u * dist.run.mean_residual();
+}
+
+double expected_message_time(const BspConfig& config, double u,
+                             const workload::BurstTable& table) {
+  return config.per_message_overhead +
+         static_cast<double>(config.bytes_per_message) * 8.0 /
+             config.bandwidth_bps +
+         expected_handler_delay(config, u, table);
+}
+
+BspResult simulate_bsp(const BspConfig& config,
+                       std::span<const double> node_utils,
+                       const workload::BurstTable& table, rng::Stream stream) {
+  validate(config, node_utils);
+  const ContentionSampler sampler(table, config.context_switch);
+  const std::vector<double> all_idle(config.processes, 0.0);
+
+  BspResult result;
+  result.phases = config.phases;
+  rng::Stream phase_stream = stream.fork("phases");
+  for (std::size_t i = 0; i < config.phases; ++i) {
+    result.time += sample_phase_duration(config, config.granularity, node_utils,
+                                  sampler, table, phase_stream);
+    result.ideal += sample_phase_duration(config, config.granularity, all_idle,
+                                   sampler, table, phase_stream);
+  }
+  return result;
+}
+
+BspResult simulate_bsp_work(const BspConfig& config, double total_work,
+                            std::span<const double> node_utils,
+                            const workload::BurstTable& table,
+                            rng::Stream stream) {
+  validate(config, node_utils);
+  if (!(total_work > 0.0)) {
+    throw std::invalid_argument("BSP: total_work must be > 0");
+  }
+  const ContentionSampler sampler(table, config.context_switch);
+  const std::vector<double> all_idle(config.processes, 0.0);
+  const double work_per_phase =
+      config.granularity * static_cast<double>(config.processes);
+
+  BspResult result;
+  rng::Stream phase_stream = stream.fork("phases");
+  double remaining = total_work;
+  while (remaining > 1e-12) {
+    const double fraction = std::min(1.0, remaining / work_per_phase);
+    const double g = config.granularity * fraction;
+    result.time +=
+        sample_phase_duration(config, g, node_utils, sampler, table, phase_stream);
+    result.ideal +=
+        sample_phase_duration(config, g, all_idle, sampler, table, phase_stream);
+    remaining -= work_per_phase * fraction;
+    ++result.phases;
+  }
+  return result;
+}
+
+}  // namespace ll::parallel

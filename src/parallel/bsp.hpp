@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file bsp.hpp
+/// Bulk-synchronous parallel job model (paper §5.1).
+///
+/// Each iteration ("phase"): every process computes for the synchronization
+/// granularity, an opening barrier ends the compute section, a communication
+/// section exchanges messages, and an optional closing barrier ends the
+/// iteration. Compute on a non-idle node is stretched burst-by-burst by the
+/// ContentionSampler; the barrier makes the iteration wait for the slowest
+/// process.
+///
+/// Communication is network/DMA-bound and is not slowed by the *sender's*
+/// owner load, but the receive-side software (the paper's CVM runs as a user
+/// process) is: a message to a non-idle node waits, in expectation, for the
+/// residual owner run burst and has its handler CPU stretched by the
+/// leftover rate. This is what makes communication-heavy applications the
+/// least sensitive to lingering (paper §5.2: sor > water > fft).
+
+#include <span>
+#include <vector>
+
+#include "parallel/contention.hpp"
+#include "rng/rng.hpp"
+#include "workload/burst_table.hpp"
+
+namespace ll::parallel {
+
+struct BspConfig {
+  std::size_t processes = 8;
+  double granularity = 0.1;  // compute seconds per process per phase
+  std::size_t phases = 50;
+
+  // Communication section, per process per phase.
+  std::size_t messages_per_process = 4;  // NEWS exchange by default
+  std::uint64_t bytes_per_message = 4096;
+  double per_message_overhead = 0.5e-3;  // protocol/software fixed cost (s)
+  double bandwidth_bps = 10e6;           // 10 Mbps Ethernet, as in the paper
+  double handler_cpu = 1.0e-3;           // receive-side software time (s)
+  bool closing_barrier = true;
+
+  double context_switch = 100e-6;
+};
+
+struct BspResult {
+  double time = 0.0;   // simulated completion time (s)
+  double ideal = 0.0;  // completion time with every node idle (s)
+  std::size_t phases = 0;
+
+  [[nodiscard]] double slowdown() const { return ideal > 0.0 ? time / ideal : 0.0; }
+};
+
+/// Expected delivery time of one message whose *destination* node has owner
+/// utilization u: overhead + wire time + handler stretched by the leftover
+/// rate + expected residual owner burst on arrival.
+[[nodiscard]] double expected_message_time(const BspConfig& config, double u,
+                                           const workload::BurstTable& table);
+
+/// The destination-side component alone (handler stretch + residual-burst
+/// wait). A process's sends are pipelined, so within one communication
+/// section the wire serializations add up but the per-destination handler
+/// waits overlap — the section waits for the *slowest* destination, not the
+/// sum. This overlap is why communication-bound applications (fft) are the
+/// least sensitive to lingering (paper §5.2).
+[[nodiscard]] double expected_handler_delay(const BspConfig& config, double u,
+                                            const workload::BurstTable& table);
+
+/// Samples the duration of ONE phase (stretched compute to the barrier plus
+/// the communication section) for the given per-process owner utilizations
+/// and compute granularity. Building block for co-simulations that must
+/// interleave several parallel jobs whose node loads change over time (see
+/// parallel_cluster.hpp).
+[[nodiscard]] double sample_phase_duration(const BspConfig& config,
+                                           double granularity,
+                                           std::span<const double> node_utils,
+                                           const ContentionSampler& sampler,
+                                           const workload::BurstTable& table,
+                                           rng::Stream& stream);
+
+/// Simulates `config.phases` iterations. `node_utils[p]` is the owner
+/// utilization of the node hosting process p (0 = idle node); size must
+/// equal config.processes.
+[[nodiscard]] BspResult simulate_bsp(const BspConfig& config,
+                                     std::span<const double> node_utils,
+                                     const workload::BurstTable& table,
+                                     rng::Stream stream);
+
+/// Fixed-work variant for the reconfiguration comparisons: runs whole
+/// phases until `total_work` CPU-seconds (summed over processes) are done;
+/// the last phase is shortened pro rata. Ignores config.phases.
+[[nodiscard]] BspResult simulate_bsp_work(const BspConfig& config,
+                                          double total_work,
+                                          std::span<const double> node_utils,
+                                          const workload::BurstTable& table,
+                                          rng::Stream stream);
+
+}  // namespace ll::parallel

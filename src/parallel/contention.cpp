@@ -1,0 +1,69 @@
+#include "parallel/contention.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ll::parallel {
+namespace {
+
+constexpr double kUtilEps = 5e-3;
+
+}  // namespace
+
+ContentionSampler::ContentionSampler(const workload::BurstTable& table,
+                                     double context_switch)
+    : table_(&table),
+      context_switch_(context_switch),
+      rates_(node::EffectiveRateTable::analytic(table, context_switch)) {
+  if (context_switch < 0.0) {
+    throw std::invalid_argument("ContentionSampler: negative context switch");
+  }
+}
+
+double ContentionSampler::sample(double work, double u,
+                                 rng::Stream& stream) const {
+  if (!(work >= 0.0)) {
+    throw std::invalid_argument("ContentionSampler::sample: negative work");
+  }
+  if (work == 0.0) return 0.0;
+  u = std::clamp(u, 0.0, 1.0);
+  if (u < kUtilEps) return work;
+  if (u > 1.0 - kUtilEps) {
+    throw std::invalid_argument(
+        "ContentionSampler::sample: owner utilization ~1, process starves");
+  }
+  const workload::BurstDistributions dist = table_->distributions_at(u);
+  double elapsed = 0.0;
+  double remaining = work;
+  // Random initial phase: idle gap with probability (1-u).
+  bool in_idle = stream.uniform01() < (1.0 - u);
+  while (remaining > 0.0) {
+    if (in_idle) {
+      const double gap = dist.idle.sample(stream);
+      const double usable = gap - context_switch_;
+      if (usable >= remaining) {
+        elapsed += context_switch_ + remaining;
+        remaining = 0.0;
+        break;
+      }
+      if (usable > 0.0) remaining -= usable;
+      elapsed += gap;
+    } else {
+      elapsed += dist.run.sample(stream);
+    }
+    in_idle = !in_idle;
+  }
+  return elapsed;
+}
+
+double ContentionSampler::expected(double work, double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  if (u < kUtilEps) return work;
+  const double rate = rates_.foreign_rate(u);
+  if (!(rate > 0.0)) {
+    throw std::logic_error("ContentionSampler::expected: zero progress rate");
+  }
+  return work / rate;
+}
+
+}  // namespace ll::parallel

@@ -1,0 +1,106 @@
+#include "parallel/reconfig.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/contention.hpp"
+
+namespace ll::parallel {
+namespace {
+
+double run_width(const ReconfigScenario& scenario, std::size_t width,
+                 std::size_t idle_procs, const workload::BurstTable& table,
+                 rng::Stream stream) {
+  BspConfig bsp = scenario.bsp;
+  bsp.processes = width;
+  std::vector<double> utils(width, 0.0);
+  for (std::size_t i = idle_procs; i < width; ++i) {
+    utils[i] = scenario.nonidle_util;
+  }
+  return simulate_bsp_work(bsp, scenario.total_work, utils, table,
+                           std::move(stream))
+      .time;
+}
+
+}  // namespace
+
+std::size_t floor_pow2(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("floor_pow2: n must be >= 1");
+  std::size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+double ll_completion(const ReconfigScenario& scenario, std::size_t k,
+                     std::size_t idle_nodes, const workload::BurstTable& table,
+                     rng::Stream stream) {
+  if (k == 0 || k > scenario.cluster_nodes) {
+    throw std::invalid_argument("ll_completion: width outside [1, nodes]");
+  }
+  if (idle_nodes > scenario.cluster_nodes) {
+    throw std::invalid_argument("ll_completion: idle_nodes > cluster_nodes");
+  }
+  const std::size_t idle_procs = std::min(k, idle_nodes);
+  return run_width(scenario, k, idle_procs, table, std::move(stream));
+}
+
+std::size_t choose_hybrid_width(const ReconfigScenario& scenario,
+                                std::size_t idle_nodes,
+                                const workload::BurstTable& table) {
+  if (idle_nodes > scenario.cluster_nodes) {
+    throw std::invalid_argument("choose_hybrid_width: idle_nodes > cluster");
+  }
+  const ContentionSampler sampler(table, scenario.bsp.context_switch);
+  const double g = scenario.bsp.granularity;
+  const double wire =
+      scenario.bsp.per_message_overhead +
+      static_cast<double>(scenario.bsp.bytes_per_message) * 8.0 /
+          scenario.bsp.bandwidth_bps;
+
+  double best_time = std::numeric_limits<double>::infinity();
+  std::size_t best_w = 1;
+  for (std::size_t w = 1; w <= scenario.cluster_nodes; w *= 2) {
+    const bool lingers = w > idle_nodes;
+    const double u = lingers ? scenario.nonidle_util : 0.0;
+    const double stretch = lingers ? sampler.expected(g, u) / g : 1.0;
+    const double comm =
+        wire * static_cast<double>(scenario.bsp.messages_per_process) +
+        expected_handler_delay(scenario.bsp, u, table);
+    const double phases = scenario.total_work / (static_cast<double>(w) * g);
+    const double predicted = phases * (g * stretch + comm);
+    if (predicted < best_time * 0.999) {
+      best_time = predicted;
+      best_w = w;
+    } else if (predicted <= best_time * 1.001 && w > best_w) {
+      best_w = w;  // near-tie: prefer width (frees the cluster sooner)
+    }
+  }
+  return best_w;
+}
+
+double hybrid_completion(const ReconfigScenario& scenario,
+                         std::size_t idle_nodes,
+                         const workload::BurstTable& table,
+                         rng::Stream stream) {
+  const std::size_t w = choose_hybrid_width(scenario, idle_nodes, table);
+  return ll_completion(scenario, w, idle_nodes, table, std::move(stream));
+}
+
+double reconfig_completion(const ReconfigScenario& scenario,
+                           std::size_t idle_nodes,
+                           const workload::BurstTable& table,
+                           rng::Stream stream) {
+  if (idle_nodes > scenario.cluster_nodes) {
+    throw std::invalid_argument("reconfig_completion: idle_nodes > cluster_nodes");
+  }
+  if (idle_nodes == 0) {
+    // Nowhere idle: the job must take one busy node.
+    return run_width(scenario, 1, 0, table, std::move(stream));
+  }
+  const std::size_t width = floor_pow2(idle_nodes);
+  return run_width(scenario, width, width, table, std::move(stream));
+}
+
+}  // namespace ll::parallel

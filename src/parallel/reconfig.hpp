@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file reconfig.hpp
+/// Linger-Longer versus reconfiguration for parallel jobs (paper §5.1
+/// Figure 11 and §5.2 Figure 13).
+///
+/// Scenario: a cluster of N nodes of which `idle_nodes` are idle and the
+/// rest carry owner load at a fixed utilization. A parallel job with a fixed
+/// total amount of work chooses its width:
+///
+///  * Linger-Longer with k processes ("LL-k"): if k or more nodes are idle,
+///    run on k idle nodes; otherwise run on every idle node and linger on
+///    enough non-idle nodes to reach width k.
+///  * Reconfiguration: shrink to the largest power-of-two number of idle
+///    nodes (the paper's constraint — many codes require power-of-two
+///    widths); with zero idle nodes the job must take one busy node.
+///
+/// The paper ignores the cost of reconfiguring itself, and so do we (it
+/// would only improve Linger-Longer's relative standing, as the paper notes).
+
+#include "parallel/apps.hpp"
+#include "parallel/bsp.hpp"
+
+namespace ll::parallel {
+
+struct ReconfigScenario {
+  std::size_t cluster_nodes = 32;
+  double nonidle_util = 0.20;  // owner load on non-idle nodes (paper: 20%)
+  double total_work = 38.4;    // CPU-seconds summed over processes
+  BspConfig bsp;               // communication/granularity template; the
+                               // `processes` field is set per run
+};
+
+/// Completion time of the job run at width k under Linger-Longer.
+/// Requires 1 <= k <= scenario.cluster_nodes and idle_nodes <= cluster_nodes.
+[[nodiscard]] double ll_completion(const ReconfigScenario& scenario,
+                                   std::size_t k, std::size_t idle_nodes,
+                                   const workload::BurstTable& table,
+                                   rng::Stream stream);
+
+/// Completion time under the reconfiguration policy (largest power-of-two
+/// width that fits on idle nodes; one busy node when none are idle).
+[[nodiscard]] double reconfig_completion(const ReconfigScenario& scenario,
+                                         std::size_t idle_nodes,
+                                         const workload::BurstTable& table,
+                                         rng::Stream stream);
+
+/// Largest power of two <= n (n >= 1).
+[[nodiscard]] std::size_t floor_pow2(std::size_t n);
+
+/// The hybrid linger+reconfigure strategy the paper's §5.2 conclusions
+/// suggest: choose the power-of-two width — allowing lingering on busy
+/// nodes — that minimizes the cost-model *predicted* completion, then run
+/// at that width. With many idle nodes this behaves like wide lingering;
+/// on a crowded cluster it shrinks like reconfiguration.
+[[nodiscard]] std::size_t choose_hybrid_width(const ReconfigScenario& scenario,
+                                              std::size_t idle_nodes,
+                                              const workload::BurstTable& table);
+
+[[nodiscard]] double hybrid_completion(const ReconfigScenario& scenario,
+                                       std::size_t idle_nodes,
+                                       const workload::BurstTable& table,
+                                       rng::Stream stream);
+
+}  // namespace ll::parallel

@@ -1,0 +1,97 @@
+#include "rng/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ll::rng {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  if (!(rate > 0.0)) {
+    throw std::invalid_argument("Exponential: rate must be > 0");
+  }
+}
+
+double Exponential::sample(Stream& stream) const {
+  // Inverse CDF; 1 - u in (0, 1] avoids log(0).
+  return -std::log(1.0 - stream.uniform01()) / rate_;
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-rate_ * x);
+}
+
+HyperExp2::HyperExp2(double p, double rate1, double rate2)
+    : p_(p), rate1_(rate1), rate2_(rate2) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("HyperExp2: p must be in [0,1]");
+  }
+  if (!(rate1 > 0.0) || !(rate2 > 0.0)) {
+    throw std::invalid_argument("HyperExp2: rates must be > 0");
+  }
+}
+
+double HyperExp2::sample(Stream& stream) const {
+  const double rate = stream.uniform01() < p_ ? rate1_ : rate2_;
+  return -std::log(1.0 - stream.uniform01()) / rate;
+}
+
+double HyperExp2::mean() const { return p_ / rate1_ + (1.0 - p_) / rate2_; }
+
+double HyperExp2::variance() const {
+  const double m = mean();
+  const double m2 = 2.0 * (p_ / (rate1_ * rate1_) + (1.0 - p_) / (rate2_ * rate2_));
+  return m2 - m * m;
+}
+
+double HyperExp2::cv2() const {
+  const double m = mean();
+  return variance() / (m * m);
+}
+
+double HyperExp2::second_moment() const {
+  return 2.0 * (p_ / (rate1_ * rate1_) + (1.0 - p_) / (rate2_ * rate2_));
+}
+
+double HyperExp2::mean_residual() const {
+  const double m = mean();
+  return m > 0.0 ? second_moment() / (2.0 * m) : 0.0;
+}
+
+double HyperExp2::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return p_ * (1.0 - std::exp(-rate1_ * x)) +
+         (1.0 - p_) * (1.0 - std::exp(-rate2_ * x));
+}
+
+double HyperExp2::mean_excess(double c) const {
+  if (c <= 0.0) return mean();
+  // E[max(0, X-c)] = sum_i p_i e^{-r_i c} / r_i  (memorylessness per branch).
+  return p_ * std::exp(-rate1_ * c) / rate1_ +
+         (1.0 - p_) * std::exp(-rate2_ * c) / rate2_;
+}
+
+HyperExp2 fit_hyperexp2(double mean, double variance) {
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument("fit_hyperexp2: mean must be > 0");
+  }
+  if (variance < 0.0) {
+    throw std::invalid_argument("fit_hyperexp2: variance must be >= 0");
+  }
+  const double cv2 = variance / (mean * mean);
+  if (cv2 <= 1.0 + 1e-12) {
+    // Degenerate to exponential with the same mean.
+    const double rate = 1.0 / mean;
+    return HyperExp2(1.0, rate, rate);
+  }
+  // Balanced-means method of moments:
+  //   p = (1 + sqrt((cv2-1)/(cv2+1))) / 2,  r1 = 2p/mean,  r2 = 2(1-p)/mean.
+  // Both branches contribute mean/2 of the total mean ("balanced").
+  const double root = std::sqrt((cv2 - 1.0) / (cv2 + 1.0));
+  const double p = 0.5 * (1.0 + root);
+  const double rate1 = 2.0 * p / mean;
+  const double rate2 = 2.0 * (1.0 - p) / mean;
+  return HyperExp2(p, rate1, rate2);
+}
+
+}  // namespace ll::rng

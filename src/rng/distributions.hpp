@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file distributions.hpp
+/// The distributions the workload model needs: exponential and two-stage
+/// hyperexponential (H2). The paper models fine-grain run/idle bursts as H2
+/// random variables fitted per utilization bucket (§3.1, Figure 2).
+
+#include <cstdint>
+
+#include "rng/rng.hpp"
+
+namespace ll::rng {
+
+/// Exponential(rate). mean = 1/rate.
+class Exponential {
+ public:
+  explicit Exponential(double rate);
+
+  double sample(Stream& stream) const;
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double mean() const { return 1.0 / rate_; }
+  [[nodiscard]] double variance() const { return 1.0 / (rate_ * rate_); }
+
+  /// CDF F(x) = 1 - exp(-rate x) for x >= 0.
+  [[nodiscard]] double cdf(double x) const;
+
+ private:
+  double rate_;
+};
+
+/// Two-stage hyperexponential: with probability p sample Exp(rate1), else
+/// Exp(rate2). Coefficient of variation >= 1, which is what makes it the
+/// natural model for the bursty CPU request traces of §3.1.
+class HyperExp2 {
+ public:
+  /// p in [0, 1]; rates > 0.
+  HyperExp2(double p, double rate1, double rate2);
+
+  double sample(Stream& stream) const;
+
+  [[nodiscard]] double p() const { return p_; }
+  [[nodiscard]] double rate1() const { return rate1_; }
+  [[nodiscard]] double rate2() const { return rate2_; }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  /// Squared coefficient of variation variance/mean^2.
+  [[nodiscard]] double cv2() const;
+
+  /// CDF F(x) = p(1 - e^{-r1 x}) + (1-p)(1 - e^{-r2 x}) for x >= 0.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// E[X^2] = 2 * sum_i p_i / rate_i^2.
+  [[nodiscard]] double second_moment() const;
+
+  /// Mean residual life E[X^2] / (2 E[X]) — the expected remaining length of
+  /// a burst observed at a random instant (renewal theory). The parallel
+  /// communication model uses this for the wait a message handler suffers
+  /// when it lands on a node mid run-burst.
+  [[nodiscard]] double mean_residual() const;
+
+  /// E[max(0, X - c)] — the expected *usable* tail beyond a threshold c.
+  /// The fine-grain node model uses this closed form to validate the
+  /// DES-measured cycle-stealing ratio (an idle gap of length X yields
+  /// X - t_cs useful background cycles after the context switch-in).
+  [[nodiscard]] double mean_excess(double c) const;
+
+ private:
+  double p_;
+  double rate1_;
+  double rate2_;
+};
+
+/// Fits an H2 to a (mean, variance) pair by the method of moments with
+/// balanced means (Trivedi 1982, as cited by the paper for its burst fits).
+///
+/// For cv^2 <= 1 an H2 cannot match the variance; the fit degrades gracefully
+/// to an exponential of the same mean (p = 1, both rates equal), which keeps
+/// the generator well-defined at utilization buckets with near-deterministic
+/// bursts.
+///
+/// Preconditions: mean > 0, variance >= 0.
+[[nodiscard]] HyperExp2 fit_hyperexp2(double mean, double variance);
+
+}  // namespace ll::rng

@@ -1,0 +1,79 @@
+#include "rng/rng.hpp"
+
+#include <stdexcept>
+
+namespace ll::rng {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_label(std::string_view label) {
+  // FNV-1a 64-bit, then one SplitMix64 finalization for avalanche.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  std::uint64_t state = h;
+  return splitmix64(state);
+}
+
+Engine::Engine(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+Engine::result_type Engine::operator()() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Engine::uniform01() {
+  // Top 53 bits -> [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+Stream Stream::fork(std::string_view label, std::uint64_t index) const {
+  std::uint64_t state = seed_;
+  std::uint64_t a = splitmix64(state);
+  state = a ^ hash_label(label);
+  std::uint64_t b = splitmix64(state);
+  state = b + 0x632BE59BD9B4E019ULL * (index + 1);
+  return Stream(splitmix64(state));
+}
+
+double Stream::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Stream::uniform_index(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_index: n must be > 0");
+  // Rejection sampling over the largest multiple of n.
+  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                              std::numeric_limits<std::uint64_t>::max() % n;
+  std::uint64_t draw;
+  do {
+    draw = engine_();
+  } while (draw >= limit);
+  return draw % n;
+}
+
+}  // namespace ll::rng

@@ -1,0 +1,54 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ll::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples)) {
+  if (samples_.empty()) {
+    throw std::invalid_argument("EmpiricalCdf: empty sample set");
+  }
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double EmpiricalCdf::operator()(double x) const {
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (!(q > 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("EmpiricalCdf::quantile: q must be in (0,1]");
+  }
+  const auto n = samples_.size();
+  auto idx = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))) - 1;
+  if (idx >= n) idx = n - 1;
+  return samples_[idx];
+}
+
+double EmpiricalCdf::ks_distance(const std::function<double(double)>& cdf) const {
+  const double n = static_cast<double>(samples_.size());
+  double sup = 0.0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const double f = cdf(samples_[i]);
+    // Empirical CDF jumps from i/n to (i+1)/n at samples_[i]; check both sides.
+    sup = std::max(sup, std::abs(f - static_cast<double>(i) / n));
+    sup = std::max(sup, std::abs(static_cast<double>(i + 1) / n - f));
+  }
+  return sup;
+}
+
+double EmpiricalCdf::ks_distance(const EmpiricalCdf& other) const {
+  double sup = 0.0;
+  for (double x : samples_) sup = std::max(sup, std::abs((*this)(x) - other(x)));
+  for (double x : other.samples_) {
+    sup = std::max(sup, std::abs((*this)(x) - other(x)));
+  }
+  return sup;
+}
+
+}  // namespace ll::stats

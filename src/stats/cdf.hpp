@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file cdf.hpp
+/// Empirical CDFs. Used for the run/idle burst distribution comparison
+/// (Figure 2), the available-memory distribution (Figure 4), and the tests
+/// that verify generated samples match their fitted analytic distributions
+/// (Kolmogorov–Smirnov distance).
+
+#include <functional>
+#include <vector>
+
+namespace ll::stats {
+
+/// Empirical cumulative distribution built from a sample vector.
+class EmpiricalCdf {
+ public:
+  /// Takes and sorts a copy of the samples. Throws on an empty sample set.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// F(x): fraction of samples <= x.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Inverse CDF: smallest sample s with F(s) >= q, q in (0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] double min() const { return samples_.front(); }
+  [[nodiscard]] double max() const { return samples_.back(); }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const {
+    return samples_;
+  }
+
+  /// Kolmogorov–Smirnov distance sup_x |F_n(x) - F(x)| against an analytic
+  /// CDF. Evaluated at sample points (where the sup of the difference with a
+  /// continuous F is attained).
+  [[nodiscard]] double ks_distance(const std::function<double(double)>& cdf) const;
+
+  /// Two-sample KS distance against another empirical CDF.
+  [[nodiscard]] double ks_distance(const EmpiricalCdf& other) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace ll::stats

@@ -1,0 +1,46 @@
+#include "stats/confidence.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace ll::stats {
+
+double t_critical_95(std::size_t degrees_of_freedom) {
+  // Two-sided 95% critical values, df = 1..30.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (degrees_of_freedom == 0) {
+    throw std::invalid_argument("t_critical_95: df must be > 0");
+  }
+  if (degrees_of_freedom <= kTable.size()) {
+    return kTable[degrees_of_freedom - 1];
+  }
+  if (degrees_of_freedom <= 40) return 2.021;
+  if (degrees_of_freedom <= 60) return 2.000;
+  if (degrees_of_freedom <= 120) return 1.980;
+  return 1.960;
+}
+
+ConfidenceInterval mean_confidence_95(const std::vector<double>& samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("mean_confidence_95: no samples");
+  }
+  Summary summary;
+  for (double x : samples) summary.add(x);
+  ConfidenceInterval ci;
+  ci.mean = summary.mean();
+  ci.n = samples.size();
+  if (samples.size() >= 2) {
+    const double se = summary.sample_stddev() /
+                      std::sqrt(static_cast<double>(samples.size()));
+    ci.half_width = t_critical_95(samples.size() - 1) * se;
+  }
+  return ci;
+}
+
+}  // namespace ll::stats

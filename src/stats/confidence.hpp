@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file confidence.hpp
+/// Confidence intervals over independent replications. Cluster experiments
+/// report means across seeds; the half-width makes "LL beats PM by 50%"
+/// claims statistically grounded rather than single-run artifacts.
+
+#include <vector>
+
+namespace ll::stats {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  // mean +/- half_width
+  std::size_t n = 0;
+
+  [[nodiscard]] double lo() const { return mean - half_width; }
+  [[nodiscard]] double hi() const { return mean + half_width; }
+};
+
+/// Student-t two-sided critical value for the given degrees of freedom at
+/// 95% confidence (table lookup with asymptotic fallback).
+[[nodiscard]] double t_critical_95(std::size_t degrees_of_freedom);
+
+/// 95% confidence interval of the mean of independent replications.
+/// Requires at least one sample; with one sample the half-width is 0.
+[[nodiscard]] ConfidenceInterval mean_confidence_95(const std::vector<double>& samples);
+
+}  // namespace ll::stats

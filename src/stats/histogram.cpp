@@ -1,0 +1,67 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ll::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // float edge case at hi
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + width_ * (static_cast<double>(i) + 0.5);
+}
+
+double Histogram::cumulative_fraction(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram bin index");
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = underflow_;
+  for (std::size_t b = 0; b <= i; ++b) acc += counts_[b];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) throw std::logic_error("Histogram::quantile on empty histogram");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q outside [0,1]");
+  const auto target = q * static_cast<double>(total_);
+  double acc = static_cast<double>(underflow_);
+  if (target <= acc) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = acc + static_cast<double>(counts_[b]);
+    if (target <= next && counts_[b] > 0) {
+      const double frac = (target - acc) / static_cast<double>(counts_[b]);
+      return bin_lo(b) + frac * width_;
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+}  // namespace ll::stats

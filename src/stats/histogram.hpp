@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Fixed-bin histogram over a [lo, hi) range with under/overflow bins.
+/// The trace-analysis pipeline uses histograms of run/idle burst durations
+/// per utilization bucket (paper Figure 2).
+
+#include <cstdint>
+#include <vector>
+
+namespace ll::stats {
+
+class Histogram {
+ public:
+  /// `bins` uniform bins spanning [lo, hi). Values outside land in the
+  /// underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Fraction of all observations at or below the upper edge of bin i
+  /// (underflow included; overflow excluded until the last implicit edge).
+  [[nodiscard]] double cumulative_fraction(std::size_t i) const;
+
+  /// Approximate quantile by linear interpolation inside the containing bin.
+  /// q in [0, 1]. Requires total() > 0.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ll::stats

@@ -1,0 +1,71 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ll::stats {
+
+void Summary::add(double x) { add_weighted(x, 1.0); }
+
+void Summary::add_weighted(double x, double weight) {
+  if (weight < 0.0) {
+    throw std::invalid_argument("Summary: negative weight");
+  }
+  if (weight == 0.0) return;
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double new_weight = weight_ + weight;
+  const double delta = x - mean_;
+  const double r = weight / new_weight;
+  mean_ += delta * r;
+  m2_ += weight * delta * (x - mean_);
+  weight_ = new_weight;
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = weight_ + other.weight_;
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * weight_ * other.weight_ / total;
+  mean_ += delta * other.weight_ / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  weight_ = total;
+}
+
+double Summary::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double Summary::variance() const {
+  return weight_ <= 0.0 ? 0.0 : m2_ / weight_;
+}
+
+double Summary::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  // Bessel correction is only meaningful for unweighted samples where
+  // weight_ == count_.
+  return m2_ / (weight_ - 1.0);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::sample_stddev() const { return std::sqrt(sample_variance()); }
+
+double Summary::cv() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+double Summary::sum() const { return mean_ * weight_; }
+
+}  // namespace ll::stats

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file summary.hpp
+/// Streaming summary statistics (Welford's algorithm) with merge support,
+/// used throughout the simulator for burst statistics, job completion times,
+/// and metric accumulation.
+
+#include <cstdint>
+
+namespace ll::stats {
+
+/// Numerically stable streaming mean/variance/min/max accumulator.
+class Summary {
+ public:
+  void add(double x);
+
+  /// Adds a value with a weight (e.g. time-weighted utilization samples).
+  void add_weighted(double x, double weight);
+
+  /// Merges another accumulator (parallel replication reduction).
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double weight() const { return weight_; }
+  [[nodiscard]] double mean() const;
+  /// Population variance (weighted second central moment / total weight).
+  [[nodiscard]] double variance() const;
+  /// Sample variance with Bessel's correction (unweighted counts only).
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sample_stddev() const;
+  /// Coefficient of variation stddev/mean (0 when mean == 0).
+  [[nodiscard]] double cv() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double weight_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // weighted sum of squared deviations
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ll::stats

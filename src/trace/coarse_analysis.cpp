@@ -1,0 +1,77 @@
+#include "trace/coarse_analysis.hpp"
+
+#include "stats/summary.hpp"
+
+namespace ll::trace {
+
+CoarseStats analyze_coarse(const std::vector<CoarseTrace>& pool,
+                           const RecruitmentRule& rule) {
+  CoarseStats out;
+  stats::Summary overall;
+  stats::Summary idle_cpu;
+  stats::Summary nonidle_cpu;
+  stats::Summary nonidle_episode;
+  stats::Summary idle_episode;
+  std::size_t nonidle_samples = 0;
+  std::size_t nonidle_below = 0;
+  std::size_t total = 0;
+
+  for (const CoarseTrace& trace : pool) {
+    const std::vector<bool> flags = idle_flags(trace, rule);
+    const auto& samples = trace.samples();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      ++total;
+      overall.add(samples[i].cpu);
+      if (flags[i]) {
+        idle_cpu.add(samples[i].cpu);
+      } else {
+        nonidle_cpu.add(samples[i].cpu);
+        ++nonidle_samples;
+        if (samples[i].cpu < 0.10) ++nonidle_below;
+      }
+    }
+    for (double len : nonidle_episode_lengths(trace, rule)) nonidle_episode.add(len);
+    for (double len : idle_episode_lengths(trace, rule)) idle_episode.add(len);
+  }
+
+  out.sample_count = total;
+  if (total == 0) return out;
+  out.nonidle_fraction =
+      static_cast<double>(nonidle_samples) / static_cast<double>(total);
+  out.mean_cpu_overall = overall.mean();
+  out.mean_cpu_idle = idle_cpu.mean();
+  out.mean_cpu_nonidle = nonidle_cpu.mean();
+  out.nonidle_below_10pct =
+      nonidle_samples == 0
+          ? 0.0
+          : static_cast<double>(nonidle_below) / static_cast<double>(nonidle_samples);
+  out.mean_nonidle_episode = nonidle_episode.mean();
+  out.mean_idle_episode = idle_episode.mean();
+  return out;
+}
+
+MemoryAvailability memory_availability(const std::vector<CoarseTrace>& pool,
+                                       const RecruitmentRule& rule) {
+  MemoryAvailability out;
+  for (const CoarseTrace& trace : pool) {
+    const std::vector<bool> flags = idle_flags(trace, rule);
+    const auto& samples = trace.samples();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const auto kb = static_cast<double>(samples[i].mem_free_kb);
+      out.all_kb.push_back(kb);
+      (flags[i] ? out.idle_kb : out.nonidle_kb).push_back(kb);
+    }
+  }
+  return out;
+}
+
+double fraction_with_at_least(const std::vector<double>& kb_samples, double kb) {
+  if (kb_samples.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double v : kb_samples) {
+    if (v >= kb) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(kb_samples.size());
+}
+
+}  // namespace ll::trace

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file coarse_analysis.hpp
+/// Aggregate statistics over coarse traces — the numbers of paper §3.2 and
+/// Figure 4: how much time machines spend non-idle, how lightly loaded those
+/// non-idle windows are, and how much memory is available in each state.
+
+#include <vector>
+
+#include "stats/cdf.hpp"
+#include "trace/records.hpp"
+#include "trace/recruitment.hpp"
+
+namespace ll::trace {
+
+struct CoarseStats {
+  double nonidle_fraction = 0.0;       // paper: ~46%
+  double mean_cpu_overall = 0.0;
+  double mean_cpu_idle = 0.0;          // "l" of the linger cost model
+  double mean_cpu_nonidle = 0.0;       // "h" of the linger cost model
+  // Fraction of *non-idle* time with utilization below 10% (paper: ~76%).
+  double nonidle_below_10pct = 0.0;
+  double mean_nonidle_episode = 0.0;   // seconds
+  double mean_idle_episode = 0.0;      // seconds
+  std::size_t sample_count = 0;
+};
+
+/// Computes aggregate stats over a pool of traces under the recruitment rule.
+[[nodiscard]] CoarseStats analyze_coarse(const std::vector<CoarseTrace>& pool,
+                                         const RecruitmentRule& rule = {});
+
+/// Free-memory samples split by machine state, for the Figure 4 CDFs.
+struct MemoryAvailability {
+  std::vector<double> all_kb;
+  std::vector<double> idle_kb;
+  std::vector<double> nonidle_kb;
+};
+
+[[nodiscard]] MemoryAvailability memory_availability(
+    const std::vector<CoarseTrace>& pool, const RecruitmentRule& rule = {});
+
+/// Fraction of samples with at least `kb` free (one point of the Figure 4
+/// complementary CDF).
+[[nodiscard]] double fraction_with_at_least(const std::vector<double>& kb_samples,
+                                            double kb);
+
+}  // namespace ll::trace

@@ -1,0 +1,37 @@
+#include "trace/records.hpp"
+
+#include <cmath>
+
+namespace ll::trace {
+
+double FineTrace::duration() const {
+  double total = 0.0;
+  for (const Burst& b : bursts_) total += b.duration;
+  return total;
+}
+
+double FineTrace::utilization() const {
+  double run = 0.0;
+  double total = 0.0;
+  for (const Burst& b : bursts_) {
+    total += b.duration;
+    if (b.kind == BurstKind::Run) run += b.duration;
+  }
+  return total > 0.0 ? run / total : 0.0;
+}
+
+std::size_t CoarseTrace::index_at(double t) const {
+  if (samples_.empty()) throw std::logic_error("index_at on empty trace");
+  if (t < 0.0) throw std::invalid_argument("index_at: negative time");
+  auto idx = static_cast<std::size_t>(std::floor(t / period_));
+  return idx % samples_.size();
+}
+
+double CoarseTrace::mean_cpu() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const CoarseSample& s : samples_) sum += s.cpu;
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace ll::trace

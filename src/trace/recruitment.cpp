@@ -1,0 +1,65 @@
+#include "trace/recruitment.hpp"
+
+#include <cmath>
+
+namespace ll::trace {
+namespace {
+
+std::vector<double> episode_lengths(const CoarseTrace& trace,
+                                    const RecruitmentRule& rule,
+                                    bool want_idle) {
+  const std::vector<bool> flags = idle_flags(trace, rule);
+  std::vector<double> lengths;
+  std::size_t run = 0;
+  for (bool idle : flags) {
+    if (idle == want_idle) {
+      ++run;
+    } else if (run > 0) {
+      lengths.push_back(static_cast<double>(run) * trace.period());
+      run = 0;
+    }
+  }
+  if (run > 0) lengths.push_back(static_cast<double>(run) * trace.period());
+  return lengths;
+}
+
+}  // namespace
+
+std::vector<bool> idle_flags(const CoarseTrace& trace,
+                             const RecruitmentRule& rule) {
+  const auto& samples = trace.samples();
+  std::vector<bool> flags(samples.size(), false);
+  if (samples.empty()) return flags;
+
+  // Number of consecutive trailing quiet samples needed (>= 1).
+  const auto needed = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(rule.quiet_seconds / trace.period())));
+
+  std::size_t quiet_run = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const bool quiet = samples[i].cpu < rule.cpu_threshold && !samples[i].keyboard;
+    quiet_run = quiet ? quiet_run + 1 : 0;
+    flags[i] = quiet_run >= needed;
+  }
+  return flags;
+}
+
+double idle_fraction(const CoarseTrace& trace, const RecruitmentRule& rule) {
+  const std::vector<bool> flags = idle_flags(trace, rule);
+  if (flags.empty()) return 0.0;
+  std::size_t idle = 0;
+  for (bool f : flags) idle += f ? 1 : 0;
+  return static_cast<double>(idle) / static_cast<double>(flags.size());
+}
+
+std::vector<double> nonidle_episode_lengths(const CoarseTrace& trace,
+                                            const RecruitmentRule& rule) {
+  return episode_lengths(trace, rule, /*want_idle=*/false);
+}
+
+std::vector<double> idle_episode_lengths(const CoarseTrace& trace,
+                                         const RecruitmentRule& rule) {
+  return episode_lengths(trace, rule, /*want_idle=*/true);
+}
+
+}  // namespace ll::trace

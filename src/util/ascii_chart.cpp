@@ -1,0 +1,127 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace ll::util {
+namespace {
+
+constexpr char kGlyphs[] = "*+ox#@";
+constexpr std::size_t kGlyphCount = sizeof(kGlyphs) - 1;
+
+}  // namespace
+
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options) {
+  if (series.empty()) {
+    throw std::invalid_argument("render_chart: no series");
+  }
+  if (options.width < 8 || options.height < 4) {
+    throw std::invalid_argument("render_chart: canvas too small");
+  }
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  for (const ChartSeries& s : series) {
+    if (s.xs.empty() || s.xs.size() != s.ys.size()) {
+      throw std::invalid_argument("render_chart: series '" + s.name +
+                                  "' empty or xs/ys size mismatch");
+    }
+    for (double x : s.xs) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+    }
+    for (double y : s.ys) {
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (!std::isnan(options.y_min)) y_min = options.y_min;
+  if (!std::isnan(options.y_max)) y_max = options.y_max;
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> canvas(options.height,
+                                  std::string(options.width, ' '));
+  auto col_of = [&](double x) {
+    const double t = (x - x_min) / (x_max - x_min);
+    const auto c = static_cast<long>(std::lround(
+        t * static_cast<double>(options.width - 1)));
+    return static_cast<std::size_t>(std::clamp<long>(
+        c, 0, static_cast<long>(options.width) - 1));
+  };
+  auto row_of = [&](double y) {
+    const double t = (y - y_min) / (y_max - y_min);
+    const auto r = static_cast<long>(std::lround(
+        (1.0 - t) * static_cast<double>(options.height - 1)));
+    return static_cast<std::size_t>(std::clamp<long>(
+        r, 0, static_cast<long>(options.height) - 1));
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % kGlyphCount];
+    const ChartSeries& s = series[si];
+    // Mark the sample points, then connect consecutive points with a crude
+    // linear interpolation so trends read as lines.
+    for (std::size_t i = 0; i + 1 < s.xs.size(); ++i) {
+      const std::size_t c0 = col_of(s.xs[i]);
+      const std::size_t c1 = col_of(s.xs[i + 1]);
+      const std::size_t lo = std::min(c0, c1);
+      const std::size_t hi = std::max(c0, c1);
+      for (std::size_t c = lo; c <= hi; ++c) {
+        const double t = hi == lo ? 0.0
+                                  : static_cast<double>(c - lo) /
+                                        static_cast<double>(hi - lo);
+        const double y = c0 <= c1 ? s.ys[i] + t * (s.ys[i + 1] - s.ys[i])
+                                  : s.ys[i + 1] + t * (s.ys[i] - s.ys[i + 1]);
+        canvas[row_of(y)][c] = glyph;
+      }
+    }
+    if (s.xs.size() == 1) canvas[row_of(s.ys[0])][col_of(s.xs[0])] = glyph;
+  }
+
+  std::ostringstream out;
+  if (!options.y_label.empty()) out << options.y_label << "\n";
+  const std::string top = format("%.3g", y_max);
+  const std::string bottom = format("%.3g", y_min);
+  const std::size_t label_width = std::max(top.size(), bottom.size());
+  for (std::size_t r = 0; r < options.height; ++r) {
+    std::string label;
+    if (r == 0) {
+      label = top;
+    } else if (r == options.height - 1) {
+      label = bottom;
+    }
+    out << std::string(label_width - label.size(), ' ') << label << " |"
+        << canvas[r] << "\n";
+  }
+  out << std::string(label_width + 1, ' ') << '+'
+      << std::string(options.width, '-') << "\n";
+  // X-axis end labels.
+  const std::string x_lo = format("%.3g", x_min);
+  const std::string x_hi = format("%.3g", x_max);
+  std::string axis(options.width, ' ');
+  axis.replace(0, x_lo.size(), x_lo);
+  if (x_hi.size() <= axis.size()) {
+    axis.replace(axis.size() - x_hi.size(), x_hi.size(), x_hi);
+  }
+  out << std::string(label_width + 2, ' ') << axis;
+  if (!options.x_label.empty()) out << "  " << options.x_label;
+  out << "\n";
+  // Legend.
+  out << std::string(label_width + 2, ' ');
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    if (si != 0) out << "   ";
+    out << kGlyphs[si % kGlyphCount] << " " << series[si].name;
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace ll::util

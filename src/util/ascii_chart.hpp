@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file ascii_chart.hpp
+/// Terminal line charts for the bench binaries: the paper's figures are
+/// curves, and a shape is easier to judge as a picture than as a column of
+/// numbers. Pure text, no dependencies; series are plotted on a shared
+/// y-axis with per-series glyphs and a legend.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ll::util {
+
+/// One named series of (x, y) points. x values need not be uniform; points
+/// are mapped linearly onto the canvas.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct ChartOptions {
+  std::size_t width = 64;   // plot columns (excluding the y-axis labels)
+  std::size_t height = 16;  // plot rows
+  std::string x_label;
+  std::string y_label;
+  /// Force the y range; NaN = auto from the data.
+  double y_min = std::numeric_limits<double>::quiet_NaN();
+  double y_max = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Renders the chart. Glyphs cycle through "*+ox#@" per series; collisions
+/// show the later series' glyph. Throws std::invalid_argument on empty or
+/// inconsistent series.
+[[nodiscard]] std::string render_chart(const std::vector<ChartSeries>& series,
+                                       const ChartOptions& options = {});
+
+}  // namespace ll::util

@@ -1,0 +1,47 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace ll::util {
+
+CsvWriter::CsvWriter(const std::string& path) {
+  if (path.empty()) return;
+  out_.open(path, std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open '" + path + "'");
+  }
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!enabled()) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> cells) {
+  if (!enabled()) return;
+  bool first = true;
+  for (std::string_view cell : cells) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << escape(cell);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  bool needs_quotes = cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(cell);
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace ll::util

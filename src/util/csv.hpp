@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file csv.hpp
+/// Tiny CSV writer. Benches optionally dump their series as CSV (via
+/// --csv=<path>) so figures can be re-plotted outside the harness.
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ll::util {
+
+/// Writes rows of comma-separated values with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error on
+  /// failure. An empty path produces a disabled writer whose writes are no-ops
+  /// — callers can unconditionally call row() behind a --csv flag.
+  explicit CsvWriter(const std::string& path);
+
+  [[nodiscard]] bool enabled() const { return out_.is_open(); }
+
+  void row(const std::vector<std::string>& cells);
+  void row(std::initializer_list<std::string_view> cells);
+
+  /// Escapes a single cell per RFC 4180 (quotes when it contains , " or \n).
+  [[nodiscard]] static std::string escape(std::string_view cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace ll::util

@@ -1,0 +1,196 @@
+#include "util/flags.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace ll::util {
+namespace {
+
+std::int64_t parse_int(std::string_view name, std::string_view text) {
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                ": expected integer, got '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_uint(std::string_view name, std::string_view text) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                ": expected unsigned integer, got '" +
+                                std::string(text) + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view name, std::string_view text) {
+  // std::from_chars for double is unreliable across libstdc++ versions for
+  // every format; strtod on a NUL-terminated copy is portable and exact.
+  std::string copy(text);
+  char* end = nullptr;
+  double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || copy.empty()) {
+    throw std::invalid_argument("flag --" + std::string(name) +
+                                ": expected number, got '" + copy + "'");
+  }
+  return value;
+}
+
+bool parse_bool(std::string_view name, std::string_view text) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") return true;
+  if (text == "false" || text == "0" || text == "no" || text == "off") return false;
+  throw std::invalid_argument("flag --" + std::string(name) +
+                              ": expected boolean, got '" + std::string(text) + "'");
+}
+
+}  // namespace
+
+Flags::Flags(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Flags::Entry& Flags::add_entry(std::string_view name, std::string_view help,
+                               std::string default_repr, bool is_bool) {
+  auto [it, inserted] = entries_.try_emplace(std::string(name));
+  if (!inserted) {
+    throw std::logic_error("duplicate flag --" + std::string(name));
+  }
+  it->second.help = std::string(help);
+  it->second.default_repr = std::move(default_repr);
+  it->second.is_bool = is_bool;
+  return it->second;
+}
+
+Flags::Handle<std::int64_t> Flags::add_int(std::string_view name, std::int64_t def,
+                                           std::string_view help) {
+  auto& slot = ints_.emplace_back(std::make_unique<std::int64_t>(def));
+  std::int64_t* value = slot.get();
+  add_entry(name, help, std::to_string(def), /*is_bool=*/false).apply =
+      [value, name = std::string(name)](std::string_view text) {
+        *value = parse_int(name, text);
+      };
+  return Handle<std::int64_t>(value);
+}
+
+Flags::Handle<std::uint64_t> Flags::add_uint64(std::string_view name,
+                                               std::uint64_t def,
+                                               std::string_view help) {
+  auto& slot = uints_.emplace_back(std::make_unique<std::uint64_t>(def));
+  std::uint64_t* value = slot.get();
+  add_entry(name, help, std::to_string(def), /*is_bool=*/false).apply =
+      [value, name = std::string(name)](std::string_view text) {
+        *value = parse_uint(name, text);
+      };
+  return Handle<std::uint64_t>(value);
+}
+
+Flags::Handle<double> Flags::add_double(std::string_view name, double def,
+                                        std::string_view help) {
+  auto& slot = doubles_.emplace_back(std::make_unique<double>(def));
+  double* value = slot.get();
+  std::ostringstream repr;
+  repr << def;
+  add_entry(name, help, repr.str(), /*is_bool=*/false).apply =
+      [value, name = std::string(name)](std::string_view text) {
+        *value = parse_double(name, text);
+      };
+  return Handle<double>(value);
+}
+
+Flags::Handle<bool> Flags::add_bool(std::string_view name, bool def,
+                                    std::string_view help) {
+  auto& slot = bools_.emplace_back(std::make_unique<bool>(def));
+  bool* value = slot.get();
+  add_entry(name, help, def ? "true" : "false", /*is_bool=*/true).apply =
+      [value, name = std::string(name)](std::string_view text) {
+        *value = parse_bool(name, text);
+      };
+  return Handle<bool>(value);
+}
+
+Flags::Handle<std::string> Flags::add_string(std::string_view name,
+                                             std::string_view def,
+                                             std::string_view help) {
+  auto& slot = strings_.emplace_back(std::make_unique<std::string>(def));
+  std::string* value = slot.get();
+  add_entry(name, help, "'" + std::string(def) + "'", /*is_bool=*/false).apply =
+      [value](std::string_view text) { *value = std::string(text); };
+  return Handle<std::string>(value);
+}
+
+void Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      std::exit(0);
+    }
+    if (!arg.starts_with("--")) {
+      throw std::invalid_argument("unexpected positional argument '" +
+                                  std::string(arg) + "'");
+    }
+    arg.remove_prefix(2);
+
+    std::string_view name = arg;
+    std::optional<std::string_view> value;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+
+    // --no-foo for booleans.
+    bool negated = false;
+    auto it = entries_.find(name);
+    if (it == entries_.end() && name.starts_with("no-")) {
+      auto positive = entries_.find(name.substr(3));
+      if (positive != entries_.end() && positive->second.is_bool) {
+        it = positive;
+        negated = true;
+      }
+    }
+    if (it == entries_.end()) {
+      throw std::invalid_argument("unknown flag --" + std::string(name) + "\n" +
+                                  usage());
+    }
+
+    Entry& entry = it->second;
+    if (negated) {
+      if (value) {
+        throw std::invalid_argument("--no-" + it->first + " takes no value");
+      }
+      entry.apply("false");
+      continue;
+    }
+    if (entry.is_bool && !value) {
+      entry.apply("true");
+      continue;
+    }
+    if (!value) {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("flag --" + std::string(name) +
+                                    " expects a value");
+      }
+      value = argv[++i];
+    }
+    entry.apply(*value);
+  }
+}
+
+std::string Flags::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, entry] : entries_) {
+    out << "  --" << name << "  (default " << entry.default_repr << ")\n      "
+        << entry.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ll::util

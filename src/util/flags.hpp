@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file flags.hpp
+/// Minimal command-line flag parser shared by benches and examples.
+///
+/// Flags are registered before parse() and take the forms
+///   --name=value   --name value   --bool-flag   --no-bool-flag
+/// Unknown flags are an error (benches should never silently ignore a
+/// misspelled parameter sweep). `--help` prints the registry and exits.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ll::util {
+
+/// A registry of typed command-line flags.
+///
+/// Usage:
+///   Flags flags("fig07_cluster_table", "Reproduces the paper's Figure 7.");
+///   auto seed  = flags.add_uint64("seed", 42, "master RNG seed");
+///   auto nodes = flags.add_int("nodes", 64, "cluster size");
+///   flags.parse(argc, argv);
+///   run(*seed, *nodes);
+class Flags {
+ public:
+  Flags(std::string program, std::string description);
+
+  /// Registered flag handle; dereference after parse() for the final value.
+  template <typename T>
+  class Handle {
+   public:
+    explicit Handle(const T* value) : value_(value) {}
+    const T& operator*() const { return *value_; }
+    const T* operator->() const { return value_; }
+
+   private:
+    const T* value_;
+  };
+
+  Handle<std::int64_t> add_int(std::string_view name, std::int64_t def,
+                               std::string_view help);
+  Handle<std::uint64_t> add_uint64(std::string_view name, std::uint64_t def,
+                                   std::string_view help);
+  Handle<double> add_double(std::string_view name, double def,
+                            std::string_view help);
+  Handle<bool> add_bool(std::string_view name, bool def, std::string_view help);
+  Handle<std::string> add_string(std::string_view name, std::string_view def,
+                                 std::string_view help);
+
+  /// Parses argv. On `--help` prints usage and std::exit(0). Throws
+  /// std::invalid_argument on unknown flags or malformed values.
+  void parse(int argc, const char* const* argv);
+
+  /// Renders the usage/help text.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    std::string default_repr;
+    bool is_bool = false;
+    // Applies a textual value to the typed storage; throws on parse failure.
+    std::function<void(std::string_view)> apply;
+  };
+
+  Entry& add_entry(std::string_view name, std::string_view help,
+                   std::string default_repr, bool is_bool);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  // Typed storage. std::map nodes are pointer-stable, and these are deques of
+  // values so Handle pointers stay valid as more flags are added.
+  std::vector<std::unique_ptr<std::int64_t>> ints_;
+  std::vector<std::unique_ptr<std::uint64_t>> uints_;
+  std::vector<std::unique_ptr<double>> doubles_;
+  std::vector<std::unique_ptr<bool>> bools_;
+  std::vector<std::unique_ptr<std::string>> strings_;
+};
+
+}  // namespace ll::util

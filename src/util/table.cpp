@@ -1,0 +1,88 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace ll::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("Table requires at least one column");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() > header_.size()) {
+    throw std::invalid_argument("row has more cells than header columns");
+  }
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto emit_line = [&](std::ostringstream& out, const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << cells[c] << std::string(width[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  auto emit_separator = [&](std::ostringstream& out) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      out << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+    }
+    out << "-|\n";
+  };
+
+  std::ostringstream out;
+  emit_line(out, header_);
+  emit_separator(out);
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_separator(out);
+    } else {
+      emit_line(out, row.cells);
+    }
+  }
+  return out.str();
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string result;
+  if (needed > 0) {
+    result.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(result.data(), result.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return result;
+}
+
+std::string fixed(double value, int digits) {
+  return format("%.*f", digits, value);
+}
+
+std::string percent(double fraction, int digits) {
+  return format("%.*f%%", digits, fraction * 100.0);
+}
+
+}  // namespace ll::util

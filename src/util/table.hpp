@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file table.hpp
+/// Column-aligned ASCII table printer. Benches use it to emit the same rows
+/// the paper's tables and figure series report, in a stable, diffable format.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ll::util {
+
+/// Builds a table row by row and renders it with padded columns.
+///
+///   Table t({"policy", "avg job (s)", "throughput"});
+///   t.add_row({"LL", format("%.0f", x), ...});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are padded with "";
+  /// longer rows are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<Row> rows_;
+};
+
+/// printf-style formatting into a std::string (type-checked by the compiler
+/// via the format attribute on the implementation).
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `digits` decimal places.
+[[nodiscard]] std::string fixed(double value, int digits = 2);
+
+/// Formats a fraction (0..1) as a percentage with `digits` decimals, e.g. "4.2%".
+[[nodiscard]] std::string percent(double fraction, int digits = 1);
+
+}  // namespace ll::util

@@ -1,0 +1,102 @@
+#include "workload/burst_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ll::workload {
+
+double BurstMoments::implied_utilization() const {
+  const double total = run_mean + idle_mean;
+  return total > 0.0 ? run_mean / total : 0.0;
+}
+
+BurstTable::BurstTable(std::array<BurstMoments, kUtilizationLevels> levels)
+    : levels_(levels) {
+  for (const BurstMoments& m : levels_) {
+    if (m.run_mean < 0.0 || m.idle_mean < 0.0 || m.run_var < 0.0 ||
+        m.idle_var < 0.0) {
+      throw std::invalid_argument("BurstTable: negative moment");
+    }
+  }
+}
+
+const BurstMoments& BurstTable::level(std::size_t i) const {
+  return levels_.at(i);
+}
+
+double BurstTable::level_utilization(std::size_t i) {
+  return static_cast<double>(i) / static_cast<double>(kUtilizationLevels - 1);
+}
+
+BurstMoments BurstTable::moments_at(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  const double pos = u * static_cast<double>(kUtilizationLevels - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  if (lo >= kUtilizationLevels - 1) return levels_.back();
+  const double frac = pos - static_cast<double>(lo);
+  const BurstMoments& a = levels_[lo];
+  const BurstMoments& b = levels_[lo + 1];
+  auto lerp = [frac](double x, double y) { return x + frac * (y - x); };
+  return BurstMoments{lerp(a.run_mean, b.run_mean), lerp(a.run_var, b.run_var),
+                      lerp(a.idle_mean, b.idle_mean), lerp(a.idle_var, b.idle_var)};
+}
+
+BurstDistributions BurstTable::distributions_at(double u) const {
+  if (!(u > 0.0 && u < 1.0)) {
+    throw std::invalid_argument(
+        "distributions_at: u must be strictly inside (0,1); the 0%/100% "
+        "endpoints are degenerate");
+  }
+  const BurstMoments m = moments_at(u);
+  if (!(m.run_mean > 0.0) || !(m.idle_mean > 0.0)) {
+    throw std::logic_error("distributions_at: table has zero mean inside (0,1)");
+  }
+  return BurstDistributions{rng::fit_hyperexp2(m.run_mean, m.run_var),
+                            rng::fit_hyperexp2(m.idle_mean, m.idle_var)};
+}
+
+const BurstTable& default_burst_table() {
+  static const BurstTable table = [] {
+    std::array<BurstMoments, kUtilizationLevels> levels{};
+    constexpr double kRunCv2 = 1.8;
+    constexpr double kIdleCv2 = 2.2;
+    // idle_mean(u) = A e^{-ku} is monotone decreasing; the self-consistency
+    // constraint run_mean = idle_mean * u/(1-u) is then monotone increasing
+    // for any k < 4 (d/du [ln u - ln(1-u) - ku] = 1/u + 1/(1-u) - k > 0).
+    // A and k are chosen so run bursts span ~10 ms (low utilization) to
+    // ~250 ms (95%), the range of the paper's Figure 3.
+    constexpr double kIdleScale = 0.227;  // A
+    constexpr double kIdleDecay = 3.0;    // k
+    auto idle_of = [](double u) {
+      return kIdleScale * std::exp(-kIdleDecay * u);
+    };
+    for (std::size_t i = 0; i < kUtilizationLevels; ++i) {
+      const double u = BurstTable::level_utilization(i);
+      BurstMoments& m = levels[i];
+      if (i == 0) {
+        // Near-zero utilization: run bursts keep their ~10 ms size — they
+        // just become rare (very long idle gaps). Interpolating run_mean
+        // toward zero instead would make the per-burst context-switch cost
+        // ratio (LDR) diverge at lightly loaded nodes.
+        const double run = idle_of(0.05) * 0.05 / (1.0 - 0.05);
+        const double idle = run * (1.0 - 0.005) / 0.005;
+        m = BurstMoments{run, kRunCv2 * run * run, idle,
+                         kIdleCv2 * idle * idle};
+      } else if (i == kUtilizationLevels - 1) {
+        // Pure run: no idle gaps. Run mean caps the 95%-level trend.
+        const double run = 0.30;
+        m = BurstMoments{run, kRunCv2 * run * run, 0.0, 0.0};
+      } else {
+        const double idle_mean = idle_of(u);
+        const double run_mean = idle_mean * u / (1.0 - u);
+        m = BurstMoments{run_mean, kRunCv2 * run_mean * run_mean, idle_mean,
+                         kIdleCv2 * idle_mean * idle_mean};
+      }
+    }
+    return BurstTable(levels);
+  }();
+  return table;
+}
+
+}  // namespace ll::workload

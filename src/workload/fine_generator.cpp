@@ -1,0 +1,73 @@
+#include "workload/fine_generator.hpp"
+
+#include <stdexcept>
+
+namespace ll::workload {
+namespace {
+
+constexpr double kUtilEps = 5e-3;  // below: pure idle; above 1-eps: pure run
+
+}  // namespace
+
+trace::FineTrace generate_fine_trace(const BurstTable& table, double u,
+                                     double duration, rng::Stream stream) {
+  if (!(u > 0.0 && u < 1.0)) {
+    throw std::invalid_argument("generate_fine_trace: u must be in (0,1)");
+  }
+  if (!(duration > 0.0)) {
+    throw std::invalid_argument("generate_fine_trace: duration must be > 0");
+  }
+  const BurstDistributions dist = table.distributions_at(u);
+  trace::FineTrace out;
+  double t = 0.0;
+  bool run = false;  // start with an idle gap; stationary start is immaterial
+                     // for the long traces the analysis consumes
+  while (t < duration) {
+    const double draw =
+        run ? dist.run.sample(stream) : dist.idle.sample(stream);
+    const double len = std::min(draw, duration - t);
+    out.push(run ? trace::BurstKind::Run : trace::BurstKind::Idle, len);
+    t += len;
+    run = !run;
+  }
+  return out;
+}
+
+trace::FineTrace generate_fine_trace_profile(const BurstTable& table,
+                                             const std::vector<double>& profile,
+                                             double window, rng::Stream stream) {
+  if (!(window > 0.0)) {
+    throw std::invalid_argument("generate_fine_trace_profile: window must be > 0");
+  }
+  trace::FineTrace out;
+  bool run = false;
+  for (std::size_t w = 0; w < profile.size(); ++w) {
+    const double u = profile[w];
+    if (!(u >= 0.0 && u <= 1.0)) {
+      throw std::invalid_argument("profile utilization outside [0,1]");
+    }
+    double t = 0.0;
+    if (u < kUtilEps) {
+      out.push(trace::BurstKind::Idle, window);
+      run = false;
+      continue;
+    }
+    if (u > 1.0 - kUtilEps) {
+      out.push(trace::BurstKind::Run, window);
+      run = true;
+      continue;
+    }
+    const BurstDistributions dist = table.distributions_at(u);
+    while (t < window) {
+      const double draw =
+          run ? dist.run.sample(stream) : dist.idle.sample(stream);
+      const double len = std::min(draw, window - t);
+      out.push(run ? trace::BurstKind::Run : trace::BurstKind::Idle, len);
+      t += len;
+      run = !run;
+    }
+  }
+  return out;
+}
+
+}  // namespace ll::workload

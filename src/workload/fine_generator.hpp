@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file fine_generator.hpp
+/// Fine-grain trace synthesis: generates AIX-dispatch-style run/idle burst
+/// traces from a burst table. This is the substitute for the University of
+/// Maryland dispatch traces — the Figure 2/3 pipeline generates traces here,
+/// re-fits them with `fit_burst_table`, and compares the fitted
+/// hyperexponential CDFs against the empirical ones exactly as the paper
+/// does against real data.
+
+#include "rng/rng.hpp"
+#include "trace/records.hpp"
+#include "workload/burst_table.hpp"
+
+namespace ll::workload {
+
+/// Generates `duration` seconds of alternating run/idle bursts at a constant
+/// target utilization `u` in (0,1). The final burst is truncated at the
+/// duration boundary.
+[[nodiscard]] trace::FineTrace generate_fine_trace(const BurstTable& table,
+                                                   double u, double duration,
+                                                   rng::Stream stream);
+
+/// Generates a trace whose utilization steps through `profile` — one target
+/// utilization per `window` seconds — exercising the bucketed analysis the
+/// same way a real mixed-load trace would. Profile entries at 0 or 1 emit
+/// pure idle / pure run windows.
+[[nodiscard]] trace::FineTrace generate_fine_trace_profile(
+    const BurstTable& table, const std::vector<double>& profile, double window,
+    rng::Stream stream);
+
+}  // namespace ll::workload

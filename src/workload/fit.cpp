@@ -1,0 +1,144 @@
+#include "workload/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace ll::workload {
+namespace {
+
+std::size_t nearest_level(double utilization) {
+  const double pos =
+      utilization * static_cast<double>(kUtilizationLevels - 1);
+  const auto idx = static_cast<long>(std::lround(pos));
+  return static_cast<std::size_t>(
+      std::clamp<long>(idx, 0, static_cast<long>(kUtilizationLevels) - 1));
+}
+
+}  // namespace
+
+std::array<BurstMoments, kUtilizationLevels> BurstAnalysis::moments() const {
+  std::array<BurstMoments, kUtilizationLevels> out{};
+  for (std::size_t i = 0; i < kUtilizationLevels; ++i) {
+    stats::Summary run;
+    stats::Summary idle;
+    for (double d : levels[i].run) run.add(d);
+    for (double d : levels[i].idle) idle.add(d);
+    out[i] = BurstMoments{run.mean(), run.variance(), idle.mean(),
+                          idle.variance()};
+  }
+  return out;
+}
+
+BurstTable BurstAnalysis::to_table() const {
+  auto m = moments();
+  // A level counts as populated if it has any burst sample at all.
+  auto populated = [this](std::size_t i) {
+    return !levels[i].run.empty() || !levels[i].idle.empty();
+  };
+  // Collect populated indices.
+  std::vector<std::size_t> known;
+  for (std::size_t i = 0; i < kUtilizationLevels; ++i) {
+    if (populated(i)) known.push_back(i);
+  }
+  if (known.empty()) {
+    throw std::logic_error("BurstAnalysis::to_table: no samples at any level");
+  }
+  for (std::size_t i = 0; i < kUtilizationLevels; ++i) {
+    if (populated(i)) continue;
+    // Nearest known below and above.
+    auto above = std::lower_bound(known.begin(), known.end(), i);
+    if (above == known.begin()) {
+      m[i] = m[known.front()];
+    } else if (above == known.end()) {
+      m[i] = m[known.back()];
+    } else {
+      const std::size_t hi = *above;
+      const std::size_t lo = *(above - 1);
+      const double frac = static_cast<double>(i - lo) /
+                          static_cast<double>(hi - lo);
+      auto lerp = [frac](double a, double b) { return a + frac * (b - a); };
+      m[i] = BurstMoments{lerp(m[lo].run_mean, m[hi].run_mean),
+                          lerp(m[lo].run_var, m[hi].run_var),
+                          lerp(m[lo].idle_mean, m[hi].idle_mean),
+                          lerp(m[lo].idle_var, m[hi].idle_var)};
+    }
+  }
+  return BurstTable(m);
+}
+
+BurstAnalysis analyze_fine_trace(const trace::FineTrace& trace, double window) {
+  if (!(window > 0.0)) {
+    throw std::invalid_argument("analyze_fine_trace: window must be > 0");
+  }
+  BurstAnalysis out;
+  const auto& bursts = trace.bursts();
+  if (bursts.empty()) return out;
+
+  const double total = trace.duration();
+  const auto window_count =
+      static_cast<std::size_t>(std::max(1.0, std::ceil(total / window)));
+
+  // Pass 1: per-window run time (bursts chopped at boundaries).
+  std::vector<double> run_time(window_count, 0.0);
+  std::vector<double> time_in(window_count, 0.0);
+  double t = 0.0;
+  for (const trace::Burst& b : bursts) {
+    double start = t;
+    double remaining = b.duration;
+    t += b.duration;
+    while (remaining > 0.0) {
+      const auto w = std::min(
+          static_cast<std::size_t>(std::floor(start / window)), window_count - 1);
+      const double in_window =
+          std::min(remaining, (static_cast<double>(w) + 1.0) * window - start);
+      // Guard against zero-progress from floating-point edge cases.
+      const double step = std::max(in_window, 1e-12);
+      if (b.kind == trace::BurstKind::Run) run_time[w] += step;
+      time_in[w] += step;
+      start += step;
+      remaining -= step;
+    }
+  }
+
+  std::vector<std::size_t> window_level(window_count, 0);
+  for (std::size_t w = 0; w < window_count; ++w) {
+    const double u = time_in[w] > 0.0 ? run_time[w] / time_in[w] : 0.0;
+    window_level[w] = nearest_level(std::clamp(u, 0.0, 1.0));
+  }
+
+  // Pass 2: assign each burst (unchopped) to the level of the window holding
+  // its start time.
+  t = 0.0;
+  for (const trace::Burst& b : bursts) {
+    const auto w = std::min(static_cast<std::size_t>(std::floor(t / window)),
+                            window_count - 1);
+    LevelSamples& level = out.levels[window_level[w]];
+    if (b.kind == trace::BurstKind::Run) {
+      level.run.push_back(b.duration);
+    } else {
+      level.idle.push_back(b.duration);
+    }
+    t += b.duration;
+  }
+  return out;
+}
+
+BurstAnalysis analyze_fine_traces(const std::vector<trace::FineTrace>& traces,
+                                  double window) {
+  BurstAnalysis out;
+  for (const trace::FineTrace& trace : traces) {
+    BurstAnalysis one = analyze_fine_trace(trace, window);
+    for (std::size_t i = 0; i < kUtilizationLevels; ++i) {
+      auto& dst = out.levels[i];
+      auto& src = one.levels[i];
+      dst.run.insert(dst.run.end(), src.run.begin(), src.run.end());
+      dst.idle.insert(dst.idle.end(), src.idle.begin(), src.idle.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace ll::workload

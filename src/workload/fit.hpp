@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file fit.hpp
+/// The paper's fine-grain analysis pipeline (§3.1): divide a dispatch trace
+/// into 2-second windows, compute each window's mean CPU utilization, assign
+/// each window to the nearest of 21 utilization levels, and characterize the
+/// run/idle burst durations of each level (histograms, moments, and the
+/// method-of-moments hyperexponential fits of Figure 2).
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "trace/records.hpp"
+#include "workload/burst_table.hpp"
+
+namespace ll::workload {
+
+/// Raw per-level burst samples extracted from a trace.
+struct LevelSamples {
+  std::vector<double> run;   // run burst durations (s)
+  std::vector<double> idle;  // idle burst durations (s)
+};
+
+/// Result of the bucketed analysis.
+struct BurstAnalysis {
+  std::array<LevelSamples, kUtilizationLevels> levels;
+
+  /// Moments per level; levels with no samples get zeroed moments.
+  [[nodiscard]] std::array<BurstMoments, kUtilizationLevels> moments() const;
+
+  /// Builds a BurstTable from the measured moments. Levels without samples
+  /// are filled by linear interpolation from the nearest populated
+  /// neighbours (endpoints extrapolate flat), so a table fitted from a
+  /// narrow-utilization trace is still total.
+  [[nodiscard]] BurstTable to_table() const;
+};
+
+/// Analyzes a fine trace with the given window (2 s in the paper).
+/// Each burst is assigned to the window containing its start time; window
+/// utilization is the run fraction within the window (bursts chopped at
+/// window boundaries for the utilization computation only).
+[[nodiscard]] BurstAnalysis analyze_fine_trace(const trace::FineTrace& trace,
+                                               double window = 2.0);
+
+/// Convenience: analyze several traces into one pooled analysis.
+[[nodiscard]] BurstAnalysis analyze_fine_traces(
+    const std::vector<trace::FineTrace>& traces, double window = 2.0);
+
+}  // namespace ll::workload

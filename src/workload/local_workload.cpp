@@ -1,0 +1,70 @@
+#include "workload/local_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ll::workload {
+namespace {
+
+constexpr double kUtilEps = 5e-3;
+
+}  // namespace
+
+LocalWorkloadGenerator::LocalWorkloadGenerator(const trace::CoarseTrace& trace,
+                                               const BurstTable& table,
+                                               rng::Stream stream, double offset)
+    : trace_(trace), table_(table), stream_(std::move(stream)), offset_(offset) {
+  if (trace_.empty()) {
+    throw std::invalid_argument("LocalWorkloadGenerator: empty coarse trace");
+  }
+  if (offset_ < 0.0) {
+    throw std::invalid_argument("LocalWorkloadGenerator: negative offset");
+  }
+}
+
+double LocalWorkloadGenerator::utilization_at(double t) const {
+  return trace_.sample_at(offset_ + t).cpu;
+}
+
+LocalWorkloadGenerator::TimedBurst LocalWorkloadGenerator::next() {
+  const double period = trace_.period();
+  for (;;) {
+    const double u = std::clamp(utilization_at(now_), 0.0, 1.0);
+    // Time remaining in the current coarse window.
+    const double in_window = std::fmod(offset_ + now_, period);
+    const double window_left = period - in_window;
+
+    if (u < kUtilEps) {
+      // Whole remainder of the window is idle.
+      TimedBurst out{now_, trace::Burst{trace::BurstKind::Idle, window_left}};
+      now_ += window_left;
+      run_next_ = true;  // a run burst plausibly follows activity onset
+      return out;
+    }
+    if (u > 1.0 - kUtilEps) {
+      TimedBurst out{now_, trace::Burst{trace::BurstKind::Run, window_left}};
+      now_ += window_left;
+      run_next_ = false;
+      return out;
+    }
+
+    const BurstDistributions dist = table_.distributions_at(u);
+    const bool run = run_next_;
+    const double draw =
+        run ? dist.run.sample(stream_) : dist.idle.sample(stream_);
+    run_next_ = !run_next_;
+    // Bursts do not cross window boundaries: the utilization level (and with
+    // it the distribution) changes there. Truncation keeps the within-window
+    // run fraction equal to u in expectation.
+    const double len = std::min(draw, window_left);
+    if (len <= 0.0) continue;  // degenerate draw; resample
+    TimedBurst out{now_,
+                   trace::Burst{run ? trace::BurstKind::Run : trace::BurstKind::Idle,
+                                len}};
+    now_ += len;
+    return out;
+  }
+}
+
+}  // namespace ll::workload

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file local_workload.hpp
+/// The two-level local workload generator of paper Figure 6: a coarse trace
+/// supplies each node's 2-second utilization and memory series; the burst
+/// table turns each window's utilization into fine-grain run/idle bursts.
+/// This is the foreground ("owner") workload against which foreign jobs
+/// linger.
+
+#include <optional>
+
+#include "rng/rng.hpp"
+#include "trace/records.hpp"
+#include "workload/burst_table.hpp"
+
+namespace ll::workload {
+
+/// Streams the fine-grain bursts of one node.
+///
+/// The generator walks virtual time; each emitted burst is annotated with its
+/// start time. Windows whose coarse utilization is ~0 emit a single idle
+/// burst spanning the window (and symmetrically for ~1), so fully idle
+/// machines cost O(1) per window rather than O(bursts).
+class LocalWorkloadGenerator {
+ public:
+  /// `offset` shifts the coarse trace (wrapped), so many simulated nodes can
+  /// share one trace pool without lockstep behaviour, as in the paper.
+  LocalWorkloadGenerator(const trace::CoarseTrace& trace,
+                         const BurstTable& table, rng::Stream stream,
+                         double offset = 0.0);
+
+  struct TimedBurst {
+    double start = 0.0;
+    trace::Burst burst;
+  };
+
+  /// Emits the next burst. Never returns zero-duration bursts. Consecutive
+  /// bursts abut: next().start == previous start + previous duration.
+  TimedBurst next();
+
+  /// Coarse utilization at generator time t (wrapped trace lookup).
+  [[nodiscard]] double utilization_at(double t) const;
+
+  /// Current generator time (start of the next burst to be emitted).
+  [[nodiscard]] double now() const { return now_; }
+
+ private:
+  const trace::CoarseTrace& trace_;
+  const BurstTable& table_;
+  rng::Stream stream_;
+  double offset_;
+  double now_ = 0.0;
+  bool run_next_ = false;  // bursts alternate; idle first
+};
+
+}  // namespace ll::workload

@@ -1,0 +1,70 @@
+#include "workload/table_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ll::workload {
+
+void save_table(const BurstTable& table, std::ostream& out) {
+  out << "# ll-burst-table v1\n";
+  out << std::setprecision(17);
+  for (std::size_t i = 0; i < kUtilizationLevels; ++i) {
+    const BurstMoments& m = table.level(i);
+    out << i << ' ' << m.run_mean << ' ' << m.run_var << ' ' << m.idle_mean
+        << ' ' << m.idle_var << '\n';
+  }
+}
+
+void save_table(const BurstTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_table: cannot open " + path);
+  save_table(table, out);
+}
+
+BurstTable load_table(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header) ||
+      header.rfind("# ll-burst-table v1", 0) != 0) {
+    throw std::runtime_error("load_table: bad or missing header");
+  }
+  std::array<BurstMoments, kUtilizationLevels> levels{};
+  std::array<bool, kUtilizationLevels> seen{};
+  std::string line;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::size_t level = 0;
+    BurstMoments m;
+    if (!(fields >> level >> m.run_mean >> m.run_var >> m.idle_mean >>
+          m.idle_var) ||
+        level >= kUtilizationLevels) {
+      throw std::runtime_error("load_table: malformed line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
+    if (seen[level]) {
+      throw std::runtime_error("load_table: duplicate level " +
+                               std::to_string(level));
+    }
+    seen[level] = true;
+    levels[level] = m;
+  }
+  for (std::size_t i = 0; i < kUtilizationLevels; ++i) {
+    if (!seen[i]) {
+      throw std::runtime_error("load_table: missing level " +
+                               std::to_string(i));
+    }
+  }
+  return BurstTable(levels);
+}
+
+BurstTable load_table(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_table: cannot open " + path);
+  return load_table(in);
+}
+
+}  // namespace ll::workload

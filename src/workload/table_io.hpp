@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file table_io.hpp
+/// Text serialization of burst tables. A site that fits a table from its own
+/// dispatch traces (workload/fit.hpp) can persist it and feed it to every
+/// simulator in place of the synthetic default:
+///
+///   auto table = ll::workload::analyze_fine_traces(my_traces).to_table();
+///   ll::workload::save_table(table, "site.bursts");
+///   ...
+///   auto table = ll::workload::load_table("site.bursts");
+///
+/// Format: "# ll-burst-table v1" then one line per level:
+///   "<level> <run_mean> <run_var> <idle_mean> <idle_var>"
+/// All 21 levels must be present, in order.
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/burst_table.hpp"
+
+namespace ll::workload {
+
+void save_table(const BurstTable& table, std::ostream& out);
+void save_table(const BurstTable& table, const std::string& path);
+
+[[nodiscard]] BurstTable load_table(std::istream& in);
+[[nodiscard]] BurstTable load_table(const std::string& path);
+
+}  // namespace ll::workload

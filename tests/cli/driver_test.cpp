@@ -1,0 +1,246 @@
+#include "cli/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "trace/trace_io.hpp"
+#include "workload/fine_generator.hpp"
+#include "workload/table_io.hpp"
+
+namespace ll::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("llsim_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  fs::path dir_;
+};
+
+TEST(CliBasics, NoArgsPrintsUsageAndFails) {
+  const CliResult r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("Subcommands"), std::string::npos);
+}
+
+TEST(CliBasics, HelpSucceeds) {
+  const CliResult r = run({"--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("llsim"), std::string::npos);
+}
+
+TEST(CliBasics, UnknownSubcommandFails) {
+  const CliResult r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown subcommand"), std::string::npos);
+}
+
+TEST(CliBasics, ParsePolicyNames) {
+  EXPECT_EQ(parse_policy("LL"), core::PolicyKind::LingerLonger);
+  EXPECT_EQ(parse_policy("LF"), core::PolicyKind::LingerForever);
+  EXPECT_EQ(parse_policy("IE"), core::PolicyKind::ImmediateEviction);
+  EXPECT_EQ(parse_policy("PM"), core::PolicyKind::PauseAndMigrate);
+  EXPECT_EQ(parse_policy("LL-oracle"), core::PolicyKind::OracleLinger);
+  EXPECT_FALSE(parse_policy("condor").has_value());
+}
+
+TEST(CliBasics, ParseWidthPolicyNames) {
+  EXPECT_EQ(parse_width_policy("reconfigure"),
+            parallel::WidthPolicy::Reconfigure);
+  EXPECT_EQ(parse_width_policy("fixed-linger"),
+            parallel::WidthPolicy::FixedLinger);
+  EXPECT_EQ(parse_width_policy("hybrid"), parallel::WidthPolicy::Hybrid);
+  EXPECT_FALSE(parse_width_policy("wide").has_value());
+}
+
+TEST_F(CliTest, TracesWritesFilesAndAnalyzeReadsThem) {
+  const CliResult gen = run({"traces", "--machines=3", "--days=0.25",
+                             "--out=" + path("pool"), "--seed=7"});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("wrote 3 traces"), std::string::npos);
+  EXPECT_TRUE(fs::exists(path("pool/machine0.coarse")));
+  EXPECT_TRUE(fs::exists(path("pool/machine2.coarse")));
+
+  const CliResult ana = run({"analyze", "--dir=" + path("pool")});
+  ASSERT_EQ(ana.code, 0) << ana.err;
+  EXPECT_NE(ana.out.find("non-idle fraction"), std::string::npos);
+  EXPECT_NE(ana.out.find("traces"), std::string::npos);
+}
+
+TEST_F(CliTest, TracesRequiresOutDir) {
+  const CliResult r = run({"traces", "--machines=2"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--out is required"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeFailsOnEmptyDir) {
+  fs::create_directories(path("empty"));
+  const CliResult r = run({"analyze", "--dir=" + path("empty")});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("no .coarse traces"), std::string::npos);
+}
+
+TEST_F(CliTest, FitProducesLoadableTable) {
+  // Synthesize a dispatch trace at 40% and fit a table from it.
+  const auto fine = workload::generate_fine_trace(
+      workload::default_burst_table(), 0.4, 2000.0, rng::Stream(3));
+  trace::save_fine(fine, path("dispatch.fine"));
+
+  const CliResult r = run({"fit", "--fine=" + path("dispatch.fine"),
+                           "--out=" + path("site.bursts")});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("fitted"), std::string::npos);
+
+  const workload::BurstTable table = workload::load_table(path("site.bursts"));
+  const auto truth = workload::default_burst_table().moments_at(0.4);
+  EXPECT_NEAR(table.level(8).run_mean, truth.run_mean, truth.run_mean * 0.3);
+}
+
+TEST_F(CliTest, FitRequiresArguments) {
+  const CliResult r = run({"fit"});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST_F(CliTest, FitHonoursCustomWindow) {
+  const auto fine = workload::generate_fine_trace(
+      workload::default_burst_table(), 0.5, 1000.0, rng::Stream(4));
+  trace::save_fine(fine, path("d.fine"));
+  const CliResult r = run({"fit", "--fine=" + path("d.fine"),
+                           "--out=" + path("w.bursts"), "--window=1.0"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NO_THROW((void)workload::load_table(path("w.bursts")));
+}
+
+TEST_F(CliTest, FitFailsOnMissingTrace) {
+  const CliResult r = run({"fit", "--fine=" + path("nope.fine"),
+                           "--out=" + path("x.bursts")});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_FALSE(r.err.empty());
+}
+
+TEST_F(CliTest, UnknownFlagIsReportedNotCrashed) {
+  const CliResult r = run({"cluster", "--frobnicate=1"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown flag"), std::string::npos);
+}
+
+TEST_F(CliTest, ClusterOpenRunReportsMetrics) {
+  const CliResult r =
+      run({"cluster", "--policy=LL", "--nodes=8", "--jobs=8", "--demand=60",
+           "--machines=4", "--days=0.2", "--seed=5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("avg job"), std::string::npos);
+  EXPECT_NE(r.out.find("family time"), std::string::npos);
+  EXPECT_NE(r.out.find("LL"), std::string::npos);
+}
+
+TEST_F(CliTest, ClusterClosedRunReportsThroughput) {
+  const CliResult r =
+      run({"cluster", "--policy=IE", "--nodes=8", "--jobs=16", "--demand=120",
+           "--machines=4", "--days=0.2", "--closed=600", "--seed=5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("throughput"), std::string::npos);
+  EXPECT_NE(r.out.find("closed (600 s)"), std::string::npos);
+}
+
+TEST_F(CliTest, ClusterWritesJobLog) {
+  const CliResult r =
+      run({"cluster", "--policy=LL", "--nodes=4", "--jobs=4", "--demand=60",
+           "--machines=2", "--days=0.2", "--job-log=" + path("jobs.csv")});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream log(path("jobs.csv"));
+  ASSERT_TRUE(log.good());
+  std::string header;
+  std::getline(log, header);
+  EXPECT_EQ(header, "job,time,state");
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_done = false;
+  while (std::getline(log, line)) {
+    ++lines;
+    if (line.find(",done") != std::string::npos) saw_done = true;
+  }
+  EXPECT_GE(lines, 8u);  // 4 jobs x (submit + >= 1 transition)
+  EXPECT_TRUE(saw_done);
+}
+
+TEST_F(CliTest, ClusterRejectsUnknownPolicy) {
+  const CliResult r = run({"cluster", "--policy=condor"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown policy"), std::string::npos);
+}
+
+TEST_F(CliTest, ClusterUsesTraceDirectory) {
+  ASSERT_EQ(run({"traces", "--machines=2", "--days=0.25",
+                 "--out=" + path("pool")})
+                .code,
+            0);
+  const CliResult r =
+      run({"cluster", "--policy=LF", "--nodes=4", "--jobs=4", "--demand=60",
+           "--traces=" + path("pool"), "--seed=5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("LF"), std::string::npos);
+}
+
+TEST_F(CliTest, ClusterAcceptsCustomBurstTable) {
+  workload::save_table(workload::default_burst_table(), path("t.bursts"));
+  const CliResult r =
+      run({"cluster", "--policy=LL", "--nodes=4", "--jobs=4", "--demand=60",
+           "--machines=2", "--days=0.2", "--burst-table=" + path("t.bursts")});
+  ASSERT_EQ(r.code, 0) << r.err;
+}
+
+TEST_F(CliTest, ParallelRunReportsThroughput) {
+  const CliResult r =
+      run({"parallel", "--policy=hybrid", "--nodes=8", "--jobs=2",
+           "--work=40", "--duration=600", "--machines=4", "--days=0.2",
+           "--seed=5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("work delivered"), std::string::npos);
+  EXPECT_NE(r.out.find("hybrid"), std::string::npos);
+}
+
+TEST_F(CliTest, ParallelRejectsUnknownPolicy) {
+  const CliResult r = run({"parallel", "--policy=wide"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown policy"), std::string::npos);
+}
+
+TEST_F(CliTest, DeterministicAcrossInvocations) {
+  const std::vector<std::string> args = {
+      "cluster", "--policy=LL",     "--nodes=8",  "--jobs=8",
+      "--demand=60", "--machines=4", "--days=0.2", "--seed=11"};
+  EXPECT_EQ(run(args).out, run(args).out);
+}
+
+}  // namespace
+}  // namespace ll::cli

@@ -1,0 +1,154 @@
+/// Edge-path coverage for the cluster simulator: migration concurrency
+/// caps, repeated horizons, occupancy corner cases, and configuration
+/// combinations the mainline tests do not reach.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.hpp"
+#include "workload/burst_table.hpp"
+
+namespace ll::cluster {
+namespace {
+
+const trace::RecruitmentRule kInstantRule{0.1, 2.0};
+
+trace::CoarseTrace pattern_trace(const std::string& pattern,
+                                 double busy_util = 0.5) {
+  trace::CoarseTrace t(2.0);
+  for (char c : pattern) {
+    t.push({c == 'B' ? busy_util : 0.0, 65536, false});
+  }
+  return t;
+}
+
+ClusterConfig base_config(core::PolicyKind policy, std::size_t nodes) {
+  ClusterConfig cfg;
+  cfg.node_count = nodes;
+  cfg.policy = policy;
+  cfg.recruitment = kInstantRule;
+  cfg.job_bytes = 1ull << 20;
+  cfg.randomize_placement = false;
+  return cfg;
+}
+
+const workload::BurstTable& table() { return workload::default_burst_table(); }
+
+TEST(ClusterEdge, MigrationConcurrencyCapSerializesMigrations) {
+  // Three nodes turn busy simultaneously; three idle targets exist. With
+  // the cap at 1, evictions must migrate one at a time.
+  std::vector<trace::CoarseTrace> pool;
+  for (int i = 0; i < 3; ++i) {
+    pool.push_back(pattern_trace(".." + std::string(400, 'B')));
+  }
+  for (int i = 0; i < 3; ++i) {
+    pool.push_back(pattern_trace(std::string(402, '.')));
+  }
+  auto run_with = [&](std::size_t cap) {
+    auto cfg = base_config(core::PolicyKind::ImmediateEviction, 6);
+    cfg.max_concurrent_migrations = cap;
+    ClusterSim sim(cfg, pool, table(), rng::Stream(1));
+    for (int i = 0; i < 3; ++i) sim.submit(120.0);
+    sim.run_until_all_complete();
+    double total_migrating = 0.0;
+    for (const JobRecord& job : sim.jobs()) {
+      total_migrating += job.time_in(JobState::Migrating);
+    }
+    // Paused time accumulates while jobs wait for a migration slot.
+    double total_paused = 0.0;
+    for (const JobRecord& job : sim.jobs()) {
+      total_paused += job.time_in(JobState::Paused);
+    }
+    EXPECT_EQ(sim.migrations_started(), 3u);
+    return total_paused;
+  };
+  const double paused_serial = run_with(1);
+  const double paused_parallel = run_with(0);  // unlimited
+  // Serialized migrations force later jobs to wait in Paused.
+  EXPECT_GT(paused_serial, paused_parallel + 3.0);
+}
+
+TEST(ClusterEdge, RepeatedRunForSegmentsAccumulate) {
+  std::vector<trace::CoarseTrace> pool{pattern_trace(std::string(400, '.'))};
+  auto cfg = base_config(core::PolicyKind::LingerLonger, 1);
+  ClusterSim sim(cfg, pool, table(), rng::Stream(2));
+  sim.set_completion_callback(
+      [&sim](const JobRecord&) { sim.submit(10.0); });
+  sim.submit(10.0);
+  sim.run_for(50.0);
+  const double first = sim.delivered_cpu();
+  sim.run_for(50.0);
+  EXPECT_NEAR(sim.delivered_cpu(), 2.0 * first, first * 0.1);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(ClusterEdge, SubmitAfterRunForContinues) {
+  std::vector<trace::CoarseTrace> pool{pattern_trace(std::string(400, '.'))};
+  auto cfg = base_config(core::PolicyKind::LingerLonger, 1);
+  ClusterSim sim(cfg, pool, table(), rng::Stream(3));
+  sim.run_for(100.0);
+  EXPECT_DOUBLE_EQ(sim.delivered_cpu(), 0.0);
+  sim.submit(20.0);
+  sim.run_until_all_complete();
+  EXPECT_NEAR(sim.delivered_cpu(), 20.0, 1e-6);
+  EXPECT_GT(*sim.jobs().front().completion, 100.0);
+}
+
+TEST(ClusterEdge, MoreNodesThanTracesWrapsPool) {
+  std::vector<trace::CoarseTrace> pool{pattern_trace(std::string(200, '.')),
+                                       pattern_trace(std::string(200, 'B'))};
+  auto cfg = base_config(core::PolicyKind::LingerForever, 5);
+  ClusterSim sim(cfg, pool, table(), rng::Stream(4));
+  // Nodes 0,2,4 replay the idle trace; 1,3 the busy one.
+  for (int i = 0; i < 5; ++i) sim.submit(30.0);
+  sim.run_until_all_complete();
+  // Three jobs finish at ~30 s (idle nodes), two late (lingering at 50%).
+  std::size_t fast = 0;
+  for (const JobRecord& job : sim.jobs()) {
+    if (*job.completion < 40.0) ++fast;
+  }
+  EXPECT_EQ(fast, 3u);
+}
+
+TEST(ClusterEdge, OracleWithMultiOccupancy) {
+  // The oracle and processor sharing compose without violating conservation.
+  std::vector<trace::CoarseTrace> pool{
+      pattern_trace(".." + std::string(200, 'B') + std::string(200, '.'))};
+  auto cfg = base_config(core::PolicyKind::OracleLinger, 2);
+  cfg.max_foreign_per_node = 2;
+  ClusterSim sim(cfg, pool, table(), rng::Stream(5));
+  for (int i = 0; i < 4; ++i) sim.submit(60.0);
+  sim.run_until_all_complete(1e6);
+  double demand = 0.0;
+  for (const JobRecord& job : sim.jobs()) demand += job.cpu_demand;
+  EXPECT_NEAR(sim.delivered_cpu(), demand, 1e-6);
+}
+
+TEST(ClusterEdge, TinyJobsCompleteWithinFirstWindow) {
+  std::vector<trace::CoarseTrace> pool{pattern_trace(std::string(100, '.'))};
+  auto cfg = base_config(core::PolicyKind::LingerLonger, 1);
+  ClusterSim sim(cfg, pool, table(), rng::Stream(6));
+  sim.submit(0.5);
+  sim.run_until_all_complete();
+  EXPECT_NEAR(*sim.jobs().front().completion, 0.5, 0.1);
+}
+
+TEST(ClusterEdge, ManyTinyJobsPipelineCleanly) {
+  std::vector<trace::CoarseTrace> pool{pattern_trace(std::string(400, '.'))};
+  auto cfg = base_config(core::PolicyKind::LingerLonger, 2);
+  ClusterSim sim(cfg, pool, table(), rng::Stream(7));
+  for (int i = 0; i < 40; ++i) sim.submit(1.0);
+  sim.run_until_all_complete();
+  // 40 cpu-seconds over 2 nodes ~ 20 s of wall time.
+  EXPECT_NEAR(sim.now(), 20.0, 2.5);
+  EXPECT_NEAR(sim.delivered_cpu(), 40.0, 1e-6);
+}
+
+TEST(ClusterEdge, ZeroRestorePenaltyByDefault) {
+  ClusterConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.owner_restore_penalty, 0.0);
+  EXPECT_EQ(cfg.max_foreign_per_node, 1u);
+  EXPECT_EQ(cfg.max_concurrent_migrations, 0u);
+}
+
+}  // namespace
+}  // namespace ll::cluster

@@ -1,0 +1,115 @@
+#include "cluster/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ll::cluster {
+namespace {
+
+TEST(JobState, Names) {
+  EXPECT_EQ(to_string(JobState::Queued), "queued");
+  EXPECT_EQ(to_string(JobState::Running), "running");
+  EXPECT_EQ(to_string(JobState::Lingering), "lingering");
+  EXPECT_EQ(to_string(JobState::Paused), "paused");
+  EXPECT_EQ(to_string(JobState::Migrating), "migrating");
+  EXPECT_EQ(to_string(JobState::Done), "done");
+}
+
+JobRecord fresh_job() {
+  JobRecord job;
+  job.id = 1;
+  job.cpu_demand = 600.0;
+  job.remaining = 600.0;
+  job.submit_time = 10.0;
+  job.state = JobState::Queued;
+  job.state_since = 10.0;
+  return job;
+}
+
+TEST(JobRecord, AccumulatesStateTime) {
+  JobRecord job = fresh_job();
+  job.set_state(JobState::Running, 25.0);    // queued 15 s
+  job.set_state(JobState::Lingering, 100.0); // running 75 s
+  job.set_state(JobState::Migrating, 130.0); // lingering 30 s
+  job.set_state(JobState::Running, 153.0);   // migrating 23 s
+  job.set_state(JobState::Done, 653.0);      // running 500 s more
+
+  EXPECT_DOUBLE_EQ(job.time_in(JobState::Queued), 15.0);
+  EXPECT_DOUBLE_EQ(job.time_in(JobState::Running), 575.0);
+  EXPECT_DOUBLE_EQ(job.time_in(JobState::Lingering), 30.0);
+  EXPECT_DOUBLE_EQ(job.time_in(JobState::Migrating), 23.0);
+  EXPECT_DOUBLE_EQ(job.time_in(JobState::Paused), 0.0);
+}
+
+TEST(JobRecord, FirstStartRecordedOnce) {
+  JobRecord job = fresh_job();
+  job.set_state(JobState::Running, 25.0);
+  job.set_state(JobState::Paused, 30.0);
+  job.set_state(JobState::Running, 40.0);
+  ASSERT_TRUE(job.first_start.has_value());
+  EXPECT_DOUBLE_EQ(*job.first_start, 25.0);
+}
+
+TEST(JobRecord, LingeringCountsAsStart) {
+  JobRecord job = fresh_job();
+  job.set_state(JobState::Lingering, 33.0);
+  ASSERT_TRUE(job.first_start.has_value());
+  EXPECT_DOUBLE_EQ(*job.first_start, 33.0);
+}
+
+TEST(JobRecord, CompletionRecorded) {
+  JobRecord job = fresh_job();
+  job.set_state(JobState::Running, 20.0);
+  job.set_state(JobState::Done, 620.0);
+  ASSERT_TRUE(job.completion.has_value());
+  EXPECT_DOUBLE_EQ(*job.completion, 620.0);
+  EXPECT_DOUBLE_EQ(job.turnaround(), 610.0);
+  EXPECT_DOUBLE_EQ(job.execution_time(), 600.0);
+}
+
+TEST(JobRecord, SameStateTransitionIsNoOp) {
+  JobRecord job = fresh_job();
+  job.set_state(JobState::Queued, 50.0);
+  // No time folded yet: still measured from the original state_since.
+  job.set_state(JobState::Running, 60.0);
+  EXPECT_DOUBLE_EQ(job.time_in(JobState::Queued), 50.0);
+}
+
+TEST(JobRecord, BackwardTimeThrows) {
+  JobRecord job = fresh_job();
+  job.set_state(JobState::Running, 25.0);
+  EXPECT_THROW((void)(job.set_state(JobState::Done, 20.0)), std::logic_error);
+}
+
+TEST(JobRecord, HistoryRecordsEveryTransition) {
+  JobRecord job = fresh_job();
+  job.set_state(JobState::Running, 25.0);
+  job.set_state(JobState::Lingering, 100.0);
+  job.set_state(JobState::Done, 650.0);
+  ASSERT_EQ(job.history.size(), 3u);
+  EXPECT_DOUBLE_EQ(job.history[0].time, 25.0);
+  EXPECT_EQ(job.history[0].to, JobState::Running);
+  EXPECT_EQ(job.history[1].to, JobState::Lingering);
+  EXPECT_EQ(job.history[2].to, JobState::Done);
+  // Monotone timestamps.
+  for (std::size_t i = 1; i < job.history.size(); ++i) {
+    EXPECT_GE(job.history[i].time, job.history[i - 1].time);
+  }
+}
+
+TEST(JobRecord, NoOpTransitionNotRecorded) {
+  JobRecord job = fresh_job();
+  job.set_state(JobState::Queued, 50.0);
+  EXPECT_TRUE(job.history.empty());
+}
+
+TEST(JobRecord, MetricsRequireCompletion) {
+  JobRecord job = fresh_job();
+  EXPECT_THROW((void)(job.turnaround()), std::logic_error);
+  EXPECT_THROW((void)(job.execution_time()), std::logic_error);
+  job.set_state(JobState::Done, 100.0);  // never started: no first_start
+  EXPECT_THROW((void)(job.execution_time()), std::logic_error);
+  EXPECT_NO_THROW((void)job.turnaround());
+}
+
+}  // namespace
+}  // namespace ll::cluster

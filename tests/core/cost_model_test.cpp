@@ -1,0 +1,103 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ll::core {
+namespace {
+
+TEST(MigrationCost, PaperConfiguration) {
+  // 8 MB image over an effective 3 Mbps link plus endpoint processing.
+  MigrationCostModel m;
+  const double cost = m.cost(8ull << 20);
+  const double transfer = 8.0 * 8.0 * 1024 * 1024 / 3e6;
+  EXPECT_NEAR(cost, 0.6 + transfer, 1e-9);
+  EXPECT_GT(cost, 20.0);  // the paper's ~23 s migration
+  EXPECT_LT(cost, 25.0);
+}
+
+TEST(MigrationCost, ZeroBytesIsProcessingOnly) {
+  MigrationCostModel m;
+  EXPECT_DOUBLE_EQ(m.cost(0), m.processing_source + m.processing_destination);
+}
+
+TEST(MigrationCost, ScalesLinearlyInSize) {
+  MigrationCostModel m;
+  const double c1 = m.cost(1 << 20);
+  const double c2 = m.cost(2 << 20);
+  EXPECT_NEAR(c2 - c1, 8.0 * 1024 * 1024 / 3e6, 1e-9);
+}
+
+TEST(MigrationCost, BadBandwidthThrows) {
+  MigrationCostModel m;
+  m.bandwidth_bps = 0.0;
+  EXPECT_THROW((void)(m.cost(1024)), std::logic_error);
+}
+
+TEST(LingerDuration, PaperFormula) {
+  // T_lingr = (1-l)/(h-l) * T_migr
+  EXPECT_NEAR(linger_duration(0.5, 0.0, 10.0), 2.0 * 10.0, 1e-12);
+  EXPECT_NEAR(linger_duration(0.3, 0.1, 23.0), (0.9 / 0.2) * 23.0, 1e-12);
+}
+
+TEST(LingerDuration, InfiniteWhenDestinationNoBetter) {
+  EXPECT_TRUE(std::isinf(linger_duration(0.2, 0.2, 10.0)));
+  EXPECT_TRUE(std::isinf(linger_duration(0.1, 0.3, 10.0)));
+}
+
+TEST(LingerDuration, ZeroMigrationCostMigratesImmediately) {
+  EXPECT_DOUBLE_EQ(linger_duration(0.5, 0.05, 0.0), 0.0);
+}
+
+TEST(LingerDuration, GrowsAsUtilizationsConverge) {
+  // The closer h is to l, the less migration buys, the longer the linger.
+  const double t_far = linger_duration(0.8, 0.05, 10.0);
+  const double t_near = linger_duration(0.15, 0.05, 10.0);
+  EXPECT_LT(t_far, t_near);
+}
+
+TEST(LingerDuration, DecreasesInSourceLoad) {
+  // Busier source node => migration pays off sooner.
+  double prev = linger_duration(0.2, 0.05, 20.0);
+  for (double h : {0.3, 0.5, 0.7, 0.9}) {
+    const double cur = linger_duration(h, 0.05, 20.0);
+    EXPECT_LT(cur, prev) << h;
+    prev = cur;
+  }
+}
+
+TEST(LingerDuration, RejectsBadInputs) {
+  EXPECT_THROW((void)(linger_duration(-0.1, 0.0, 1.0)), std::invalid_argument);
+  EXPECT_THROW((void)(linger_duration(1.1, 0.0, 1.0)), std::invalid_argument);
+  EXPECT_THROW((void)(linger_duration(0.5, -0.1, 1.0)), std::invalid_argument);
+  EXPECT_THROW((void)(linger_duration(0.5, 0.0, -1.0)), std::invalid_argument);
+}
+
+TEST(MinBeneficialEpisode, AddsLingerSoFar) {
+  const double tail = linger_duration(0.5, 0.1, 10.0);
+  EXPECT_NEAR(min_beneficial_episode(0.5, 0.1, 10.0, 7.0), 7.0 + tail, 1e-12);
+  EXPECT_THROW((void)(min_beneficial_episode(0.5, 0.1, 10.0, -1.0)),
+               std::invalid_argument);
+}
+
+TEST(MinBeneficialEpisode, ConsistentWithLingerRule) {
+  // At the moment the linger deadline expires (age == T_lingr), the 2T
+  // prediction says the episode will last 2*T_lingr total, which is exactly
+  // the break-even episode length: T_lingr + (1-l)/(h-l)*T_migr = 2*T_lingr.
+  const double h = 0.4;
+  const double l = 0.05;
+  const double migr = 23.0;
+  const double t_lingr = linger_duration(h, l, migr);
+  EXPECT_NEAR(min_beneficial_episode(h, l, migr, t_lingr), 2.0 * t_lingr, 1e-9);
+  EXPECT_NEAR(predict_episode_total(t_lingr), 2.0 * t_lingr, 1e-12);
+}
+
+TEST(Predictor, MedianRemainingLife) {
+  EXPECT_DOUBLE_EQ(predict_episode_total(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(predict_episode_total(30.0), 60.0);
+  EXPECT_THROW((void)(predict_episode_total(-1.0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ll::core

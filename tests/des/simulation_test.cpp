@@ -1,0 +1,204 @@
+#include "des/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace ll::des {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Simulation, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, TiesFireInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleInUsesRelativeTime) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(3.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulation, RejectsPastAndInvalidTimes) {
+  Simulation sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW((void)(sim.schedule_at(5.0, [] {})), std::invalid_argument);
+  EXPECT_THROW((void)(sim.schedule_in(-1.0, [] {})), std::invalid_argument);
+  EXPECT_THROW(
+      sim.schedule_at(std::numeric_limits<double>::quiet_NaN(), [] {}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sim.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+      std::invalid_argument);
+}
+
+TEST(Simulation, RejectsEmptyCallback) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule_at(1.0, Simulation::Callback{}),
+               std::invalid_argument);
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.pending(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelIsIdempotent) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(kNoEvent));
+}
+
+TEST(Simulation, CancelFiredEventIsNoOp) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulation, PendingCountTracksCancellation) {
+  Simulation sim;
+  const EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_count(), 1u);
+}
+
+TEST(Simulation, StepFiresOneEvent) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulation sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  const std::size_t n = sim.run_until(2.5);
+  EXPECT_EQ(n, 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.pending_count(), 2u);
+}
+
+TEST(Simulation, RunUntilIncludesEventsAtHorizon) {
+  Simulation sim;
+  bool fired = false;
+  sim.schedule_at(2.0, [&] { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, RunUntilEmptyQueueStillAdvances) {
+  Simulation sim;
+  sim.run_until(7.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.0);
+}
+
+TEST(Simulation, RunUntilRejectsBackwardHorizon) {
+  Simulation sim;
+  sim.run_until(5.0);
+  EXPECT_THROW((void)(sim.run_until(4.0)), std::invalid_argument);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+TEST(Simulation, EventsCanCancelLaterEvents) {
+  Simulation sim;
+  bool fired = false;
+  const EventId victim = sim.schedule_at(2.0, [&] { fired = true; });
+  sim.schedule_at(1.0, [&] { sim.cancel(victim); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, EventsFiredCounter) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_fired(), 5u);
+}
+
+TEST(Simulation, ManyEventsStressOrdering) {
+  Simulation sim;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    sim.schedule_at(t, [&, t] {
+      if (t < last) monotone = false;
+      last = t;
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotone);
+}
+
+TEST(Simulation, ZeroDelaySelfScheduleFiresAtSameTime) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.schedule_at(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(0.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.0);
+}
+
+}  // namespace
+}  // namespace ll::des

@@ -1,0 +1,92 @@
+#include "node/effective_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ll::node {
+namespace {
+
+TEST(EffectiveRate, AnalyticTableMonotoneRate) {
+  const auto table = EffectiveRateTable::analytic(
+      workload::default_burst_table(), 100e-6);
+  // foreign_rate falls as owner utilization rises.
+  double prev = table.foreign_rate(0.0);
+  for (double u = 0.05; u <= 1.0; u += 0.05) {
+    const double cur = table.foreign_rate(u);
+    EXPECT_LT(cur, prev) << "u=" << u;
+    prev = cur;
+  }
+}
+
+TEST(EffectiveRate, RateBoundedByLeftover) {
+  const auto table = EffectiveRateTable::analytic(
+      workload::default_burst_table(), 100e-6);
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    EXPECT_LE(table.foreign_rate(u), 1.0 - u + 1e-12);
+    EXPECT_GE(table.foreign_rate(u), 0.0);
+  }
+}
+
+TEST(EffectiveRate, FcsrHighForCheapSwitches) {
+  const auto table = EffectiveRateTable::analytic(
+      workload::default_burst_table(), 100e-6);
+  for (double u : {0.1, 0.5, 0.9}) {
+    EXPECT_GT(table.fcsr(u), 0.90) << u;
+    EXPECT_LE(table.fcsr(u), 1.0) << u;
+  }
+}
+
+TEST(EffectiveRate, LdrSmallAndPositive) {
+  const auto table = EffectiveRateTable::analytic(
+      workload::default_burst_table(), 100e-6);
+  for (double u : {0.1, 0.5, 0.9}) {
+    EXPECT_GT(table.ldr(u), 0.0) << u;
+    EXPECT_LT(table.ldr(u), 0.02) << u;
+  }
+}
+
+TEST(EffectiveRate, ClampsOutOfRangeUtilization) {
+  const auto table = EffectiveRateTable::analytic(
+      workload::default_burst_table(), 100e-6);
+  EXPECT_DOUBLE_EQ(table.fcsr(-0.5), table.fcsr(0.0));
+  EXPECT_DOUBLE_EQ(table.fcsr(1.5), table.fcsr(1.0));
+  EXPECT_DOUBLE_EQ(table.foreign_rate(2.0), 0.0);  // (1-u) clamped to 0
+}
+
+TEST(EffectiveRate, SimulatedAgreesWithAnalytic) {
+  const auto& bursts = workload::default_burst_table();
+  const auto analytic = EffectiveRateTable::analytic(bursts, 300e-6);
+  const auto simulated =
+      EffectiveRateTable::simulated(bursts, 300e-6, 4000.0, rng::Stream(3));
+  for (double u : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(simulated.fcsr(u), analytic.fcsr(u), 0.015) << u;
+    EXPECT_NEAR(simulated.ldr(u), analytic.ldr(u), analytic.ldr(u) * 0.25 + 1e-4)
+        << u;
+  }
+}
+
+TEST(EffectiveRate, InterpolationIsContinuous) {
+  const auto table = EffectiveRateTable::analytic(
+      workload::default_burst_table(), 100e-6);
+  // No jumps between adjacent evaluations.
+  double prev = table.fcsr(0.0);
+  for (double u = 0.001; u <= 1.0; u += 0.001) {
+    const double cur = table.fcsr(u);
+    EXPECT_LT(std::abs(cur - prev), 0.01) << u;
+    prev = cur;
+  }
+}
+
+TEST(EffectiveRate, BiggerSwitchCostLowersRates) {
+  const auto& bursts = workload::default_burst_table();
+  const auto cheap = EffectiveRateTable::analytic(bursts, 100e-6);
+  const auto costly = EffectiveRateTable::analytic(bursts, 1000e-6);
+  for (double u : {0.2, 0.5, 0.8}) {
+    EXPECT_GT(cheap.fcsr(u), costly.fcsr(u)) << u;
+    EXPECT_LT(cheap.ldr(u), costly.ldr(u)) << u;
+  }
+}
+
+}  // namespace
+}  // namespace ll::node

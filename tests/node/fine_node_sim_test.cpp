@@ -1,0 +1,202 @@
+#include "node/fine_node_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "node/effective_rate.hpp"
+
+namespace ll::node {
+namespace {
+
+FineNodeConfig config_at(double u, double cs = 100e-6, double dur = 2000.0) {
+  FineNodeConfig c;
+  c.utilization = u;
+  c.context_switch = cs;
+  c.duration = dur;
+  return c;
+}
+
+TEST(FineNodeSim, RejectsBadConfig) {
+  const auto& table = workload::default_burst_table();
+  EXPECT_THROW((void)(simulate_fine_node(config_at(0.0), table, rng::Stream(1))),
+               std::invalid_argument);
+  EXPECT_THROW((void)(simulate_fine_node(config_at(1.0), table, rng::Stream(1))),
+               std::invalid_argument);
+  EXPECT_THROW((void)(simulate_fine_node(config_at(0.5, -1e-6), table, rng::Stream(1))),
+               std::invalid_argument);
+  EXPECT_THROW((void)(simulate_fine_node(config_at(0.5, 1e-4, 0.0), table, rng::Stream(1))),
+               std::invalid_argument);
+}
+
+TEST(FineNodeSim, Deterministic) {
+  const auto& table = workload::default_burst_table();
+  const auto a = simulate_fine_node(config_at(0.3), table, rng::Stream(7));
+  const auto b = simulate_fine_node(config_at(0.3), table, rng::Stream(7));
+  EXPECT_DOUBLE_EQ(a.local_cpu, b.local_cpu);
+  EXPECT_DOUBLE_EQ(a.foreign_cpu, b.foreign_cpu);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+}
+
+TEST(FineNodeSim, ConservationOfTime) {
+  const auto& table = workload::default_burst_table();
+  const auto r = simulate_fine_node(config_at(0.4), table, rng::Stream(2));
+  // Wall = local CPU + its switch delays + idle cycles offered.
+  EXPECT_NEAR(r.wall, r.local_cpu + r.local_delay + r.idle_cpu, 1e-6);
+  // Foreign never exceeds the idle cycles offered.
+  EXPECT_LE(r.foreign_cpu, r.idle_cpu);
+  EXPECT_GE(r.foreign_cpu, 0.0);
+}
+
+TEST(FineNodeSim, UtilizationRealized) {
+  const auto& table = workload::default_burst_table();
+  const auto r = simulate_fine_node(config_at(0.6, 100e-6, 5000.0), table,
+                                    rng::Stream(3));
+  EXPECT_NEAR(r.local_cpu / (r.local_cpu + r.idle_cpu), 0.6, 0.04);
+}
+
+TEST(FineNodeSim, NoForeignJobMeansNoDelayAndNoStealing) {
+  const auto& table = workload::default_burst_table();
+  FineNodeConfig c = config_at(0.5);
+  c.foreign_present = false;
+  const auto r = simulate_fine_node(c, table, rng::Stream(4));
+  EXPECT_DOUBLE_EQ(r.local_delay, 0.0);
+  EXPECT_DOUBLE_EQ(r.foreign_cpu, 0.0);
+  EXPECT_EQ(r.preemptions, 0u);
+  EXPECT_GT(r.idle_cpu, 0.0);
+}
+
+TEST(FineNodeSim, ZeroContextSwitchIsPerfect) {
+  const auto& table = workload::default_burst_table();
+  const auto r = simulate_fine_node(config_at(0.5, 0.0), table, rng::Stream(5));
+  EXPECT_DOUBLE_EQ(r.ldr(), 0.0);
+  EXPECT_DOUBLE_EQ(r.fcsr(), 1.0);
+}
+
+TEST(FineNodeSim, PaperHeadlineNumbers) {
+  // Paper §4.1: at a 100 us effective context switch, foreground delay is
+  // about 1% (and stays under 5% to 300 us); the foreign job captures over
+  // 90% of idle cycles at every utilization level.
+  const auto& table = workload::default_burst_table();
+  for (double u : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const auto r =
+        simulate_fine_node(config_at(u, 100e-6, 3000.0), table, rng::Stream(6));
+    EXPECT_LT(r.ldr(), 0.02) << "u=" << u;
+    EXPECT_GT(r.fcsr(), 0.90) << "u=" << u;
+  }
+}
+
+TEST(FineNodeSim, DelayGrowsWithContextSwitchCost) {
+  const auto& table = workload::default_burst_table();
+  const auto r100 =
+      simulate_fine_node(config_at(0.3, 100e-6), table, rng::Stream(8));
+  const auto r500 =
+      simulate_fine_node(config_at(0.3, 500e-6), table, rng::Stream(8));
+  EXPECT_GT(r500.ldr(), r100.ldr());
+  EXPECT_LT(r500.fcsr(), r100.fcsr());
+}
+
+TEST(FineNodeSim, PreemptionsOnlyWhenForeignWasWarm) {
+  const auto& table = workload::default_burst_table();
+  const auto r = simulate_fine_node(config_at(0.5), table, rng::Stream(9));
+  // Each preemption charges exactly one context switch to the local side.
+  EXPECT_NEAR(r.local_delay,
+              static_cast<double>(r.preemptions) * 100e-6, 1e-9);
+}
+
+// Simulation must agree with the closed-form expectations (they share only
+// the H2 model, not code paths).
+class ClosedFormSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClosedFormSweep, SimMatchesExpectation) {
+  const double u = GetParam();
+  const auto& table = workload::default_burst_table();
+  const auto sim =
+      simulate_fine_node(config_at(u, 300e-6, 8000.0), table, rng::Stream(10));
+  const auto exp = expected_fine_node(u, 300e-6, table);
+  EXPECT_NEAR(sim.fcsr(), exp.fcsr, 0.01) << "u=" << u;
+  EXPECT_NEAR(sim.ldr(), exp.ldr, exp.ldr * 0.2 + 1e-4) << "u=" << u;
+}
+
+INSTANTIATE_TEST_SUITE_P(UtilGrid, ClosedFormSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                           0.7, 0.8, 0.9, 0.95));
+
+trace::CoarseTrace stepped_trace() {
+  // 100 windows at 20%, 100 at 60%, 100 idle.
+  trace::CoarseTrace t(2.0);
+  for (int i = 0; i < 100; ++i) t.push({0.2, 65536, false});
+  for (int i = 0; i < 100; ++i) t.push({0.6, 65536, false});
+  for (int i = 0; i < 100; ++i) t.push({0.0, 65536, false});
+  return t;
+}
+
+TEST(TraceDrivenFineNode, RejectsBadArguments) {
+  const auto t = stepped_trace();
+  const auto& table = workload::default_burst_table();
+  EXPECT_THROW((void)(simulate_fine_node_trace(t, table, -1e-6, 10.0, rng::Stream(1))),
+               std::invalid_argument);
+  EXPECT_THROW((void)(simulate_fine_node_trace(t, table, 1e-4, 0.0, rng::Stream(1))),
+               std::invalid_argument);
+}
+
+TEST(TraceDrivenFineNode, AccountingConservesTime) {
+  const auto t = stepped_trace();
+  const auto r = simulate_fine_node_trace(t, workload::default_burst_table(),
+                                          100e-6, 600.0, rng::Stream(2));
+  EXPECT_NEAR(r.local_cpu + r.idle_cpu, 600.0, 1e-6);
+  EXPECT_LE(r.foreign_cpu, r.idle_cpu);
+  EXPECT_GT(r.foreign_cpu, 0.0);
+}
+
+TEST(TraceDrivenFineNode, UtilizationTracksTrace) {
+  const auto t = stepped_trace();
+  const auto r = simulate_fine_node_trace(t, workload::default_burst_table(),
+                                          100e-6, 600.0, rng::Stream(3));
+  // Mean utilization over the full cycle: (0.2 + 0.6 + 0.0) / 3.
+  EXPECT_NEAR(r.local_cpu / 600.0, 0.8 / 3.0, 0.03);
+}
+
+TEST(TraceDrivenFineNode, MatchesWindowIntegratedRateModel) {
+  // The core modeling bridge: the cluster simulator replaces burst-level
+  // co-simulation with per-window rates (1-u)*fcsr(u). Both must deliver
+  // the same foreign CPU over the same trace.
+  const auto t = stepped_trace();
+  const auto& table = workload::default_burst_table();
+  const double cs = 100e-6;
+  const double horizon = 600.0;
+
+  const auto fine =
+      simulate_fine_node_trace(t, table, cs, horizon, rng::Stream(4));
+
+  const auto rates = EffectiveRateTable::analytic(table, cs);
+  double integrated = 0.0;
+  for (double w = 0.0; w < horizon; w += t.period()) {
+    integrated += rates.foreign_rate(t.sample_at(w).cpu) * t.period();
+  }
+  EXPECT_NEAR(fine.foreign_cpu, integrated, integrated * 0.03);
+}
+
+TEST(TraceDrivenFineNode, OffsetShiftsPhase) {
+  const auto t = stepped_trace();
+  const auto& table = workload::default_burst_table();
+  // Offset 200 s starts inside the 60% segment: less stolen in 100 s than
+  // when starting in the 20% segment.
+  const auto from_busy = simulate_fine_node_trace(t, table, 100e-6, 100.0,
+                                                  rng::Stream(5), 200.0);
+  const auto from_light = simulate_fine_node_trace(t, table, 100e-6, 100.0,
+                                                   rng::Stream(5), 0.0);
+  EXPECT_LT(from_busy.foreign_cpu, from_light.foreign_cpu);
+}
+
+TEST(ExpectedFineNode, LimitBehaviour) {
+  const auto& table = workload::default_burst_table();
+  // Zero switch cost: perfect stealing, zero delay.
+  const auto perfect = expected_fine_node(0.5, 0.0, table);
+  EXPECT_DOUBLE_EQ(perfect.fcsr, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.ldr, 0.0);
+  // Enormous switch cost: nothing stolen.
+  const auto awful = expected_fine_node(0.5, 100.0, table);
+  EXPECT_LT(awful.fcsr, 0.01);
+}
+
+}  // namespace
+}  // namespace ll::node

@@ -1,0 +1,135 @@
+#include "node/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ll::node {
+namespace {
+
+PagePoolConfig small_pool() {
+  PagePoolConfig c;
+  c.total_pages = 1000;
+  c.reserved_pages = 100;
+  return c;
+}
+
+TEST(PagePool, RejectsBadConfig) {
+  PagePoolConfig zero;
+  zero.total_pages = 0;
+  EXPECT_THROW((void)(PagePool{zero}), std::invalid_argument);
+  PagePoolConfig reserve_too_big;
+  reserve_too_big.total_pages = 100;
+  reserve_too_big.reserved_pages = 100;
+  EXPECT_THROW((void)(PagePool{reserve_too_big}), std::invalid_argument);
+}
+
+TEST(PagePool, StartsEmpty) {
+  PagePool pool(small_pool());
+  EXPECT_EQ(pool.local_pages(), 0u);
+  EXPECT_EQ(pool.foreign_pages(), 0u);
+  EXPECT_EQ(pool.free_pages(), 900u);
+}
+
+TEST(PagePool, ForeignGrowsIntoFreePages) {
+  PagePool pool(small_pool());
+  EXPECT_EQ(pool.request_foreign_pages(500), 500u);
+  EXPECT_EQ(pool.free_pages(), 400u);
+}
+
+TEST(PagePool, ForeignCappedByFreePool) {
+  PagePool pool(small_pool());
+  pool.set_local_pages(700);
+  EXPECT_EQ(pool.request_foreign_pages(500), 200u);
+  EXPECT_EQ(pool.free_pages(), 0u);
+}
+
+TEST(PagePool, LocalGrowthReclaimsForeignFirst) {
+  PagePool pool(small_pool());
+  pool.request_foreign_pages(500);
+  // Local wants 700: 400 free absorb part, then 300 reclaimed from foreign.
+  const std::uint32_t reclaimed = pool.set_local_pages(700);
+  EXPECT_EQ(reclaimed, 300u);
+  EXPECT_EQ(pool.foreign_pages(), 200u);
+  EXPECT_EQ(pool.local_pages(), 700u);
+  EXPECT_EQ(pool.free_pages(), 0u);
+}
+
+TEST(PagePool, LocalNeverPagedForForeign) {
+  PagePool pool(small_pool());
+  pool.set_local_pages(850);
+  // Foreign can take at most the 50 remaining non-reserved pages.
+  EXPECT_EQ(pool.request_foreign_pages(10000), 50u);
+  EXPECT_EQ(pool.local_pages(), 850u);
+}
+
+TEST(PagePool, LocalShrinkReleasesToFreeList) {
+  PagePool pool(small_pool());
+  pool.set_local_pages(800);
+  pool.set_local_pages(300);
+  EXPECT_EQ(pool.free_pages(), 600u);
+  // Foreign can now claim the released pages.
+  EXPECT_EQ(pool.request_foreign_pages(600), 600u);
+}
+
+TEST(PagePool, LocalDemandClampedToCapacity) {
+  PagePool pool(small_pool());
+  pool.set_local_pages(5000);
+  EXPECT_EQ(pool.local_pages(), 900u);  // total minus reserve
+  EXPECT_EQ(pool.free_pages(), 0u);
+}
+
+TEST(PagePool, ForeignShrinkOnSmallerTarget) {
+  PagePool pool(small_pool());
+  pool.request_foreign_pages(500);
+  EXPECT_EQ(pool.request_foreign_pages(100), 100u);
+  EXPECT_EQ(pool.free_pages(), 800u);
+}
+
+TEST(PagePool, EvictForeignReleasesEverything) {
+  PagePool pool(small_pool());
+  pool.request_foreign_pages(500);
+  pool.evict_foreign();
+  EXPECT_EQ(pool.foreign_pages(), 0u);
+  EXPECT_EQ(pool.free_pages(), 900u);
+}
+
+TEST(PagePool, ConservationInvariant) {
+  PagePool pool(small_pool());
+  for (std::uint32_t local : {100u, 600u, 850u, 200u, 0u}) {
+    pool.set_local_pages(local);
+    pool.request_foreign_pages(400);
+    EXPECT_LE(pool.local_pages() + pool.foreign_pages() + 100u,
+              pool.total_pages());
+  }
+}
+
+TEST(PagePool, ReclaimWithNoForeignIsZero) {
+  PagePool pool(small_pool());
+  EXPECT_EQ(pool.set_local_pages(500), 0u);
+}
+
+TEST(PagePool, KbToPagesRoundsUp) {
+  EXPECT_EQ(PagePool::kb_to_pages(0), 0u);
+  EXPECT_EQ(PagePool::kb_to_pages(4), 1u);
+  EXPECT_EQ(PagePool::kb_to_pages(5), 2u);
+  EXPECT_EQ(PagePool::kb_to_pages(8192), 2048u);
+  EXPECT_THROW((void)(PagePool::kb_to_pages(8, 0)), std::invalid_argument);
+}
+
+TEST(ProgressFactor, FullyResidentIsOne) {
+  EXPECT_DOUBLE_EQ(memory_progress_factor(2048, 2048), 1.0);
+  EXPECT_DOUBLE_EQ(memory_progress_factor(3000, 2048), 1.0);
+  EXPECT_DOUBLE_EQ(memory_progress_factor(0, 0), 1.0);
+}
+
+TEST(ProgressFactor, DegradesLinearly) {
+  EXPECT_DOUBLE_EQ(memory_progress_factor(1024, 2048), 0.5);
+  EXPECT_DOUBLE_EQ(memory_progress_factor(512, 2048), 0.25);
+}
+
+TEST(ProgressFactor, FloorPreventsTotalStall) {
+  EXPECT_DOUBLE_EQ(memory_progress_factor(0, 2048), 0.05);
+  EXPECT_DOUBLE_EQ(memory_progress_factor(0, 2048, 0.10), 0.10);
+}
+
+}  // namespace
+}  // namespace ll::node

@@ -1,0 +1,126 @@
+#include "parallel/apps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ll::parallel {
+namespace {
+
+const workload::BurstTable& table() { return workload::default_burst_table(); }
+
+TEST(Apps, FactoriesSetWidth) {
+  for (const AppModel& app : all_app_models(8)) {
+    EXPECT_EQ(app.bsp.processes, 8u) << app.name;
+    EXPECT_GT(app.bsp.phases, 0u) << app.name;
+    EXPECT_GT(app.bsp.granularity, 0.0) << app.name;
+  }
+  EXPECT_EQ(all_app_models(8).size(), 3u);
+}
+
+TEST(Apps, NamesAreStable) {
+  EXPECT_EQ(sor_model(8).name, "sor");
+  EXPECT_EQ(water_model(8).name, "water");
+  EXPECT_EQ(fft_model(8).name, "fft");
+}
+
+TEST(Apps, FftIsCommunicationDominated) {
+  // Communication fraction ordering drives the sensitivity result: compute
+  // the all-idle per-phase comm/compute ratio per app.
+  auto comm_fraction = [](const AppModel& app) {
+    const double msg = expected_message_time(app.bsp, 0.0, table());
+    const double comm =
+        msg * static_cast<double>(app.bsp.messages_per_process);
+    return comm / (comm + app.bsp.granularity);
+  };
+  const double sor = comm_fraction(sor_model(8));
+  const double water = comm_fraction(water_model(8));
+  const double fft = comm_fraction(fft_model(8));
+  EXPECT_LT(sor, water);
+  EXPECT_LT(water, fft);
+  EXPECT_GT(fft, 0.5);   // fft mostly communicates
+  EXPECT_LT(sor, 0.25);  // sor mostly computes
+}
+
+TEST(Apps, FftTalksToEveryone) {
+  EXPECT_EQ(fft_model(8).bsp.messages_per_process, 7u);
+  EXPECT_EQ(fft_model(16).bsp.messages_per_process, 15u);
+  EXPECT_EQ(sor_model(16).bsp.messages_per_process, 2u);
+}
+
+TEST(AppSlowdown, AllIdleIsOne) {
+  for (const AppModel& app : all_app_models(8)) {
+    const double s = app_slowdown(app, 0, 0.2, table(), rng::Stream(1));
+    EXPECT_NEAR(s, 1.0, 1e-9) << app.name;
+  }
+}
+
+TEST(AppSlowdown, RejectsTooManyNonIdleNodes) {
+  EXPECT_THROW((void)(app_slowdown(sor_model(8), 9, 0.2, table(), rng::Stream(1))),
+               std::invalid_argument);
+}
+
+TEST(AppSlowdown, MonotoneInNonIdleNodes) {
+  const AppModel app = sor_model(8);
+  double prev = 1.0;
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    const double s = app_slowdown(app, k, 0.2, table(), rng::Stream(2));
+    EXPECT_GE(s, prev * 0.97) << k;
+    prev = s;
+  }
+}
+
+TEST(AppSlowdown, PaperFigure12Anchors) {
+  // §5.2: one non-idle node at 40% slows each app to at most ~1.7; with
+  // 4 non-idle nodes at 20% the slowdown is ~1.5-1.6; with all 8 non-idle at
+  // 20% it is just above 2.
+  for (const AppModel& app : all_app_models(8)) {
+    const double one_node_40 =
+        app_slowdown(app, 1, 0.4, table(), rng::Stream(3));
+    EXPECT_GT(one_node_40, 1.05) << app.name;
+    EXPECT_LT(one_node_40, 2.3) << app.name;
+
+    const double all_20 = app_slowdown(app, 8, 0.2, table(), rng::Stream(4));
+    EXPECT_GT(all_20, 1.35) << app.name;
+    EXPECT_LT(all_20, 3.4) << app.name;
+  }
+}
+
+TEST(AppSlowdown, SensitivityOrderingSorMostFftLeast) {
+  // Paper §5.2: sor is most sensitive to local load, fft least, because
+  // time spent in communication is not stretched by CPU contention.
+  const double sor = app_slowdown(sor_model(8), 8, 0.4, table(), rng::Stream(5));
+  const double water =
+      app_slowdown(water_model(8), 8, 0.4, table(), rng::Stream(5));
+  const double fft = app_slowdown(fft_model(8), 8, 0.4, table(), rng::Stream(5));
+  EXPECT_GT(sor, water * 0.98);
+  EXPECT_GT(water, fft * 0.98);
+  EXPECT_GT(sor, fft);
+}
+
+TEST(Apps, ScaleToSixteenProcesses) {
+  // The Figure 13 experiments run the apps 16-wide; the models must stay
+  // well-behaved there (fft grows its all-to-all fan-out, others don't).
+  for (const AppModel& app : all_app_models(16)) {
+    const double s = app_slowdown(app, 4, 0.2, table(), rng::Stream(40));
+    EXPECT_GT(s, 1.0) << app.name;
+    EXPECT_LT(s, 3.0) << app.name;
+  }
+}
+
+TEST(AppSlowdown, MonotoneInLocalUtilization) {
+  const AppModel app = water_model(8);
+  double prev = 1.0;
+  for (double u : {0.1, 0.2, 0.3, 0.4}) {
+    const double s = app_slowdown(app, 4, u, table(), rng::Stream(41));
+    EXPECT_GE(s, prev * 0.95) << u;  // small noise allowance
+    prev = s;
+  }
+}
+
+TEST(AppSlowdown, Deterministic) {
+  const double a = app_slowdown(water_model(8), 3, 0.3, table(), rng::Stream(6));
+  const double b = app_slowdown(water_model(8), 3, 0.3, table(), rng::Stream(6));
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ll::parallel

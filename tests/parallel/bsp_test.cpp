@@ -1,0 +1,194 @@
+#include "parallel/bsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ll::parallel {
+namespace {
+
+const workload::BurstTable& table() { return workload::default_burst_table(); }
+
+BspConfig small_bsp(std::size_t procs = 8, std::size_t phases = 20) {
+  BspConfig c;
+  c.processes = procs;
+  c.phases = phases;
+  c.granularity = 0.1;
+  return c;
+}
+
+TEST(Bsp, RejectsBadConfig) {
+  std::vector<double> utils(8, 0.0);
+  BspConfig zero_procs = small_bsp(0);
+  EXPECT_THROW((void)(simulate_bsp(zero_procs, utils, table(), rng::Stream(1))),
+               std::invalid_argument);
+
+  BspConfig c = small_bsp(8);
+  std::vector<double> wrong_size(4, 0.0);
+  EXPECT_THROW((void)(simulate_bsp(c, wrong_size, table(), rng::Stream(1))),
+               std::invalid_argument);
+
+  std::vector<double> saturated(8, 0.0);
+  saturated[0] = 1.0;
+  EXPECT_THROW((void)(simulate_bsp(c, saturated, table(), rng::Stream(1))),
+               std::invalid_argument);
+
+  c.granularity = 0.0;
+  EXPECT_THROW((void)(simulate_bsp(c, utils, table(), rng::Stream(1))),
+               std::invalid_argument);
+}
+
+TEST(Bsp, AllIdleSlowdownIsOne) {
+  const std::vector<double> utils(8, 0.0);
+  const BspResult r = simulate_bsp(small_bsp(), utils, table(), rng::Stream(2));
+  EXPECT_NEAR(r.slowdown(), 1.0, 1e-9);
+  EXPECT_GT(r.time, 0.0);
+  EXPECT_EQ(r.phases, 20u);
+}
+
+TEST(Bsp, IdealIncludesCommunication) {
+  const std::vector<double> utils(8, 0.0);
+  const BspConfig c = small_bsp();
+  const BspResult r = simulate_bsp(c, utils, table(), rng::Stream(3));
+  // Ideal > pure compute: communication is part of the baseline.
+  EXPECT_GT(r.ideal, c.granularity * static_cast<double>(c.phases));
+}
+
+TEST(Bsp, OneLoadedNodeSlowsWholeJob) {
+  std::vector<double> utils(8, 0.0);
+  utils[0] = 0.5;
+  const BspResult r = simulate_bsp(small_bsp(), utils, table(), rng::Stream(4));
+  EXPECT_GT(r.slowdown(), 1.5);
+}
+
+TEST(Bsp, SlowdownMonotoneInUtilization) {
+  double prev = 1.0;
+  for (double u : {0.2, 0.5, 0.8}) {
+    std::vector<double> utils(8, 0.0);
+    utils[0] = u;
+    const BspResult r =
+        simulate_bsp(small_bsp(8, 40), utils, table(), rng::Stream(5));
+    EXPECT_GT(r.slowdown(), prev) << u;
+    prev = r.slowdown();
+  }
+}
+
+TEST(Bsp, HighUtilizationApproachesRateLimit) {
+  // One node at 90%: the loaded process runs ~10x slower; with modest
+  // communication the job slowdown lands near the paper's Figure 9 value.
+  std::vector<double> utils(8, 0.0);
+  utils[0] = 0.9;
+  const BspResult r =
+      simulate_bsp(small_bsp(8, 60), utils, table(), rng::Stream(6));
+  EXPECT_GT(r.slowdown(), 5.0);
+  EXPECT_LT(r.slowdown(), 14.0);
+}
+
+TEST(Bsp, MoreLoadedNodesMoreSlowdown) {
+  double prev = 1.0;
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    std::vector<double> utils(8, 0.0);
+    for (std::size_t i = 0; i < k; ++i) utils[i] = 0.2;
+    const BspResult r =
+        simulate_bsp(small_bsp(8, 60), utils, table(), rng::Stream(7));
+    EXPECT_GE(r.slowdown(), prev * 0.98) << k;  // allow tiny noise
+    prev = r.slowdown();
+  }
+}
+
+TEST(Bsp, CoarserGranularityLessSlowdown) {
+  // Paper Figure 10: larger sync granularity damps the barrier penalty.
+  std::vector<double> utils(8, 0.2);
+  BspConfig fine = small_bsp(8, 60);
+  fine.granularity = 0.01;
+  BspConfig coarse = small_bsp(8, 60);
+  coarse.granularity = 1.0;
+  const double s_fine =
+      simulate_bsp(fine, utils, table(), rng::Stream(8)).slowdown();
+  const double s_coarse =
+      simulate_bsp(coarse, utils, table(), rng::Stream(8)).slowdown();
+  EXPECT_GT(s_fine, s_coarse);
+}
+
+TEST(Bsp, Deterministic) {
+  std::vector<double> utils(8, 0.0);
+  utils[2] = 0.3;
+  const BspResult a = simulate_bsp(small_bsp(), utils, table(), rng::Stream(9));
+  const BspResult b = simulate_bsp(small_bsp(), utils, table(), rng::Stream(9));
+  EXPECT_DOUBLE_EQ(a.time, b.time);
+  EXPECT_DOUBLE_EQ(a.ideal, b.ideal);
+}
+
+TEST(MessageTime, IdleDestinationIsBase) {
+  BspConfig c = small_bsp();
+  const double t = expected_message_time(c, 0.0, table());
+  EXPECT_NEAR(t,
+              c.per_message_overhead +
+                  static_cast<double>(c.bytes_per_message) * 8.0 / c.bandwidth_bps +
+                  c.handler_cpu,
+              1e-12);
+}
+
+TEST(MessageTime, BusyDestinationCostsMore) {
+  BspConfig c = small_bsp();
+  double prev = expected_message_time(c, 0.0, table());
+  for (double u : {0.2, 0.4, 0.6, 0.8}) {
+    const double cur = expected_message_time(c, u, table());
+    EXPECT_GT(cur, prev) << u;
+    prev = cur;
+  }
+}
+
+TEST(BspWork, FixedWorkScalesWithWidth) {
+  // Same total work on more idle processes finishes faster.
+  BspConfig c = small_bsp(4);
+  c.granularity = 0.1;
+  const double total_work = 8.0;
+  std::vector<double> utils4(4, 0.0);
+  const BspResult r4 =
+      simulate_bsp_work(c, total_work, utils4, table(), rng::Stream(10));
+  BspConfig c8 = small_bsp(8);
+  c8.granularity = 0.1;
+  std::vector<double> utils8(8, 0.0);
+  const BspResult r8 =
+      simulate_bsp_work(c8, total_work, utils8, table(), rng::Stream(10));
+  EXPECT_GT(r4.time, r8.time * 1.5);
+}
+
+TEST(BspWork, PartialFinalPhase) {
+  BspConfig c = small_bsp(2);
+  c.granularity = 1.0;
+  std::vector<double> utils(2, 0.0);
+  // 3 proc-seconds over 2 procs at 1 s granularity: 1 full + 1 half phase.
+  const BspResult r = simulate_bsp_work(c, 3.0, utils, table(), rng::Stream(11));
+  EXPECT_EQ(r.phases, 2u);
+  // All nodes idle: actual == ideal, and compute contributes exactly 1.5 s.
+  EXPECT_NEAR(r.time, r.ideal, 1e-9);
+  const double per_phase_comm = (r.ideal - 1.5) / 2.0;
+  EXPECT_GT(per_phase_comm, 0.0);
+}
+
+TEST(BspWork, RejectsBadWork) {
+  BspConfig c = small_bsp(2);
+  std::vector<double> utils(2, 0.0);
+  EXPECT_THROW((void)(simulate_bsp_work(c, 0.0, utils, table(), rng::Stream(12))),
+               std::invalid_argument);
+}
+
+TEST(Bsp, NoClosingBarrierOverlapsComm) {
+  // Without a closing barrier the phase critical path is per-process, which
+  // can only be <= the barriered version.
+  std::vector<double> utils(8, 0.0);
+  utils[0] = 0.4;
+  BspConfig with = small_bsp(8, 40);
+  BspConfig without = small_bsp(8, 40);
+  without.closing_barrier = false;
+  const double t_with =
+      simulate_bsp(with, utils, table(), rng::Stream(13)).time;
+  const double t_without =
+      simulate_bsp(without, utils, table(), rng::Stream(13)).time;
+  EXPECT_LE(t_without, t_with + 1e-9);
+}
+
+}  // namespace
+}  // namespace ll::parallel

@@ -1,0 +1,114 @@
+#include "parallel/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+
+namespace ll::parallel {
+namespace {
+
+const workload::BurstTable& table() { return workload::default_burst_table(); }
+
+TEST(Contention, RejectsBadInputs) {
+  EXPECT_THROW((void)(ContentionSampler(table(), -1e-6)), std::invalid_argument);
+  ContentionSampler sampler(table(), 100e-6);
+  rng::Stream s(1);
+  EXPECT_THROW((void)(sampler.sample(-1.0, 0.2, s)), std::invalid_argument);
+  EXPECT_THROW((void)(sampler.sample(1.0, 0.999, s)), std::invalid_argument);
+}
+
+TEST(Contention, IdleNodeIsExact) {
+  ContentionSampler sampler(table(), 100e-6);
+  rng::Stream s(2);
+  EXPECT_DOUBLE_EQ(sampler.sample(0.5, 0.0, s), 0.5);
+  EXPECT_DOUBLE_EQ(sampler.sample(0.5, 0.001, s), 0.5);  // below epsilon
+  EXPECT_DOUBLE_EQ(sampler.expected(0.5, 0.0), 0.5);
+}
+
+TEST(Contention, ZeroWorkIsInstant) {
+  ContentionSampler sampler(table(), 100e-6);
+  rng::Stream s(3);
+  EXPECT_DOUBLE_EQ(sampler.sample(0.0, 0.5, s), 0.0);
+}
+
+TEST(Contention, StretchAtLeastWork) {
+  ContentionSampler sampler(table(), 100e-6);
+  rng::Stream s(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(sampler.sample(0.1, 0.4, s), 0.1);
+  }
+}
+
+TEST(Contention, Deterministic) {
+  ContentionSampler sampler(table(), 100e-6);
+  rng::Stream a(5);
+  rng::Stream b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(sampler.sample(0.2, 0.3, a), sampler.sample(0.2, 0.3, b));
+  }
+}
+
+// The sampler's mean must converge to the closed-form expectation
+// work / ((1-u) fcsr(u)) across utilizations and work sizes.
+class MeanSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MeanSweep, SampleMeanMatchesExpectation) {
+  const auto [work, u] = GetParam();
+  ContentionSampler sampler(table(), 100e-6);
+  rng::Stream s(6);
+  stats::Summary sum;
+  const int n = work >= 1.0 ? 2000 : 8000;
+  for (int i = 0; i < n; ++i) sum.add(sampler.sample(work, u, s));
+  const double expected = sampler.expected(work, u);
+  if (work >= 1.0) {
+    // Long work amortizes the initial phase: the renewal-reward asymptote
+    // applies directly.
+    EXPECT_NEAR(sum.mean(), expected, expected * 0.05)
+        << "work=" << work << " u=" << u;
+  } else {
+    // Short work quanta pay an initial-phase overhead of up to one owner
+    // run burst (probability u) on top of the asymptotic mean.
+    const double burst = table().moments_at(u).run_mean;
+    EXPECT_GE(sum.mean(), expected * 0.9) << "work=" << work << " u=" << u;
+    EXPECT_LE(sum.mean(), expected * 1.05 + u * burst * 2.0)
+        << "work=" << work << " u=" << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkAndUtil, MeanSweep,
+    ::testing::Combine(::testing::Values(0.05, 0.5, 2.0),
+                       ::testing::Values(0.1, 0.2, 0.4, 0.6, 0.8)));
+
+TEST(Contention, MoreLoadMoreStretch) {
+  ContentionSampler sampler(table(), 100e-6);
+  EXPECT_LT(sampler.expected(1.0, 0.2), sampler.expected(1.0, 0.5));
+  EXPECT_LT(sampler.expected(1.0, 0.5), sampler.expected(1.0, 0.8));
+}
+
+TEST(Contention, HeavyTailExists) {
+  // The barrier-max effect the parallel results rest on: individual samples
+  // well above the mean must occur at moderate utilization.
+  ContentionSampler sampler(table(), 100e-6);
+  rng::Stream s(7);
+  const double work = 0.05;
+  const double expected = sampler.expected(work, 0.2);
+  int above_double = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.sample(work, 0.2, s) > 2.0 * expected) ++above_double;
+  }
+  EXPECT_GT(above_double, n / 100);  // > 1% of samples at > 2x the mean
+}
+
+TEST(Contention, ExpectedMatchesRateTable) {
+  ContentionSampler sampler(table(), 100e-6);
+  const auto rates = node::EffectiveRateTable::analytic(table(), 100e-6);
+  for (double u : {0.1, 0.3, 0.7}) {
+    EXPECT_NEAR(sampler.expected(2.0, u), 2.0 / rates.foreign_rate(u), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ll::parallel

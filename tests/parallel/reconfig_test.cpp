@@ -1,0 +1,127 @@
+#include "parallel/reconfig.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ll::parallel {
+namespace {
+
+const workload::BurstTable& table() { return workload::default_burst_table(); }
+
+ReconfigScenario scenario32() {
+  ReconfigScenario s;
+  s.cluster_nodes = 32;
+  s.nonidle_util = 0.2;
+  s.total_work = 38.4;
+  s.bsp.granularity = 0.5;  // the paper's 500 ms sync frequency
+  return s;
+}
+
+TEST(FloorPow2, KnownValues) {
+  EXPECT_EQ(floor_pow2(1), 1u);
+  EXPECT_EQ(floor_pow2(2), 2u);
+  EXPECT_EQ(floor_pow2(3), 2u);
+  EXPECT_EQ(floor_pow2(31), 16u);
+  EXPECT_EQ(floor_pow2(32), 32u);
+  EXPECT_EQ(floor_pow2(33), 32u);
+  EXPECT_THROW((void)(floor_pow2(0)), std::invalid_argument);
+}
+
+TEST(LlCompletion, RejectsBadArguments) {
+  const auto s = scenario32();
+  EXPECT_THROW((void)(ll_completion(s, 0, 10, table(), rng::Stream(1))),
+               std::invalid_argument);
+  EXPECT_THROW((void)(ll_completion(s, 33, 10, table(), rng::Stream(1))),
+               std::invalid_argument);
+  EXPECT_THROW((void)(ll_completion(s, 8, 33, table(), rng::Stream(1))),
+               std::invalid_argument);
+  EXPECT_THROW((void)(reconfig_completion(s, 33, table(), rng::Stream(1))),
+               std::invalid_argument);
+}
+
+TEST(LlCompletion, AllIdleMatchesWidthScaling) {
+  const auto s = scenario32();
+  const double t32 = ll_completion(s, 32, 32, table(), rng::Stream(2));
+  const double t16 = ll_completion(s, 16, 32, table(), rng::Stream(2));
+  const double t8 = ll_completion(s, 8, 32, table(), rng::Stream(2));
+  // Work-bound: halving the width roughly doubles the compute time.
+  EXPECT_GT(t16, t32 * 1.5);
+  EXPECT_GT(t8, t16 * 1.5);
+}
+
+TEST(LlCompletion, FlatWhileEnoughIdleNodes) {
+  // LL-8 runs entirely on idle nodes whenever idle >= 8: completion is
+  // independent of the exact idle count.
+  const auto s = scenario32();
+  const double a = ll_completion(s, 8, 32, table(), rng::Stream(3));
+  const double b = ll_completion(s, 8, 8, table(), rng::Stream(3));
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(LlCompletion, DegradesGracefullyBelowWidth) {
+  const auto s = scenario32();
+  const double full = ll_completion(s, 32, 32, table(), rng::Stream(4));
+  const double some = ll_completion(s, 32, 24, table(), rng::Stream(4));
+  const double none = ll_completion(s, 32, 0, table(), rng::Stream(4));
+  EXPECT_GT(some, full);
+  EXPECT_GT(none, some);
+  // At 20% load even the all-busy case is bounded by the leftover rate.
+  EXPECT_LT(none, full * 3.0);
+}
+
+TEST(Reconfig, UsesLargestPowerOfTwo) {
+  const auto s = scenario32();
+  // 31 idle -> 16 nodes; 32 idle -> 32 nodes. The 32-node run must be
+  // roughly twice as fast.
+  const double t31 = reconfig_completion(s, 31, table(), rng::Stream(5));
+  const double t32 = reconfig_completion(s, 32, table(), rng::Stream(5));
+  EXPECT_GT(t31, t32 * 1.5);
+}
+
+TEST(Reconfig, StepFunctionBetweenPowers) {
+  const auto s = scenario32();
+  // Anywhere in [16, 31] idle nodes, reconfiguration runs on 16.
+  const double t16 = reconfig_completion(s, 16, table(), rng::Stream(6));
+  const double t24 = reconfig_completion(s, 24, table(), rng::Stream(6));
+  EXPECT_DOUBLE_EQ(t16, t24);
+}
+
+TEST(Reconfig, ZeroIdleFallsBackToOneBusyNode) {
+  const auto s = scenario32();
+  const double t = reconfig_completion(s, 0, table(), rng::Stream(7));
+  // Serial execution of 38.4 proc-seconds, stretched by 20% load.
+  EXPECT_GT(t, 38.4);
+  EXPECT_LT(t, 38.4 * 2.5);
+}
+
+TEST(LlVsReconfig, PaperFigure11Crossover) {
+  // With few non-idle nodes, LL-32 beats reconfiguration's shrink to 16;
+  // reconfiguration wins when it keeps full width (all 32 idle).
+  const auto s = scenario32();
+  // 29 idle (3 lingering): LL-32 keeps width 32; reconfig drops to 16.
+  const double ll32 = ll_completion(s, 32, 29, table(), rng::Stream(8));
+  const double rec = reconfig_completion(s, 29, table(), rng::Stream(8));
+  EXPECT_LT(ll32, rec);
+  // All idle: both run 32 wide; LL has no edge.
+  const double ll_full = ll_completion(s, 32, 32, table(), rng::Stream(9));
+  const double rec_full = reconfig_completion(s, 32, table(), rng::Stream(9));
+  EXPECT_NEAR(ll_full, rec_full, rec_full * 0.1);
+}
+
+TEST(LlVsReconfig, Ll16BeatsReconfigBelow16Idle) {
+  const auto s = scenario32();
+  // 12 idle nodes: reconfig shrinks to 8; LL-16 lingers on 4 busy nodes.
+  const double ll16 = ll_completion(s, 16, 12, table(), rng::Stream(10));
+  const double rec = reconfig_completion(s, 12, table(), rng::Stream(10));
+  EXPECT_LT(ll16, rec);
+}
+
+TEST(Determinism, SameSeedSameResult) {
+  const auto s = scenario32();
+  EXPECT_DOUBLE_EQ(ll_completion(s, 16, 10, table(), rng::Stream(11)),
+                   ll_completion(s, 16, 10, table(), rng::Stream(11)));
+  EXPECT_DOUBLE_EQ(reconfig_completion(s, 10, table(), rng::Stream(12)),
+                   reconfig_completion(s, 10, table(), rng::Stream(12)));
+}
+
+}  // namespace
+}  // namespace ll::parallel

@@ -1,0 +1,156 @@
+#include "rng/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+
+namespace ll::rng {
+namespace {
+
+std::vector<double> draw(const auto& dist, Stream& s, int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(dist.sample(s));
+  return out;
+}
+
+TEST(Exponential, RejectsBadRate) {
+  EXPECT_THROW((void)(Exponential(0.0)), std::invalid_argument);
+  EXPECT_THROW((void)(Exponential(-1.0)), std::invalid_argument);
+}
+
+TEST(Exponential, MomentFormulas) {
+  Exponential e(4.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 0.25);
+  EXPECT_DOUBLE_EQ(e.variance(), 0.0625);
+}
+
+TEST(Exponential, SampleMeanMatches) {
+  Exponential e(2.0);
+  Stream s(1);
+  stats::Summary sum;
+  for (double x : draw(e, s, 200000)) sum.add(x);
+  EXPECT_NEAR(sum.mean(), 0.5, 0.01);
+  EXPECT_NEAR(sum.variance(), 0.25, 0.02);
+}
+
+TEST(Exponential, SamplesNonNegative) {
+  Exponential e(1.0);
+  Stream s(2);
+  for (double x : draw(e, s, 10000)) EXPECT_GE(x, 0.0);
+}
+
+TEST(Exponential, CdfMatchesClosedForm) {
+  Exponential e(3.0);
+  EXPECT_DOUBLE_EQ(e.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(-1.0), 0.0);
+  EXPECT_NEAR(e.cdf(1.0 / 3.0), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(Exponential, KsAgainstOwnCdf) {
+  Exponential e(1.5);
+  Stream s(3);
+  stats::EmpiricalCdf ecdf(draw(e, s, 50000));
+  const double d = ecdf.ks_distance([&e](double x) { return e.cdf(x); });
+  // KS critical value at alpha=0.01 for n=50000 is ~0.0073; allow slack.
+  EXPECT_LT(d, 0.012);
+}
+
+TEST(HyperExp2, RejectsBadParameters) {
+  EXPECT_THROW((void)(HyperExp2(-0.1, 1.0, 1.0)), std::invalid_argument);
+  EXPECT_THROW((void)(HyperExp2(1.1, 1.0, 1.0)), std::invalid_argument);
+  EXPECT_THROW((void)(HyperExp2(0.5, 0.0, 1.0)), std::invalid_argument);
+  EXPECT_THROW((void)(HyperExp2(0.5, 1.0, -2.0)), std::invalid_argument);
+}
+
+TEST(HyperExp2, MomentFormulas) {
+  HyperExp2 h(0.4, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.4 / 2.0 + 0.6 / 0.5);
+  // E[X^2] = 2(p/r1^2 + (1-p)/r2^2)
+  const double m2 = 2.0 * (0.4 / 4.0 + 0.6 / 0.25);
+  EXPECT_DOUBLE_EQ(h.second_moment(), m2);
+  EXPECT_NEAR(h.variance(), m2 - h.mean() * h.mean(), 1e-12);
+}
+
+TEST(HyperExp2, DegeneratesToExponential) {
+  HyperExp2 h(1.0, 2.0, 5.0);  // second branch unreachable
+  Exponential e(2.0);
+  EXPECT_DOUBLE_EQ(h.mean(), e.mean());
+  EXPECT_NEAR(h.cv2(), 1.0, 1e-12);
+}
+
+TEST(HyperExp2, Cv2AtLeastOne) {
+  // Any proper H2 has cv^2 >= 1.
+  HyperExp2 h(0.3, 5.0, 0.7);
+  EXPECT_GE(h.cv2(), 1.0);
+}
+
+TEST(HyperExp2, SampleMomentsMatch) {
+  HyperExp2 h(0.7, 10.0, 1.0);
+  Stream s(4);
+  stats::Summary sum;
+  for (double x : draw(h, s, 300000)) sum.add(x);
+  EXPECT_NEAR(sum.mean(), h.mean(), h.mean() * 0.02);
+  EXPECT_NEAR(sum.variance(), h.variance(), h.variance() * 0.05);
+}
+
+TEST(HyperExp2, KsAgainstOwnCdf) {
+  HyperExp2 h(0.6, 4.0, 0.8);
+  Stream s(5);
+  stats::EmpiricalCdf ecdf(draw(h, s, 50000));
+  const double d = ecdf.ks_distance([&h](double x) { return h.cdf(x); });
+  EXPECT_LT(d, 0.012);
+}
+
+TEST(HyperExp2, MeanExcessAtZeroIsMean) {
+  HyperExp2 h(0.6, 4.0, 0.8);
+  EXPECT_NEAR(h.mean_excess(0.0), h.mean(), 1e-12);
+  EXPECT_NEAR(h.mean_excess(-1.0), h.mean(), 1e-12);
+}
+
+TEST(HyperExp2, MeanExcessDecreases) {
+  HyperExp2 h(0.6, 4.0, 0.8);
+  double prev = h.mean_excess(0.0);
+  for (double c : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const double cur = h.mean_excess(c);
+    EXPECT_LT(cur, prev);
+    EXPECT_GT(cur, 0.0);
+    prev = cur;
+  }
+}
+
+TEST(HyperExp2, MeanExcessMatchesMonteCarlo) {
+  HyperExp2 h(0.7, 8.0, 1.2);
+  Stream s(6);
+  const double c = 0.4;
+  double acc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += std::max(0.0, h.sample(s) - c);
+  EXPECT_NEAR(acc / n, h.mean_excess(c), 0.01 * h.mean());
+}
+
+TEST(HyperExp2, MeanResidualExceedsMeanForBursty) {
+  // Inspection paradox: residual life of a high-cv2 process exceeds half the
+  // mean (and exceeds the full mean when cv2 > 1).
+  HyperExp2 h(0.9, 20.0, 0.5);
+  EXPECT_GT(h.cv2(), 1.0);
+  EXPECT_GT(h.mean_residual(), h.mean());
+}
+
+TEST(HyperExp2, CdfMonotoneAndBounded) {
+  HyperExp2 h(0.5, 2.0, 0.2);
+  double prev = 0.0;
+  for (double x = 0.0; x < 20.0; x += 0.25) {
+    const double f = h.cdf(x);
+    EXPECT_GE(f, prev);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_GT(prev, 0.97);
+}
+
+}  // namespace
+}  // namespace ll::rng

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "stats/summary.hpp"
+
+namespace ll::rng {
+namespace {
+
+TEST(FitHyperExp2, RecoversTargetMoments) {
+  const double mean = 0.05;
+  const double variance = 0.005;  // cv2 = 2
+  const HyperExp2 h = fit_hyperexp2(mean, variance);
+  EXPECT_NEAR(h.mean(), mean, 1e-12);
+  EXPECT_NEAR(h.variance(), variance, 1e-12);
+}
+
+// Property sweep: the balanced-means fit must reproduce (mean, cv2) across
+// the whole range the burst table uses.
+class FitSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FitSweep, MomentsRoundTrip) {
+  const auto [mean, cv2] = GetParam();
+  const double variance = cv2 * mean * mean;
+  const HyperExp2 h = fit_hyperexp2(mean, variance);
+  EXPECT_NEAR(h.mean(), mean, mean * 1e-9);
+  if (cv2 >= 1.0) {
+    EXPECT_NEAR(h.variance(), variance, variance * 1e-9);
+  } else {
+    // Sub-exponential variability degrades to exponential: variance = mean^2.
+    EXPECT_NEAR(h.variance(), mean * mean, mean * mean * 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeanAndCv2Grid, FitSweep,
+    ::testing::Combine(::testing::Values(1e-4, 1e-3, 0.01, 0.1, 1.0, 10.0),
+                       ::testing::Values(0.5, 1.0, 1.5, 2.0, 4.0, 10.0, 50.0)));
+
+TEST(FitHyperExp2, BalancedMeansProperty) {
+  // Each branch contributes exactly half the mean: p/r1 == (1-p)/r2.
+  const HyperExp2 h = fit_hyperexp2(2.0, 12.0);
+  EXPECT_NEAR(h.p() / h.rate1(), (1.0 - h.p()) / h.rate2(), 1e-12);
+}
+
+TEST(FitHyperExp2, Cv2BelowOneDegradesToExponential) {
+  const HyperExp2 h = fit_hyperexp2(1.0, 0.25);
+  EXPECT_DOUBLE_EQ(h.p(), 1.0);
+  EXPECT_DOUBLE_EQ(h.rate1(), h.rate2());
+  EXPECT_NEAR(h.cv2(), 1.0, 1e-12);
+}
+
+TEST(FitHyperExp2, ZeroVarianceDegradesToExponential) {
+  const HyperExp2 h = fit_hyperexp2(0.5, 0.0);
+  EXPECT_NEAR(h.mean(), 0.5, 1e-12);
+  EXPECT_NEAR(h.cv2(), 1.0, 1e-12);
+}
+
+TEST(FitHyperExp2, RejectsBadInputs) {
+  EXPECT_THROW((void)(fit_hyperexp2(0.0, 1.0)), std::invalid_argument);
+  EXPECT_THROW((void)(fit_hyperexp2(-1.0, 1.0)), std::invalid_argument);
+  EXPECT_THROW((void)(fit_hyperexp2(1.0, -0.5)), std::invalid_argument);
+}
+
+TEST(FitHyperExp2, SampledMomentsMatchFit) {
+  // End-to-end: fit -> sample -> re-measure, as the Figure 2 pipeline does.
+  const double mean = 0.02;
+  const double variance = 3.0 * mean * mean;
+  const HyperExp2 h = fit_hyperexp2(mean, variance);
+  Stream s(17);
+  stats::Summary sum;
+  for (int i = 0; i < 400000; ++i) sum.add(h.sample(s));
+  EXPECT_NEAR(sum.mean(), mean, mean * 0.02);
+  EXPECT_NEAR(sum.variance(), variance, variance * 0.06);
+}
+
+TEST(FitHyperExp2, ExtremeCv2StillValid) {
+  const HyperExp2 h = fit_hyperexp2(1.0, 1000.0);
+  EXPECT_GT(h.p(), 0.99);
+  EXPECT_LT(h.p(), 1.0);
+  EXPECT_NEAR(h.mean(), 1.0, 1e-9);
+  EXPECT_NEAR(h.variance(), 1000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ll::rng

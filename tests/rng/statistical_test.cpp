@@ -1,0 +1,137 @@
+/// Statistical quality tests for the random substrate. These are not full
+/// TestU01 batteries, but they catch the failure modes that would corrupt
+/// experiments: biased uniforms, correlated forks, and broken tie-breaking
+/// between streams derived from consecutive indices.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace ll::rng {
+namespace {
+
+/// Chi-square statistic for uniform bin occupancy.
+double chi_square_uniform(const std::vector<int>& counts, int total) {
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(counts.size());
+  double chi = 0.0;
+  for (int c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi += d * d / expected;
+  }
+  return chi;
+}
+
+TEST(RngStatistics, Uniform01ChiSquare) {
+  Engine e(12345);
+  const int bins = 64;
+  const int n = 640000;
+  std::vector<int> counts(bins, 0);
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(e.uniform01() * bins)];
+  }
+  // 63 degrees of freedom; 99.9th percentile ~ 103. Generous bound.
+  EXPECT_LT(chi_square_uniform(counts, n), 110.0);
+}
+
+TEST(RngStatistics, BitBalance) {
+  Engine e(777);
+  std::array<int, 64> ones{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t x = e();
+    for (int b = 0; b < 64; ++b) {
+      ones[static_cast<std::size_t>(b)] += static_cast<int>((x >> b) & 1);
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(ones[static_cast<std::size_t>(b)], n / 2, n / 2 * 0.02)
+        << "bit " << b;
+  }
+}
+
+TEST(RngStatistics, LagOneAutocorrelationSmall) {
+  Engine e(31415);
+  const int n = 200000;
+  double prev = e.uniform01();
+  stats::Summary xs;
+  double cross = 0.0;
+  std::vector<double> seq;
+  seq.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double x = e.uniform01();
+    seq.push_back(x);
+    xs.add(x);
+  }
+  (void)prev;
+  const double mean = xs.mean();
+  double var = 0.0;
+  for (int i = 0; i + 1 < n; ++i) {
+    cross += (seq[i] - mean) * (seq[i + 1] - mean);
+  }
+  for (double x : seq) var += (x - mean) * (x - mean);
+  EXPECT_LT(std::abs(cross / var), 0.01);
+}
+
+TEST(RngStatistics, ForkedStreamsUncorrelated) {
+  // Streams forked with consecutive indices must not track each other.
+  Stream parent(2718);
+  Stream a = parent.fork("node", 0);
+  Stream b = parent.fork("node", 1);
+  const int n = 100000;
+  double cross = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double xa = a.uniform01() - 0.5;
+    const double xb = b.uniform01() - 0.5;
+    cross += xa * xb;
+    var_a += xa * xa;
+    var_b += xb * xb;
+  }
+  const double corr = cross / std::sqrt(var_a * var_b);
+  EXPECT_LT(std::abs(corr), 0.01);
+}
+
+TEST(RngStatistics, SiblingLabelsUncorrelated) {
+  Stream parent(999);
+  Stream a = parent.fork("bursts");
+  Stream b = parent.fork("burstt");  // adjacent label
+  const int n = 100000;
+  double cross = 0.0;
+  for (int i = 0; i < n; ++i) {
+    cross += (a.uniform01() - 0.5) * (b.uniform01() - 0.5);
+  }
+  // Normalized by n * var(U-0.5) = n / 12.
+  EXPECT_LT(std::abs(cross / (n / 12.0)), 0.02);
+}
+
+TEST(RngStatistics, SeedAvalanche) {
+  // Adjacent master seeds must produce unrelated first draws.
+  std::vector<double> firsts;
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    firsts.push_back(Stream(seed).uniform01());
+  }
+  stats::Summary s;
+  for (double x : firsts) s.add(x);
+  EXPECT_NEAR(s.mean(), 0.5, 0.04);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.0 / 12.0), 0.03);
+}
+
+TEST(RngStatistics, UniformIndexChiSquare) {
+  Stream s(555);
+  const std::uint64_t k = 7;  // non-power-of-two to exercise rejection
+  const int n = 70000;
+  std::vector<int> counts(k, 0);
+  for (int i = 0; i < n; ++i) ++counts[s.uniform_index(k)];
+  // 6 degrees of freedom; 99.9th percentile ~ 22.5.
+  EXPECT_LT(chi_square_uniform(counts, n), 25.0);
+}
+
+}  // namespace
+}  // namespace ll::rng

@@ -1,0 +1,98 @@
+#include "stats/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/distributions.hpp"
+#include "rng/rng.hpp"
+
+namespace ll::stats {
+namespace {
+
+TEST(EmpiricalCdf, EmptyThrows) {
+  EXPECT_THROW((void)(EmpiricalCdf({})), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, EvaluatesStepFunction) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, HandlesDuplicates) {
+  EmpiricalCdf cdf({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf(1.9), 0.0);
+}
+
+TEST(EmpiricalCdf, Quantiles) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.01), 10.0);
+}
+
+TEST(EmpiricalCdf, QuantileRangeChecked) {
+  EmpiricalCdf cdf({1.0});
+  EXPECT_THROW((void)(cdf.quantile(0.0)), std::invalid_argument);
+  EXPECT_THROW((void)(cdf.quantile(1.5)), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, MinMaxSorted) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  EXPECT_TRUE(std::is_sorted(cdf.sorted_samples().begin(),
+                             cdf.sorted_samples().end()));
+}
+
+TEST(EmpiricalCdf, KsDistanceZeroAgainstSelfSteps) {
+  // Against its own step function evaluated slightly right of each sample,
+  // the distance is bounded by 1/n.
+  std::vector<double> samples{1.0, 2.0, 3.0, 4.0, 5.0};
+  EmpiricalCdf cdf(samples);
+  const double d = cdf.ks_distance([&cdf](double x) { return cdf(x); });
+  EXPECT_LE(d, 1.0 / 5.0 + 1e-12);
+}
+
+TEST(EmpiricalCdf, KsDetectsWrongDistribution) {
+  rng::Exponential e(1.0);
+  rng::Stream s(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(e.sample(s));
+  EmpiricalCdf cdf(samples);
+  // Right distribution: small distance.
+  EXPECT_LT(cdf.ks_distance([&e](double x) { return e.cdf(x); }), 0.02);
+  // Wrong rate: big distance.
+  rng::Exponential wrong(3.0);
+  EXPECT_GT(cdf.ks_distance([&wrong](double x) { return wrong.cdf(x); }), 0.2);
+}
+
+TEST(EmpiricalCdf, TwoSampleKsSmallForSameSource) {
+  rng::Exponential e(2.0);
+  rng::Stream s(4);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 20000; ++i) a.push_back(e.sample(s));
+  for (int i = 0; i < 20000; ++i) b.push_back(e.sample(s));
+  EXPECT_LT(EmpiricalCdf(a).ks_distance(EmpiricalCdf(b)), 0.025);
+}
+
+TEST(EmpiricalCdf, TwoSampleKsLargeForDifferentSources) {
+  rng::Exponential e1(1.0);
+  rng::Exponential e2(4.0);
+  rng::Stream s(5);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 10000; ++i) a.push_back(e1.sample(s));
+  for (int i = 0; i < 10000; ++i) b.push_back(e2.sample(s));
+  EXPECT_GT(EmpiricalCdf(a).ks_distance(EmpiricalCdf(b)), 0.3);
+}
+
+}  // namespace
+}  // namespace ll::stats

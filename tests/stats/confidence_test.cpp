@@ -1,0 +1,84 @@
+#include "stats/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/rng.hpp"
+
+namespace ll::stats {
+namespace {
+
+TEST(TCritical, KnownValues) {
+  EXPECT_NEAR(t_critical_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical_95(10), 2.228, 1e-3);
+  EXPECT_NEAR(t_critical_95(30), 2.042, 1e-3);
+}
+
+TEST(TCritical, AsymptoticTail) {
+  EXPECT_NEAR(t_critical_95(1000), 1.960, 1e-3);
+  EXPECT_GT(t_critical_95(35), t_critical_95(1000));
+}
+
+TEST(TCritical, ZeroDofThrows) {
+  EXPECT_THROW((void)(t_critical_95(0)), std::invalid_argument);
+}
+
+TEST(TCritical, MonotoneNonIncreasing) {
+  double prev = t_critical_95(1);
+  for (std::size_t df = 2; df <= 200; ++df) {
+    const double cur = t_critical_95(df);
+    EXPECT_LE(cur, prev + 1e-12) << "df=" << df;
+    prev = cur;
+  }
+}
+
+TEST(MeanConfidence, EmptyThrows) {
+  EXPECT_THROW((void)(mean_confidence_95({})), std::invalid_argument);
+}
+
+TEST(MeanConfidence, SingleSampleZeroWidth) {
+  const auto ci = mean_confidence_95({4.2});
+  EXPECT_DOUBLE_EQ(ci.mean, 4.2);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_EQ(ci.n, 1u);
+}
+
+TEST(MeanConfidence, KnownSmallSample) {
+  // mean 3, sample sd 1, n = 3 -> half width = 4.303 / sqrt(3).
+  const auto ci = mean_confidence_95({2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_NEAR(ci.half_width, 4.303 / std::sqrt(3.0), 1e-3);
+  EXPECT_NEAR(ci.lo(), 3.0 - ci.half_width, 1e-12);
+  EXPECT_NEAR(ci.hi(), 3.0 + ci.half_width, 1e-12);
+}
+
+TEST(MeanConfidence, CoverageApproximately95Percent) {
+  // Draw many size-10 samples from U(0,1); the CI should contain the true
+  // mean 0.5 about 95% of the time.
+  rng::Stream stream(77);
+  int covered = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> sample;
+    for (int i = 0; i < 10; ++i) sample.push_back(stream.uniform01());
+    const auto ci = mean_confidence_95(sample);
+    if (ci.lo() <= 0.5 && 0.5 <= ci.hi()) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GT(coverage, 0.92);
+  EXPECT_LT(coverage, 0.98);
+}
+
+TEST(MeanConfidence, WidthShrinksWithN) {
+  rng::Stream stream(78);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 8; ++i) small.push_back(stream.uniform01());
+  for (int i = 0; i < 128; ++i) large.push_back(stream.uniform01());
+  EXPECT_GT(mean_confidence_95(small).half_width,
+            mean_confidence_95(large).half_width);
+}
+
+}  // namespace
+}  // namespace ll::stats

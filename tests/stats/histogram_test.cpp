@@ -1,0 +1,96 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ll::stats {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW((void)(Histogram(1.0, 1.0, 10)), std::invalid_argument);
+  EXPECT_THROW((void)(Histogram(2.0, 1.0, 10)), std::invalid_argument);
+  EXPECT_THROW((void)(Histogram(0.0, 1.0, 0)), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(5.9);
+  h.add(9.99);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(5), 2u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(1.0, 3.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 1.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 2.25);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 3.0);
+}
+
+TEST(Histogram, CumulativeFraction) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(2.5);
+  h.add(3.5);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(3), 1.0);
+}
+
+TEST(Histogram, CumulativeIncludesUnderflow) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(-1.0);
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 1.0);
+}
+
+TEST(Histogram, CumulativeOutOfRangeThrows) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.5);
+  EXPECT_THROW((void)(h.cumulative_fraction(2)), std::out_of_range);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(0.05 + 0.0999 * i * 1.0);
+  // Uniform over [0, 10): median near 5.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.6);
+  EXPECT_NEAR(h.quantile(0.1), 1.0, 0.6);
+  EXPECT_NEAR(h.quantile(0.9), 9.0, 0.6);
+}
+
+TEST(Histogram, QuantileEmptyThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)(h.quantile(0.5)), std::logic_error);
+}
+
+TEST(Histogram, QuantileRangeChecked) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.5);
+  EXPECT_THROW((void)(h.quantile(-0.1)), std::invalid_argument);
+  EXPECT_THROW((void)(h.quantile(1.1)), std::invalid_argument);
+}
+
+TEST(Histogram, ValueAtHiBoundaryGoesToOverflow) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(1.0);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+}  // namespace
+}  // namespace ll::stats

@@ -1,0 +1,130 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace ll::stats {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Summary, KnownValues) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, SampleVarianceUsesBessel) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+}
+
+TEST(Summary, CvIsStddevOverMean) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cv(), 2.0 / 5.0);
+}
+
+TEST(Summary, CvZeroWhenMeanZero) {
+  Summary s;
+  s.add(1.0);
+  s.add(-1.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Summary, WeightedMean) {
+  Summary s;
+  s.add_weighted(10.0, 3.0);
+  s.add_weighted(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.weight(), 4.0);
+}
+
+TEST(Summary, ZeroWeightIgnored) {
+  Summary s;
+  s.add(1.0);
+  s.add_weighted(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(Summary, NegativeWeightThrows) {
+  Summary s;
+  EXPECT_THROW((void)(s.add_weighted(1.0, -1.0)), std::invalid_argument);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  rng::Stream stream(9);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(stream.uniform(-3.0, 10.0));
+
+  Summary whole;
+  for (double x : values) whole.add(x);
+
+  Summary left;
+  Summary right;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i < 400 ? left : right).add(values[i]);
+  }
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(3.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+
+  Summary b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Summary, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: huge mean, small variance.
+  Summary s;
+  const double base = 1e9;
+  for (double x : {base + 1.0, base + 2.0, base + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), base + 2.0, 1e-6);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ll::stats

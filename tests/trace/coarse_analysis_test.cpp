@@ -1,0 +1,82 @@
+#include "trace/coarse_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ll::trace {
+namespace {
+
+// Rule where a single quiet sample makes the machine idle (period 2 s).
+const RecruitmentRule kInstantRule{0.1, 2.0};
+
+CoarseTrace trace_of(std::initializer_list<CoarseSample> samples) {
+  CoarseTrace t(2.0);
+  for (const auto& s : samples) t.push(s);
+  return t;
+}
+
+TEST(CoarseAnalysis, EmptyPool) {
+  const CoarseStats s = analyze_coarse({}, kInstantRule);
+  EXPECT_EQ(s.sample_count, 0u);
+  EXPECT_DOUBLE_EQ(s.nonidle_fraction, 0.0);
+}
+
+TEST(CoarseAnalysis, SplitsByState) {
+  auto t = trace_of({{0.02, 1000, false},   // idle
+                     {0.50, 2000, false},   // non-idle (cpu)
+                     {0.03, 3000, true},    // non-idle (keyboard)
+                     {0.05, 4000, false}}); // idle
+  const CoarseStats s = analyze_coarse({t}, kInstantRule);
+  EXPECT_EQ(s.sample_count, 4u);
+  EXPECT_DOUBLE_EQ(s.nonidle_fraction, 0.5);
+  EXPECT_NEAR(s.mean_cpu_idle, (0.02 + 0.05) / 2, 1e-12);
+  EXPECT_NEAR(s.mean_cpu_nonidle, (0.50 + 0.03) / 2, 1e-12);
+  EXPECT_NEAR(s.mean_cpu_overall, (0.02 + 0.50 + 0.03 + 0.05) / 4, 1e-12);
+}
+
+TEST(CoarseAnalysis, NonIdleBelowTenPercent) {
+  auto t = trace_of({{0.50, 0, false},    // non-idle, >= 10%
+                     {0.03, 0, true},     // non-idle (keyboard), < 10%
+                     {0.02, 0, false}});  // idle
+  const CoarseStats s = analyze_coarse({t}, kInstantRule);
+  EXPECT_DOUBLE_EQ(s.nonidle_below_10pct, 0.5);
+}
+
+TEST(CoarseAnalysis, EpisodeMeans) {
+  auto t = trace_of({{0.5, 0, false},
+                     {0.5, 0, false},
+                     {0.02, 0, false},
+                     {0.5, 0, false}});
+  const CoarseStats s = analyze_coarse({t}, kInstantRule);
+  EXPECT_DOUBLE_EQ(s.mean_nonidle_episode, 3.0);  // episodes of 4s and 2s
+  EXPECT_DOUBLE_EQ(s.mean_idle_episode, 2.0);
+}
+
+TEST(CoarseAnalysis, PoolsAcrossTraces) {
+  auto a = trace_of({{0.5, 0, false}});
+  auto b = trace_of({{0.02, 0, false}, {0.02, 0, false}});
+  const CoarseStats s = analyze_coarse({a, b}, kInstantRule);
+  EXPECT_EQ(s.sample_count, 3u);
+  EXPECT_NEAR(s.nonidle_fraction, 1.0 / 3.0, 1e-12);
+}
+
+TEST(MemoryAvailability, SplitsSamplesByState) {
+  auto t = trace_of({{0.02, 1000, false}, {0.50, 2000, false}});
+  const MemoryAvailability mem = memory_availability({t}, kInstantRule);
+  ASSERT_EQ(mem.all_kb.size(), 2u);
+  ASSERT_EQ(mem.idle_kb.size(), 1u);
+  ASSERT_EQ(mem.nonidle_kb.size(), 1u);
+  EXPECT_DOUBLE_EQ(mem.idle_kb[0], 1000.0);
+  EXPECT_DOUBLE_EQ(mem.nonidle_kb[0], 2000.0);
+}
+
+TEST(MemoryAvailability, FractionWithAtLeast) {
+  const std::vector<double> kb{1000, 2000, 3000, 4000};
+  EXPECT_DOUBLE_EQ(fraction_with_at_least(kb, 2500), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_with_at_least(kb, 0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_with_at_least(kb, 5000), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_with_at_least(kb, 2000), 0.75);  // inclusive
+  EXPECT_DOUBLE_EQ(fraction_with_at_least({}, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace ll::trace

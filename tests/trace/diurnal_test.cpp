@@ -1,0 +1,164 @@
+/// Structural tests of the synthetic coarse-trace generator's diurnal and
+/// session behaviour — the properties the cluster experiments lean on
+/// beyond the aggregate §3.2 statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/coarse_analysis.hpp"
+#include "trace/coarse_generator.hpp"
+#include "trace/recruitment.hpp"
+
+namespace ll::trace {
+namespace {
+
+/// Non-idle fraction of the samples within [from_hour, to_hour) of each day.
+double nonidle_fraction_between(const CoarseTrace& trace, double from_hour,
+                                double to_hour,
+                                const RecruitmentRule& rule = {}) {
+  const std::vector<bool> flags = idle_flags(trace, rule);
+  std::size_t in_range = 0;
+  std::size_t nonidle = 0;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    const double hour =
+        std::fmod(static_cast<double>(i) * trace.period() / 3600.0, 24.0);
+    if (hour >= from_hour && hour < to_hour) {
+      ++in_range;
+      if (!flags[i]) ++nonidle;
+    }
+  }
+  return in_range > 0 ? static_cast<double>(nonidle) /
+                            static_cast<double>(in_range)
+                      : 0.0;
+}
+
+TEST(Diurnal, DaytimeBusierThanNight) {
+  CoarseGenConfig cfg;
+  cfg.duration = 3 * 86400.0;
+  double day_sum = 0.0;
+  double night_sum = 0.0;
+  for (std::uint64_t m = 0; m < 6; ++m) {
+    const CoarseTrace t =
+        generate_coarse_trace(cfg, rng::Stream(100).fork("m", m));
+    day_sum += nonidle_fraction_between(t, 9.0, 18.0);
+    night_sum += nonidle_fraction_between(t, 0.0, 7.0);
+  }
+  EXPECT_GT(day_sum / 6.0, night_sum / 6.0 * 2.0);
+  EXPECT_LT(night_sum / 6.0, 0.30);
+  EXPECT_GT(day_sum / 6.0, 0.45);
+}
+
+TEST(Diurnal, StartHourShiftsThePattern) {
+  // An 8-hour trace started at 09:00 covers working hours and must be far
+  // busier than one started at midnight.
+  CoarseGenConfig at_midnight;
+  at_midnight.duration = 8 * 3600.0;
+  CoarseGenConfig at_nine = at_midnight;
+  at_nine.start_hour = 9.0;
+
+  double midnight_busy = 0.0;
+  double nine_busy = 0.0;
+  for (std::uint64_t m = 0; m < 6; ++m) {
+    midnight_busy += idle_fraction(
+        generate_coarse_trace(at_midnight, rng::Stream(7).fork("a", m)));
+    nine_busy += idle_fraction(
+        generate_coarse_trace(at_nine, rng::Stream(7).fork("a", m)));
+  }
+  // idle_fraction is the complement of busy: nine-to-five traces are less idle.
+  EXPECT_LT(nine_busy / 6.0, midnight_busy / 6.0 - 0.15);
+}
+
+TEST(Sessions, KeyboardActivityOnlyWhileNonIdle) {
+  // Any keyboard sample must be flagged non-idle by the recruitment rule.
+  CoarseGenConfig cfg;
+  cfg.duration = 86400.0;
+  const CoarseTrace t = generate_coarse_trace(cfg, rng::Stream(11));
+  const auto flags = idle_flags(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t.samples()[i].keyboard) {
+      EXPECT_FALSE(flags[i]) << "sample " << i;
+    }
+  }
+}
+
+TEST(Sessions, ComputeEpisodesProduceHighUtilizationRuns) {
+  CoarseGenConfig cfg;
+  cfg.duration = 2 * 86400.0;
+  const CoarseTrace t = generate_coarse_trace(cfg, rng::Stream(12));
+  // There are windows above 30% utilization (compute episodes exist)...
+  std::size_t high = 0;
+  for (const CoarseSample& s : t.samples()) {
+    if (s.cpu >= 0.30) ++high;
+  }
+  EXPECT_GT(high, t.size() / 200);  // > 0.5% of time
+  // ...and they cluster: the count of isolated single-window spikes is a
+  // minority of all high windows (episodes have Exp(75 s) length >> 2 s).
+  std::size_t isolated = 0;
+  const auto& samples = t.samples();
+  for (std::size_t i = 1; i + 1 < samples.size(); ++i) {
+    if (samples[i].cpu >= 0.30 && samples[i - 1].cpu < 0.30 &&
+        samples[i + 1].cpu < 0.30) {
+      ++isolated;
+    }
+  }
+  EXPECT_LT(isolated, high / 4);
+}
+
+TEST(Sessions, EpisodeLengthsHaveHeavyTailOfShortOnes) {
+  // Linger-Longer's opportunity: many non-idle episodes end quickly. At
+  // least a quarter of episodes must be shorter than 2 minutes.
+  CoarseGenConfig cfg;
+  cfg.duration = 2 * 86400.0;
+  std::size_t short_count = 0;
+  std::size_t total = 0;
+  for (std::uint64_t m = 0; m < 4; ++m) {
+    const CoarseTrace t =
+        generate_coarse_trace(cfg, rng::Stream(13).fork("m", m));
+    for (double len : nonidle_episode_lengths(t)) {
+      ++total;
+      if (len <= 120.0) ++short_count;
+    }
+  }
+  ASSERT_GT(total, 20u);
+  EXPECT_GT(static_cast<double>(short_count) / static_cast<double>(total),
+            0.25);
+}
+
+TEST(Memory, FreeMemoryNeverNegativeNorAboveTotal) {
+  CoarseGenConfig cfg;
+  cfg.duration = 86400.0;
+  const CoarseTrace t = generate_coarse_trace(cfg, rng::Stream(14));
+  for (const CoarseSample& s : t.samples()) {
+    EXPECT_GE(s.mem_free_kb, 0);
+    EXPECT_LE(s.mem_free_kb, cfg.mem_total_kb);
+  }
+}
+
+TEST(Memory, ComputeEpisodesConsumeMemory) {
+  // Mean free memory during high-CPU windows is lower than during quiet
+  // windows (episodes carry extra working set).
+  CoarseGenConfig cfg;
+  cfg.duration = 2 * 86400.0;
+  const CoarseTrace t = generate_coarse_trace(cfg, rng::Stream(15));
+  double high_free = 0.0;
+  double low_free = 0.0;
+  std::size_t high_n = 0;
+  std::size_t low_n = 0;
+  for (const CoarseSample& s : t.samples()) {
+    if (s.cpu >= 0.30) {
+      high_free += s.mem_free_kb;
+      ++high_n;
+    } else {
+      low_free += s.mem_free_kb;
+      ++low_n;
+    }
+  }
+  ASSERT_GT(high_n, 0u);
+  ASSERT_GT(low_n, 0u);
+  EXPECT_LT(high_free / static_cast<double>(high_n),
+            low_free / static_cast<double>(low_n));
+}
+
+}  // namespace
+}  // namespace ll::trace

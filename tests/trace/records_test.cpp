@@ -1,0 +1,94 @@
+#include "trace/records.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ll::trace {
+namespace {
+
+TEST(FineTrace, EmptyDefaults) {
+  FineTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.duration(), 0.0);
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.0);
+}
+
+TEST(FineTrace, DurationSumsBursts) {
+  FineTrace t;
+  t.push(BurstKind::Idle, 1.5);
+  t.push(BurstKind::Run, 0.5);
+  EXPECT_DOUBLE_EQ(t.duration(), 2.0);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(FineTrace, UtilizationIsRunFraction) {
+  FineTrace t;
+  t.push(BurstKind::Idle, 3.0);
+  t.push(BurstKind::Run, 1.0);
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.25);
+}
+
+TEST(FineTrace, RejectsNegativeDurations) {
+  FineTrace t;
+  EXPECT_THROW((void)(t.push(BurstKind::Run, -1.0)), std::invalid_argument);
+}
+
+TEST(CoarseTrace, RejectsBadPeriod) {
+  EXPECT_THROW((void)(CoarseTrace(0.0)), std::invalid_argument);
+  EXPECT_THROW((void)(CoarseTrace(-2.0)), std::invalid_argument);
+}
+
+TEST(CoarseTrace, DurationIsPeriodTimesSamples) {
+  CoarseTrace t(2.0);
+  t.push({0.1, 1000, false});
+  t.push({0.2, 2000, true});
+  EXPECT_DOUBLE_EQ(t.duration(), 4.0);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(CoarseTrace, IndexAtMapsTimesToWindows) {
+  CoarseTrace t(2.0);
+  for (int i = 0; i < 4; ++i) t.push({0.1 * i, 0, false});
+  EXPECT_EQ(t.index_at(0.0), 0u);
+  EXPECT_EQ(t.index_at(1.99), 0u);
+  EXPECT_EQ(t.index_at(2.0), 1u);
+  EXPECT_EQ(t.index_at(7.5), 3u);
+}
+
+TEST(CoarseTrace, IndexAtWrapsAround) {
+  CoarseTrace t(2.0);
+  for (int i = 0; i < 3; ++i) t.push({0.1 * i, 0, false});
+  EXPECT_EQ(t.index_at(6.0), 0u);   // one full lap
+  EXPECT_EQ(t.index_at(8.5), 1u);
+  EXPECT_EQ(t.index_at(60.0), 0u);  // ten laps
+}
+
+TEST(CoarseTrace, IndexAtOnEmptyThrows) {
+  CoarseTrace t(2.0);
+  EXPECT_THROW((void)(t.index_at(0.0)), std::logic_error);
+}
+
+TEST(CoarseTrace, IndexAtNegativeTimeThrows) {
+  CoarseTrace t(2.0);
+  t.push({0.0, 0, false});
+  EXPECT_THROW((void)(t.index_at(-1.0)), std::invalid_argument);
+}
+
+TEST(CoarseTrace, SampleAtReturnsWindowSample) {
+  CoarseTrace t(2.0);
+  t.push({0.25, 111, false});
+  t.push({0.75, 222, true});
+  EXPECT_DOUBLE_EQ(t.sample_at(3.0).cpu, 0.75);
+  EXPECT_EQ(t.sample_at(3.0).mem_free_kb, 222);
+  EXPECT_TRUE(t.sample_at(3.0).keyboard);
+}
+
+TEST(CoarseTrace, MeanCpu) {
+  CoarseTrace t(2.0);
+  t.push({0.2, 0, false});
+  t.push({0.4, 0, false});
+  EXPECT_DOUBLE_EQ(t.mean_cpu(), 0.3);
+  EXPECT_DOUBLE_EQ(CoarseTrace(1.0).mean_cpu(), 0.0);
+}
+
+}  // namespace
+}  // namespace ll::trace

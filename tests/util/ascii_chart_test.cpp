@@ -1,0 +1,110 @@
+#include "util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ll::util {
+namespace {
+
+ChartSeries line(std::string name, std::vector<double> xs,
+                 std::vector<double> ys) {
+  return ChartSeries{std::move(name), std::move(xs), std::move(ys)};
+}
+
+TEST(AsciiChart, RejectsBadInput) {
+  EXPECT_THROW((void)render_chart({}), std::invalid_argument);
+  EXPECT_THROW((void)render_chart({line("a", {}, {})}), std::invalid_argument);
+  EXPECT_THROW((void)render_chart({line("a", {1, 2}, {1})}),
+               std::invalid_argument);
+  ChartOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW((void)render_chart({line("a", {1}, {1})}, tiny),
+               std::invalid_argument);
+}
+
+TEST(AsciiChart, ContainsLegendAndAxisLabels) {
+  ChartOptions opts;
+  opts.x_label = "idle nodes";
+  opts.y_label = "slowdown";
+  const std::string out =
+      render_chart({line("reconfig", {0, 1, 2}, {1, 2, 4}),
+                    line("linger", {0, 1, 2}, {1, 1.5, 2})},
+                   opts);
+  EXPECT_NE(out.find("* reconfig"), std::string::npos);
+  EXPECT_NE(out.find("+ linger"), std::string::npos);
+  EXPECT_NE(out.find("idle nodes"), std::string::npos);
+  EXPECT_NE(out.find("slowdown"), std::string::npos);
+}
+
+TEST(AsciiChart, YRangeLabelsReflectData) {
+  const std::string out = render_chart({line("a", {0, 10}, {2.0, 8.0})});
+  EXPECT_NE(out.find("8"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);  // x max
+}
+
+TEST(AsciiChart, RisingSeriesPutsLastPointAboveFirst) {
+  ChartOptions opts;
+  opts.width = 32;
+  opts.height = 8;
+  const std::string out = render_chart({line("a", {0, 1}, {0.0, 1.0})}, opts);
+  // Split into rows and find the first and last plotted columns.
+  std::vector<std::string> rows;
+  std::stringstream ss(out);
+  std::string row;
+  while (std::getline(ss, row)) rows.push_back(row);
+  int first_row = -1;
+  int last_row = -1;
+  for (int r = 0; r < static_cast<int>(rows.size()); ++r) {
+    const auto star = rows[static_cast<std::size_t>(r)].find('*');
+    if (star == std::string::npos) continue;
+    if (last_row < 0) last_row = r;  // topmost star = highest y = last point
+    first_row = r;                   // bottommost star = lowest y
+  }
+  ASSERT_GE(first_row, 0);
+  EXPECT_LT(last_row, first_row);  // higher value renders on an earlier row
+}
+
+TEST(AsciiChart, ConnectsPointsAcrossColumns) {
+  ChartOptions opts;
+  opts.width = 40;
+  opts.height = 10;
+  // Two points far apart in x: interpolation must fill the columns between.
+  const std::string out = render_chart({line("a", {0, 100}, {5.0, 5.0})}, opts);
+  std::stringstream ss(out);
+  std::string row;
+  std::size_t max_stars = 0;
+  while (std::getline(ss, row)) {
+    max_stars = std::max(
+        max_stars, static_cast<std::size_t>(
+                       std::count(row.begin(), row.end(), '*')));
+  }
+  EXPECT_EQ(max_stars, opts.width);  // a flat line spans the full canvas
+}
+
+TEST(AsciiChart, FixedYRangeClamps) {
+  ChartOptions opts;
+  opts.y_min = 0.0;
+  opts.y_max = 1.0;
+  const std::string out = render_chart({line("a", {0, 1}, {-5.0, 5.0})}, opts);
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_NE(out.find("0"), std::string::npos);
+}
+
+TEST(AsciiChart, SinglePointRenders) {
+  EXPECT_NO_THROW((void)render_chart({line("dot", {3}, {4})}));
+}
+
+TEST(AsciiChart, GlyphsCycleAcrossManySeries) {
+  std::vector<ChartSeries> many;
+  for (int i = 0; i < 8; ++i) {
+    many.push_back(line("s" + std::to_string(i), {0, 1},
+                        {static_cast<double>(i), static_cast<double>(i)}));
+  }
+  const std::string out = render_chart(many);
+  // 7th series reuses the first glyph ('*').
+  EXPECT_NE(out.find("* s0"), std::string::npos);
+  EXPECT_NE(out.find("* s6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ll::util

@@ -1,0 +1,91 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ll::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique file per test case: ctest runs cases as parallel processes.
+    path_ = ::testing::TempDir() + "/ll_csv_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvTest, WritesRows) {
+  {
+    CsvWriter w(path_);
+    ASSERT_TRUE(w.enabled());
+    w.row({"a", "b"});
+    w.row({"1", "2"});
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n1,2\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter w(path_);
+    w.row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  }
+  EXPECT_EQ(read_file(path_),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST_F(CsvTest, VectorOverload) {
+  {
+    CsvWriter w(path_);
+    w.row(std::vector<std::string>{"x", "y"});
+  }
+  EXPECT_EQ(read_file(path_), "x,y\n");
+}
+
+TEST_F(CsvTest, TruncatesExistingFile) {
+  {
+    CsvWriter w(path_);
+    w.row({"old"});
+  }
+  {
+    CsvWriter w(path_);
+    w.row({"new"});
+  }
+  EXPECT_EQ(read_file(path_), "new\n");
+}
+
+TEST(CsvDisabled, DisabledWriterIsNoOp) {
+  CsvWriter w("");
+  EXPECT_FALSE(w.enabled());
+  EXPECT_NO_THROW(w.row({"ignored"}));
+}
+
+TEST(CsvDisabled, UnwritablePathThrows) {
+  EXPECT_THROW((void)(CsvWriter("/nonexistent-dir-xyz/file.csv")), std::runtime_error);
+}
+
+TEST(CsvEscape, PassesPlainThrough) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+}
+
+TEST(CsvEscape, DoublesQuotes) {
+  EXPECT_EQ(CsvWriter::escape("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(CsvEscape, EmptyCell) { EXPECT_EQ(CsvWriter::escape(""), ""); }
+
+}  // namespace
+}  // namespace ll::util

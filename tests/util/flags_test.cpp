@@ -1,0 +1,166 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ll::util {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> out{"prog"};
+  out.insert(out.end(), args.begin(), args.end());
+  return out;
+}
+
+TEST(Flags, DefaultsSurviveEmptyParse) {
+  Flags flags("t", "test");
+  auto i = flags.add_int("count", 7, "a count");
+  auto d = flags.add_double("ratio", 0.5, "a ratio");
+  auto b = flags.add_bool("verbose", false, "a switch");
+  auto s = flags.add_string("name", "abc", "a name");
+  auto argv = argv_of({});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*i, 7);
+  EXPECT_DOUBLE_EQ(*d, 0.5);
+  EXPECT_FALSE(*b);
+  EXPECT_EQ(*s, "abc");
+}
+
+TEST(Flags, EqualsSyntax) {
+  Flags flags("t", "test");
+  auto i = flags.add_int("count", 0, "");
+  auto argv = argv_of({"--count=42"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*i, 42);
+}
+
+TEST(Flags, SpaceSeparatedValue) {
+  Flags flags("t", "test");
+  auto d = flags.add_double("ratio", 0.0, "");
+  auto argv = argv_of({"--ratio", "2.25"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(*d, 2.25);
+}
+
+TEST(Flags, NegativeIntegers) {
+  Flags flags("t", "test");
+  auto i = flags.add_int("delta", 0, "");
+  auto argv = argv_of({"--delta=-13"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*i, -13);
+}
+
+TEST(Flags, Uint64RoundTripsLargeValues) {
+  Flags flags("t", "test");
+  auto u = flags.add_uint64("seed", 0, "");
+  auto argv = argv_of({"--seed=18446744073709551615"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*u, 18446744073709551615ull);
+}
+
+TEST(Flags, BareBoolSetsTrue) {
+  Flags flags("t", "test");
+  auto b = flags.add_bool("verbose", false, "");
+  auto argv = argv_of({"--verbose"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(*b);
+}
+
+TEST(Flags, NoPrefixNegatesBool) {
+  Flags flags("t", "test");
+  auto b = flags.add_bool("verbose", true, "");
+  auto argv = argv_of({"--no-verbose"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(*b);
+}
+
+TEST(Flags, BoolAcceptsExplicitValues) {
+  Flags flags("t", "test");
+  auto b = flags.add_bool("verbose", false, "");
+  auto argv = argv_of({"--verbose=yes"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(*b);
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags flags("t", "test");
+  flags.add_int("count", 0, "");
+  auto argv = argv_of({"--typo=1"});
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, MalformedIntegerThrows) {
+  Flags flags("t", "test");
+  flags.add_int("count", 0, "");
+  auto argv = argv_of({"--count=12x"});
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, MalformedDoubleThrows) {
+  Flags flags("t", "test");
+  flags.add_double("ratio", 0.0, "");
+  auto argv = argv_of({"--ratio=abc"});
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, MalformedBoolThrows) {
+  Flags flags("t", "test");
+  flags.add_bool("verbose", false, "");
+  auto argv = argv_of({"--verbose=maybe"});
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, MissingValueThrows) {
+  Flags flags("t", "test");
+  flags.add_int("count", 0, "");
+  auto argv = argv_of({"--count"});
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, PositionalArgumentThrows) {
+  Flags flags("t", "test");
+  auto argv = argv_of({"stray"});
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, DuplicateRegistrationThrows) {
+  Flags flags("t", "test");
+  flags.add_int("count", 0, "");
+  EXPECT_THROW((void)(flags.add_double("count", 0.0, "")), std::logic_error);
+}
+
+TEST(Flags, LastValueWins) {
+  Flags flags("t", "test");
+  auto i = flags.add_int("count", 0, "");
+  auto argv = argv_of({"--count=1", "--count=2"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*i, 2);
+}
+
+TEST(Flags, UsageListsFlagsAndDefaults) {
+  Flags flags("myprog", "does things");
+  flags.add_int("count", 7, "how many");
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("myprog"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("7"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+}
+
+TEST(Flags, StringWithCommasAndSpaces) {
+  Flags flags("t", "test");
+  auto s = flags.add_string("path", "", "");
+  auto argv = argv_of({"--path=/tmp/a b,c.csv"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(*s, "/tmp/a b,c.csv");
+}
+
+}  // namespace
+}  // namespace ll::util

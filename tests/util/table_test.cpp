@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ll::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"policy", "value"});
+  t.add_row({"LL", "1044"});
+  t.add_row({"IE", "1531"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("policy"), std::string::npos);
+  EXPECT_NE(out.find("LL"), std::string::npos);
+  EXPECT_NE(out.find("1531"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "b"});
+  t.add_row({"xxxxx", "1"});
+  t.add_row({"y", "22"});
+  const std::string out = t.render();
+  // Every rendered line has the same length when columns are padded.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, first_len) << "line starting at " << pos;
+    pos = next + 1;
+  }
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, OverlongRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW((void)(t.add_row({"1", "2"})), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW((void)(Table({})), std::invalid_argument);
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_separator();
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, SeparatorEmitsRule) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Header separator plus the explicit one.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("|-", pos)) != std::string::npos) {
+    ++count;
+    pos += 2;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.3f", 1.0 / 3.0), "0.333");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(percent(0.005, 1), "0.5%");
+  EXPECT_EQ(percent(0.5, 0), "50%");
+}
+
+}  // namespace
+}  // namespace ll::util

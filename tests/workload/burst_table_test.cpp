@@ -1,0 +1,135 @@
+#include "workload/burst_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ll::workload {
+namespace {
+
+TEST(BurstMoments, ImpliedUtilization) {
+  BurstMoments m{0.02, 0.0, 0.06, 0.0};
+  EXPECT_DOUBLE_EQ(m.implied_utilization(), 0.25);
+  EXPECT_DOUBLE_EQ((BurstMoments{}).implied_utilization(), 0.0);
+}
+
+TEST(BurstTable, RejectsNegativeMoments) {
+  std::array<BurstMoments, kUtilizationLevels> levels{};
+  levels[3].run_mean = -0.1;
+  EXPECT_THROW((void)(BurstTable{levels}), std::invalid_argument);
+}
+
+TEST(BurstTable, LevelUtilizationSpacing) {
+  EXPECT_DOUBLE_EQ(BurstTable::level_utilization(0), 0.0);
+  EXPECT_DOUBLE_EQ(BurstTable::level_utilization(10), 0.5);
+  EXPECT_DOUBLE_EQ(BurstTable::level_utilization(20), 1.0);
+}
+
+TEST(BurstTable, MomentsAtInterpolatesLinearly) {
+  std::array<BurstMoments, kUtilizationLevels> levels{};
+  for (std::size_t i = 0; i < kUtilizationLevels; ++i) {
+    const auto x = static_cast<double>(i);
+    levels[i] = BurstMoments{x, 2 * x, 3 * x, 4 * x};
+  }
+  const BurstTable table(levels);
+  // Exactly at a level.
+  EXPECT_DOUBLE_EQ(table.moments_at(0.5).run_mean, 10.0);
+  // Halfway between levels 10 and 11 (u = 0.525).
+  const BurstMoments mid = table.moments_at(0.525);
+  EXPECT_NEAR(mid.run_mean, 10.5, 1e-12);
+  EXPECT_NEAR(mid.idle_var, 42.0, 1e-12);
+}
+
+TEST(BurstTable, MomentsAtClampsOutOfRange) {
+  const BurstTable& table = default_burst_table();
+  EXPECT_DOUBLE_EQ(table.moments_at(-0.5).run_mean,
+                   table.moments_at(0.0).run_mean);
+  EXPECT_DOUBLE_EQ(table.moments_at(1.5).idle_mean,
+                   table.moments_at(1.0).idle_mean);
+}
+
+TEST(BurstTable, DistributionsRejectEndpoints) {
+  const BurstTable& table = default_burst_table();
+  EXPECT_THROW((void)(table.distributions_at(0.0)), std::invalid_argument);
+  EXPECT_THROW((void)(table.distributions_at(1.0)), std::invalid_argument);
+  EXPECT_THROW((void)(table.distributions_at(-0.1)), std::invalid_argument);
+}
+
+TEST(DefaultTable, SelfConsistentUtilization) {
+  // The default table's run/idle means must imply exactly the level's
+  // utilization — that is what makes the two-level generator reproduce the
+  // coarse trace's utilization in expectation.
+  const BurstTable& table = default_burst_table();
+  for (std::size_t i = 1; i + 1 < kUtilizationLevels; ++i) {
+    const double u = BurstTable::level_utilization(i);
+    EXPECT_NEAR(table.level(i).implied_utilization(), u, 1e-9) << "level " << i;
+  }
+}
+
+TEST(DefaultTable, EndpointsAreDegenerate) {
+  const BurstTable& table = default_burst_table();
+  // Level 0 keeps finite-size (rare) run bursts: implied utilization ~0 but
+  // run_mean stays at the low-load burst size so LDR stays finite.
+  EXPECT_LT(table.level(0).implied_utilization(), 0.01);
+  EXPECT_GT(table.level(0).run_mean, 0.005);
+  EXPECT_GT(table.level(0).idle_mean, 1.0);
+  EXPECT_DOUBLE_EQ(table.level(kUtilizationLevels - 1).idle_mean, 0.0);
+  EXPECT_GT(table.level(kUtilizationLevels - 1).run_mean, 0.0);
+}
+
+TEST(DefaultTable, RunMeanRisesWithUtilization) {
+  // Figure 3 top-left shape.
+  const BurstTable& table = default_burst_table();
+  for (std::size_t i = 1; i + 1 < kUtilizationLevels; ++i) {
+    EXPECT_GT(table.level(i + 1).run_mean, table.level(i).run_mean) << i;
+  }
+  // End near the paper's ~0.25 s.
+  EXPECT_GT(table.level(kUtilizationLevels - 1).run_mean, 0.15);
+  EXPECT_LT(table.level(kUtilizationLevels - 1).run_mean, 0.40);
+}
+
+TEST(DefaultTable, IdleMeanFallsWithUtilization) {
+  // Figure 3 bottom-left shape.
+  const BurstTable& table = default_burst_table();
+  for (std::size_t i = 1; i + 2 < kUtilizationLevels; ++i) {
+    EXPECT_GT(table.level(i).idle_mean, table.level(i + 1).idle_mean) << i;
+  }
+}
+
+TEST(DefaultTable, BurstsAreHyperexponential) {
+  // cv^2 > 1 at every interior level: the fitted distributions are true H2.
+  const BurstTable& table = default_burst_table();
+  for (std::size_t i = 1; i + 1 < kUtilizationLevels; ++i) {
+    const BurstMoments& m = table.level(i);
+    EXPECT_GT(m.run_var / (m.run_mean * m.run_mean), 1.0) << i;
+    EXPECT_GT(m.idle_var / (m.idle_mean * m.idle_mean), 1.0) << i;
+  }
+}
+
+TEST(DefaultTable, FittedDistributionsMatchMoments) {
+  const BurstTable& table = default_burst_table();
+  for (double u : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const BurstMoments m = table.moments_at(u);
+    const BurstDistributions d = table.distributions_at(u);
+    EXPECT_NEAR(d.run.mean(), m.run_mean, m.run_mean * 1e-9);
+    EXPECT_NEAR(d.run.variance(), m.run_var, m.run_var * 1e-9);
+    EXPECT_NEAR(d.idle.mean(), m.idle_mean, m.idle_mean * 1e-9);
+    EXPECT_NEAR(d.idle.variance(), m.idle_var, m.idle_var * 1e-9);
+  }
+}
+
+// Interpolated utilization consistency across a dense sweep.
+class TableSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TableSweep, InterpolatedMomentsNearlySelfConsistent) {
+  // Linear interpolation of run/idle means does not exactly preserve
+  // u = R/(R+I) between grid points, but it must stay close.
+  const double u = GetParam();
+  const BurstMoments m = default_burst_table().moments_at(u);
+  EXPECT_NEAR(m.implied_utilization(), u, 0.02) << "u=" << u;
+}
+
+INSTANTIATE_TEST_SUITE_P(DenseUtilGrid, TableSweep,
+                         ::testing::Values(0.07, 0.13, 0.22, 0.37, 0.41, 0.53,
+                                           0.68, 0.72, 0.81, 0.94));
+
+}  // namespace
+}  // namespace ll::workload

@@ -1,0 +1,114 @@
+#include "workload/fine_generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ll::workload {
+namespace {
+
+TEST(FineGenerator, RejectsBadInputs) {
+  const BurstTable& table = default_burst_table();
+  EXPECT_THROW(generate_fine_trace(table, 0.0, 10.0, rng::Stream(1)),
+               std::invalid_argument);
+  EXPECT_THROW(generate_fine_trace(table, 1.0, 10.0, rng::Stream(1)),
+               std::invalid_argument);
+  EXPECT_THROW(generate_fine_trace(table, 0.5, 0.0, rng::Stream(1)),
+               std::invalid_argument);
+}
+
+TEST(FineGenerator, TraceDurationMatchesRequest) {
+  const auto t =
+      generate_fine_trace(default_burst_table(), 0.3, 50.0, rng::Stream(2));
+  EXPECT_NEAR(t.duration(), 50.0, 1e-9);
+}
+
+TEST(FineGenerator, BurstsAlternate) {
+  const auto t =
+      generate_fine_trace(default_burst_table(), 0.5, 20.0, rng::Stream(3));
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_NE(t.bursts()[i].kind, t.bursts()[i - 1].kind) << i;
+  }
+}
+
+TEST(FineGenerator, Deterministic) {
+  const auto a =
+      generate_fine_trace(default_burst_table(), 0.4, 30.0, rng::Stream(4));
+  const auto b =
+      generate_fine_trace(default_burst_table(), 0.4, 30.0, rng::Stream(4));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.bursts()[i].duration, b.bursts()[i].duration);
+  }
+}
+
+// Property sweep: generated traces must realize the requested utilization.
+class UtilizationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilizationSweep, RealizedUtilizationMatchesTarget) {
+  const double u = GetParam();
+  const auto t =
+      generate_fine_trace(default_burst_table(), u, 2000.0, rng::Stream(77));
+  EXPECT_NEAR(t.utilization(), u, 0.04) << "target u=" << u;
+}
+
+INSTANTIATE_TEST_SUITE_P(TargetGrid, UtilizationSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                           0.7, 0.8, 0.9, 0.95));
+
+TEST(FineGeneratorProfile, PureIdleWindow) {
+  const auto t = generate_fine_trace_profile(default_burst_table(),
+                                             {0.0, 0.0}, 2.0, rng::Stream(5));
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.bursts()[0].kind, trace::BurstKind::Idle);
+  EXPECT_DOUBLE_EQ(t.bursts()[0].duration, 2.0);
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.0);
+}
+
+TEST(FineGeneratorProfile, PureRunWindow) {
+  const auto t = generate_fine_trace_profile(default_burst_table(), {1.0}, 2.0,
+                                             rng::Stream(6));
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.bursts()[0].kind, trace::BurstKind::Run);
+  EXPECT_DOUBLE_EQ(t.utilization(), 1.0);
+}
+
+TEST(FineGeneratorProfile, MixedProfileTracksWindows) {
+  // 100 windows at 0.2 then 100 windows at 0.8.
+  std::vector<double> profile(200, 0.2);
+  for (std::size_t i = 100; i < 200; ++i) profile[i] = 0.8;
+  const auto t = generate_fine_trace_profile(default_burst_table(), profile,
+                                             2.0, rng::Stream(7));
+  EXPECT_NEAR(t.duration(), 400.0, 1e-9);
+  // Split the trace's run time by half-duration boundary.
+  double tcur = 0.0;
+  double run_first = 0.0;
+  double run_second = 0.0;
+  for (const auto& b : t.bursts()) {
+    if (b.kind == trace::BurstKind::Run) {
+      (tcur < 200.0 ? run_first : run_second) += b.duration;
+    }
+    tcur += b.duration;
+  }
+  EXPECT_NEAR(run_first / 200.0, 0.2, 0.06);
+  EXPECT_NEAR(run_second / 200.0, 0.8, 0.06);
+}
+
+TEST(FineGeneratorProfile, RejectsOutOfRangeProfile) {
+  EXPECT_THROW(generate_fine_trace_profile(default_burst_table(), {1.5}, 2.0,
+                                           rng::Stream(8)),
+               std::invalid_argument);
+  EXPECT_THROW(generate_fine_trace_profile(default_burst_table(), {-0.1}, 2.0,
+                                           rng::Stream(8)),
+               std::invalid_argument);
+  EXPECT_THROW(generate_fine_trace_profile(default_burst_table(), {0.5}, 0.0,
+                                           rng::Stream(8)),
+               std::invalid_argument);
+}
+
+TEST(FineGeneratorProfile, EmptyProfileYieldsEmptyTrace) {
+  const auto t = generate_fine_trace_profile(default_burst_table(), {}, 2.0,
+                                             rng::Stream(9));
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace ll::workload

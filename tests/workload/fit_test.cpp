@@ -1,0 +1,139 @@
+#include "workload/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/fine_generator.hpp"
+
+namespace ll::workload {
+namespace {
+
+TEST(Fit, RejectsBadWindow) {
+  trace::FineTrace t;
+  t.push(trace::BurstKind::Run, 1.0);
+  EXPECT_THROW((void)(analyze_fine_trace(t, 0.0)), std::invalid_argument);
+}
+
+TEST(Fit, EmptyTraceYieldsEmptyAnalysis) {
+  const BurstAnalysis a = analyze_fine_trace(trace::FineTrace{});
+  for (const LevelSamples& level : a.levels) {
+    EXPECT_TRUE(level.run.empty());
+    EXPECT_TRUE(level.idle.empty());
+  }
+  EXPECT_THROW((void)(a.to_table()), std::logic_error);
+}
+
+TEST(Fit, ConstantHalfUtilizationLandsInMiddleBucket) {
+  // Perfectly regular 0.1s run / 0.1s idle: every 2s window is 50%.
+  trace::FineTrace t;
+  for (int i = 0; i < 500; ++i) {
+    t.push(trace::BurstKind::Run, 0.1);
+    t.push(trace::BurstKind::Idle, 0.1);
+  }
+  const BurstAnalysis a = analyze_fine_trace(t);
+  // Level 10 == 50%.
+  EXPECT_EQ(a.levels[10].run.size(), 500u);
+  EXPECT_EQ(a.levels[10].idle.size(), 500u);
+  for (std::size_t i = 0; i < kUtilizationLevels; ++i) {
+    if (i == 10) continue;
+    EXPECT_TRUE(a.levels[i].run.empty()) << i;
+  }
+}
+
+TEST(Fit, MomentsOfRegularTrace) {
+  trace::FineTrace t;
+  for (int i = 0; i < 100; ++i) {
+    t.push(trace::BurstKind::Run, 0.1);
+    t.push(trace::BurstKind::Idle, 0.1);
+  }
+  const auto moments = analyze_fine_trace(t).moments();
+  EXPECT_NEAR(moments[10].run_mean, 0.1, 1e-12);
+  EXPECT_NEAR(moments[10].run_var, 0.0, 1e-12);
+  EXPECT_NEAR(moments[10].idle_mean, 0.1, 1e-12);
+}
+
+TEST(Fit, BurstSpanningWindowsCountedByStart) {
+  // One 3s run burst then 1s idle: window0 util = 1.0, window1 util = 0.5.
+  trace::FineTrace t;
+  t.push(trace::BurstKind::Run, 3.0);
+  t.push(trace::BurstKind::Idle, 1.0);
+  const BurstAnalysis a = analyze_fine_trace(t);
+  // The run burst starts in window 0 (level 20 == 100%).
+  EXPECT_EQ(a.levels[20].run.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.levels[20].run[0], 3.0);
+  // The idle burst starts in window 1 (level 10 == 50%).
+  EXPECT_EQ(a.levels[10].idle.size(), 1u);
+}
+
+TEST(Fit, ToTableInterpolatesEmptyLevels) {
+  trace::FineTrace t;
+  // Populate only the 50% level.
+  for (int i = 0; i < 100; ++i) {
+    t.push(trace::BurstKind::Run, 0.1);
+    t.push(trace::BurstKind::Idle, 0.1);
+  }
+  const BurstTable table = analyze_fine_trace(t).to_table();
+  // Every level is filled by flat extrapolation from the one known level.
+  EXPECT_NEAR(table.level(0).run_mean, 0.1, 1e-12);
+  EXPECT_NEAR(table.level(20).run_mean, 0.1, 1e-12);
+}
+
+TEST(Fit, ToTableInterpolatesBetweenKnownLevels) {
+  trace::FineTrace t;
+  // ~25% utilization windows: 0.05 run / 0.15 idle.
+  for (int i = 0; i < 200; ++i) {
+    t.push(trace::BurstKind::Run, 0.05);
+    t.push(trace::BurstKind::Idle, 0.15);
+  }
+  // ~75% utilization windows: 0.15 run / 0.05 idle.
+  for (int i = 0; i < 200; ++i) {
+    t.push(trace::BurstKind::Run, 0.15);
+    t.push(trace::BurstKind::Idle, 0.05);
+  }
+  const BurstTable table = analyze_fine_trace(t).to_table();
+  // Level 10 (50%) lies midway between levels 5 (25%) and 15 (75%).
+  // (The segment-boundary window contributes a slightly mixed sample, so
+  // the midpoint is approximate.)
+  EXPECT_NEAR(table.level(10).run_mean, 0.1, 0.005);
+}
+
+TEST(Fit, RoundTripRecoversGeneratingMoments) {
+  // The paper's full pipeline: generate at known utilization from the table,
+  // re-fit, and compare the recovered moments at that level.
+  const BurstTable& truth = default_burst_table();
+  const double u = 0.5;
+  const auto t = generate_fine_trace(truth, u, 20000.0, rng::Stream(42));
+  const BurstAnalysis a = analyze_fine_trace(t);
+  const auto moments = a.moments();
+
+  // Window-utilization noise spreads samples over neighbouring levels, but
+  // the bulk must land near the target level.
+  std::size_t total_run = 0;
+  for (const auto& level : a.levels) total_run += level.run.size();
+  const std::size_t near_target = a.levels[8].run.size() +
+                                  a.levels[9].run.size() +
+                                  a.levels[10].run.size() +
+                                  a.levels[11].run.size() +
+                                  a.levels[12].run.size();
+  EXPECT_GT(near_target, total_run / 2);
+
+  const BurstMoments expected = truth.moments_at(u);
+  // Window truncation biases bursts slightly short; allow 20%.
+  EXPECT_NEAR(moments[10].run_mean, expected.run_mean, expected.run_mean * 0.20);
+  EXPECT_NEAR(moments[10].idle_mean, expected.idle_mean,
+              expected.idle_mean * 0.20);
+}
+
+TEST(Fit, PoolingMergesSamples) {
+  trace::FineTrace a;
+  a.push(trace::BurstKind::Run, 0.1);
+  a.push(trace::BurstKind::Idle, 0.1);
+  trace::FineTrace b;
+  b.push(trace::BurstKind::Run, 0.1);
+  b.push(trace::BurstKind::Idle, 0.1);
+  const BurstAnalysis pooled = analyze_fine_traces({a, b});
+  EXPECT_EQ(pooled.levels[10].run.size(), 2u);
+  EXPECT_EQ(pooled.levels[10].idle.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ll::workload

@@ -1,0 +1,123 @@
+#include "workload/local_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ll::workload {
+namespace {
+
+trace::CoarseTrace constant_trace(double cpu, std::size_t windows) {
+  trace::CoarseTrace t(2.0);
+  for (std::size_t i = 0; i < windows; ++i) t.push({cpu, 32768, false});
+  return t;
+}
+
+TEST(LocalWorkload, RejectsEmptyTraceAndNegativeOffset) {
+  trace::CoarseTrace empty(2.0);
+  EXPECT_THROW(LocalWorkloadGenerator(empty, default_burst_table(),
+                                      rng::Stream(1)),
+               std::invalid_argument);
+  const auto t = constant_trace(0.5, 4);
+  EXPECT_THROW(LocalWorkloadGenerator(t, default_burst_table(), rng::Stream(1),
+                                      -1.0),
+               std::invalid_argument);
+}
+
+TEST(LocalWorkload, BurstsAbutAndAdvanceTime) {
+  const auto t = constant_trace(0.5, 100);
+  LocalWorkloadGenerator gen(t, default_burst_table(), rng::Stream(2));
+  double expected_start = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto burst = gen.next();
+    EXPECT_NEAR(burst.start, expected_start, 1e-9);
+    EXPECT_GT(burst.burst.duration, 0.0);
+    expected_start = burst.start + burst.burst.duration;
+  }
+  EXPECT_NEAR(gen.now(), expected_start, 1e-9);
+}
+
+TEST(LocalWorkload, IdleWindowEmitsSingleIdleBurst) {
+  const auto t = constant_trace(0.0, 10);
+  LocalWorkloadGenerator gen(t, default_burst_table(), rng::Stream(3));
+  for (int i = 0; i < 5; ++i) {
+    const auto burst = gen.next();
+    EXPECT_EQ(burst.burst.kind, trace::BurstKind::Idle);
+    EXPECT_DOUBLE_EQ(burst.burst.duration, 2.0);
+  }
+}
+
+TEST(LocalWorkload, SaturatedWindowEmitsSingleRunBurst) {
+  const auto t = constant_trace(1.0, 10);
+  LocalWorkloadGenerator gen(t, default_burst_table(), rng::Stream(4));
+  const auto burst = gen.next();
+  EXPECT_EQ(burst.burst.kind, trace::BurstKind::Run);
+  EXPECT_DOUBLE_EQ(burst.burst.duration, 2.0);
+}
+
+TEST(LocalWorkload, RealizedUtilizationTracksTrace) {
+  const auto t = constant_trace(0.3, 2000);
+  LocalWorkloadGenerator gen(t, default_burst_table(), rng::Stream(5));
+  double run = 0.0;
+  while (gen.now() < 3000.0) {
+    const auto burst = gen.next();
+    if (burst.burst.kind == trace::BurstKind::Run) run += burst.burst.duration;
+  }
+  EXPECT_NEAR(run / gen.now(), 0.3, 0.04);
+}
+
+TEST(LocalWorkload, BurstsNeverCrossWindowBoundaries) {
+  const auto t = constant_trace(0.5, 500);
+  LocalWorkloadGenerator gen(t, default_burst_table(), rng::Stream(6));
+  while (gen.now() < 500.0) {
+    const auto burst = gen.next();
+    const double start_window = std::floor(burst.start / 2.0 - 1e-9);
+    const double end_window =
+        std::floor((burst.start + burst.burst.duration) / 2.0 + 1e-9);
+    EXPECT_LE(end_window - start_window, 1.0 + 1e-9);
+  }
+}
+
+TEST(LocalWorkload, OffsetShiftsTraceLookup) {
+  trace::CoarseTrace t(2.0);
+  t.push({0.0, 0, false});  // window 0 idle
+  t.push({1.0, 0, false});  // window 1 saturated
+  LocalWorkloadGenerator gen(t, default_burst_table(), rng::Stream(7),
+                             /*offset=*/2.0);
+  // With offset 2, generator time 0 maps to window 1 (saturated).
+  const auto burst = gen.next();
+  EXPECT_EQ(burst.burst.kind, trace::BurstKind::Run);
+}
+
+TEST(LocalWorkload, UtilizationAtUsesOffsetAndWrap) {
+  trace::CoarseTrace t(2.0);
+  t.push({0.1, 0, false});
+  t.push({0.9, 0, false});
+  LocalWorkloadGenerator gen(t, default_burst_table(), rng::Stream(8), 2.0);
+  EXPECT_DOUBLE_EQ(gen.utilization_at(0.0), 0.9);
+  EXPECT_DOUBLE_EQ(gen.utilization_at(2.0), 0.1);  // wrapped
+}
+
+TEST(LocalWorkload, DeterministicForSeed) {
+  const auto t = constant_trace(0.4, 100);
+  LocalWorkloadGenerator a(t, default_burst_table(), rng::Stream(9));
+  LocalWorkloadGenerator b(t, default_burst_table(), rng::Stream(9));
+  for (int i = 0; i < 100; ++i) {
+    const auto ba = a.next();
+    const auto bb = b.next();
+    EXPECT_DOUBLE_EQ(ba.burst.duration, bb.burst.duration);
+    EXPECT_EQ(ba.burst.kind, bb.burst.kind);
+  }
+}
+
+TEST(LocalWorkload, TraceWrapsForLongRuns) {
+  const auto t = constant_trace(0.2, 5);  // only 10 seconds of trace
+  LocalWorkloadGenerator gen(t, default_burst_table(), rng::Stream(10));
+  while (gen.now() < 100.0) {
+    EXPECT_NO_THROW(gen.next());
+  }
+  EXPECT_GE(gen.now(), 100.0);
+}
+
+}  // namespace
+}  // namespace ll::workload

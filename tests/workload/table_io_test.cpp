@@ -1,0 +1,92 @@
+#include "workload/table_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace ll::workload {
+namespace {
+
+TEST(TableIo, RoundTripStreamIsExact) {
+  const BurstTable& table = default_burst_table();
+  std::stringstream buf;
+  save_table(table, buf);
+  const BurstTable back = load_table(buf);
+  for (std::size_t i = 0; i < kUtilizationLevels; ++i) {
+    EXPECT_DOUBLE_EQ(back.level(i).run_mean, table.level(i).run_mean) << i;
+    EXPECT_DOUBLE_EQ(back.level(i).run_var, table.level(i).run_var) << i;
+    EXPECT_DOUBLE_EQ(back.level(i).idle_mean, table.level(i).idle_mean) << i;
+    EXPECT_DOUBLE_EQ(back.level(i).idle_var, table.level(i).idle_var) << i;
+  }
+}
+
+TEST(TableIo, RoundTripFile) {
+  const std::string path = ::testing::TempDir() + "/ll_table_io.bursts";
+  save_table(default_burst_table(), path);
+  const BurstTable back = load_table(path);
+  EXPECT_DOUBLE_EQ(back.level(10).run_mean,
+                   default_burst_table().level(10).run_mean);
+  std::remove(path.c_str());
+}
+
+TEST(TableIo, AcceptsCommentsAndBlankLines) {
+  const BurstTable& table = default_burst_table();
+  std::stringstream buf;
+  save_table(table, buf);
+  std::string text = buf.str();
+  text.insert(text.find('\n') + 1, "# a comment\n\n");
+  std::stringstream patched(text);
+  EXPECT_NO_THROW((void)load_table(patched));
+}
+
+TEST(TableIo, RejectsBadHeader) {
+  std::stringstream buf("not a table\n");
+  EXPECT_THROW((void)load_table(buf), std::runtime_error);
+}
+
+TEST(TableIo, RejectsMissingLevel) {
+  std::stringstream buf;
+  save_table(default_burst_table(), buf);
+  // Drop the last line.
+  std::string text = buf.str();
+  text.erase(text.rfind("20 "));
+  std::stringstream truncated(text);
+  EXPECT_THROW((void)load_table(truncated), std::runtime_error);
+}
+
+TEST(TableIo, RejectsDuplicateLevel) {
+  std::stringstream buf;
+  save_table(default_burst_table(), buf);
+  std::string text = buf.str();
+  text += "5 0.01 0.0001 0.05 0.001\n";
+  std::stringstream duplicated(text);
+  EXPECT_THROW((void)load_table(duplicated), std::runtime_error);
+}
+
+TEST(TableIo, RejectsOutOfRangeLevel) {
+  std::stringstream buf("# ll-burst-table v1\n21 0.1 0.1 0.1 0.1\n");
+  EXPECT_THROW((void)load_table(buf), std::runtime_error);
+}
+
+TEST(TableIo, RejectsMalformedLine) {
+  std::stringstream buf("# ll-burst-table v1\n0 0.1 oops 0.1 0.1\n");
+  EXPECT_THROW((void)load_table(buf), std::runtime_error);
+}
+
+TEST(TableIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_table("/nonexistent/xyz.bursts"),
+               std::runtime_error);
+}
+
+TEST(TableIo, LoadedTableIsUsable) {
+  std::stringstream buf;
+  save_table(default_burst_table(), buf);
+  const BurstTable back = load_table(buf);
+  // The reloaded table supports the full sampling pipeline.
+  const BurstDistributions dist = back.distributions_at(0.5);
+  EXPECT_NEAR(dist.run.mean(), back.level(10).run_mean, 1e-12);
+}
+
+}  // namespace
+}  // namespace ll::workload

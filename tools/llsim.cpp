@@ -1,0 +1,13 @@
+/// \file llsim.cpp
+/// Thin entry point for the llsim command-line driver (src/cli/driver.hpp).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/driver.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ll::cli::run_cli(args, std::cout, std::cerr);
+}
