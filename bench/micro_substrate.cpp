@@ -37,6 +37,38 @@ void BM_DesScheduleFire(benchmark::State& state) {
 }
 BENCHMARK(BM_DesScheduleFire)->Arg(1000)->Arg(100000);
 
+// Companion to BM_DesScheduleFire: identical workload with an observer
+// attached. The unobserved benchmark above measures the cost of the
+// nullptr-checked hook (which must stay within noise of the pre-observer
+// engine); the delta between the two is the true cost of observation.
+void BM_DesScheduleFireObserved(benchmark::State& state) {
+  struct CountingObserver final : des::SimObserver {
+    std::uint64_t schedules = 0;
+    std::uint64_t fires = 0;
+    void on_schedule(double, des::EventId, std::uint64_t) override {
+      ++schedules;
+    }
+    void on_fire(double, des::EventId, std::uint64_t) override { ++fires; }
+  };
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulation sim;
+    CountingObserver obs;
+    sim.set_observer(&obs);
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>((i * 7919) % 104729),
+                      [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+    benchmark::DoNotOptimize(obs.fires);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DesScheduleFireObserved)->Arg(1000)->Arg(100000);
+
 void BM_DesCancellation(benchmark::State& state) {
   for (auto _ : state) {
     des::Simulation sim;

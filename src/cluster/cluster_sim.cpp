@@ -13,6 +13,15 @@ namespace {
 
 constexpr double kRemainingEps = 1e-9;
 
+// Observer tags for the engine's event kinds — they make the verification
+// digests (and any future event-level tooling) distinguish *what* fired,
+// not just when, so a refactor that reorders same-time events of different
+// kinds changes the digest.
+constexpr std::uint64_t kTagTick = 1;
+constexpr std::uint64_t kTagCompletion = 2;
+constexpr std::uint64_t kTagRecheck = 3;
+constexpr std::uint64_t kTagMigration = 4;
+
 }  // namespace
 
 struct ClusterSim::Node {
@@ -121,7 +130,7 @@ struct ClusterSim::Impl {
     const double next =
         (std::floor(now() / period + 1e-9) + 1.0) * period;
     tick_scheduled = true;
-    sim.schedule_at(next, [this] { tick(); });
+    sim.schedule_at(next, [this] { tick(); }, kTagTick);
   }
 
   /// Occupants currently consuming CPU (Running or Lingering) — they
@@ -202,15 +211,18 @@ struct ClusterSim::Impl {
     r.rate = execution_rate(nodes[static_cast<std::size_t>(r.node)]);
     if (r.rate <= 0.0) return;
     const double eta = job.remaining / r.rate;
-    r.completion_event = sim.schedule_in(eta, [this, id] {
-      if (integrate(id)) {
-        complete(id);
-      } else {
-        // Numerical slack: re-arm for the residue.
-        rt[id].completion_event = des::kNoEvent;
-        reschedule_completion(id);
-      }
-    });
+    r.completion_event = sim.schedule_in(
+        eta,
+        [this, id] {
+          if (integrate(id)) {
+            complete(id);
+          } else {
+            // Numerical slack: re-arm for the residue.
+            rt[id].completion_event = des::kNoEvent;
+            reschedule_completion(id);
+          }
+        },
+        kTagCompletion);
   }
 
   /// Re-evaluates a job's progress rate after its node's window changed.
@@ -285,8 +297,9 @@ struct ClusterSim::Impl {
         }
         job.set_state(JobState::Lingering, now());
         reschedule_completion(id);
-        r.recheck_event = sim.schedule_in(
-            std::max(d.recheck_in, 1e-6), [this, id] { on_recheck(id); });
+        r.recheck_event =
+            sim.schedule_in(std::max(d.recheck_in, 1e-6),
+                            [this, id] { on_recheck(id); }, kTagRecheck);
         break;
       case core::Decision::Action::Pause:
         if (integrate(id)) {
@@ -295,8 +308,9 @@ struct ClusterSim::Impl {
         }
         job.set_state(JobState::Paused, now());
         reschedule_completion(id);  // clears the rate / completion event
-        r.recheck_event = sim.schedule_in(
-            std::max(d.recheck_in, 1e-6), [this, id] { on_recheck(id); });
+        r.recheck_event =
+            sim.schedule_in(std::max(d.recheck_in, 1e-6),
+                            [this, id] { on_recheck(id); }, kTagRecheck);
         break;
       case core::Decision::Action::Migrate:
         r.wants_migration = true;
@@ -408,9 +422,10 @@ struct ClusterSim::Impl {
     job.set_state(JobState::Migrating, now());
     ++inflight_migrations;
     ++self.migrations_;
-    sim.schedule_in(migration_cost(job), [this, id, target_idx] {
-      finish_migration(id, target_idx);
-    });
+    sim.schedule_in(
+        migration_cost(job),
+        [this, id, target_idx] { finish_migration(id, target_idx); },
+        kTagMigration);
   }
 
   void finish_migration(JobId id, std::size_t target_idx) {
@@ -648,7 +663,7 @@ ClusterSim::ClusterSim(ClusterConfig config,
   }
   im.account_window();
   im.tick_scheduled = true;
-  im.sim.schedule_at(im.period, [this] { impl_->tick(); });
+  im.sim.schedule_at(im.period, [this] { impl_->tick(); }, kTagTick);
 }
 
 ClusterSim::~ClusterSim() = default;
@@ -714,6 +729,28 @@ void ClusterSim::run_for(double duration) {
 }
 
 double ClusterSim::now() const { return impl_->now(); }
+
+const ClusterConfig& ClusterSim::config() const { return impl_->cfg; }
+
+des::SimObserver* ClusterSim::set_sim_observer(des::SimObserver* observer) {
+  return impl_->sim.set_observer(observer);
+}
+
+const des::Simulation& ClusterSim::engine() const { return impl_->sim; }
+
+std::vector<ClusterSim::NodeSnapshot> ClusterSim::node_snapshots() const {
+  std::vector<NodeSnapshot> out;
+  out.reserve(impl_->nodes.size());
+  for (const Node& n : impl_->nodes) {
+    NodeSnapshot s;
+    s.idle = n.idle;
+    s.utilization = n.util;
+    s.reserved = n.reserved;
+    s.occupants = n.occupants;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
 
 double ClusterSim::foreground_delay_ratio() const {
   return impl_->fg_cpu > 0.0 ? impl_->fg_delay / impl_->fg_cpu : 0.0;

@@ -128,6 +128,30 @@ class ClusterSim {
   /// The "l" value the linger cost model is using.
   [[nodiscard]] double idle_utilization() const { return idle_util_; }
 
+  /// The configuration this simulator was built with.
+  [[nodiscard]] const ClusterConfig& config() const;
+
+  /// Attaches an observer to the internal event engine (nullptr detaches;
+  /// returns the previous observer). The verification layer uses this to
+  /// stream digests of every fired event and to machine-check engine
+  /// invariants; the observer must outlive its registration.
+  des::SimObserver* set_sim_observer(des::SimObserver* observer);
+
+  /// Read-only view of the internal event engine (clock, event counters)
+  /// for the verification layer's conservation checks.
+  [[nodiscard]] const des::Simulation& engine() const;
+
+  /// Read-only view of one node's occupancy, for the verification layer's
+  /// occupancy-legality invariant (src/verify/invariants.hpp). Taken at a
+  /// quiescent point (between run_* calls) the legality rules hold exactly.
+  struct NodeSnapshot {
+    bool idle = true;              ///< recruitment-rule idle flag, this window
+    double utilization = 0.0;      ///< owner CPU this window
+    std::size_t reserved = 0;      ///< inbound migrations holding a slot
+    std::vector<JobId> occupants;  ///< resident foreign jobs
+  };
+  [[nodiscard]] std::vector<NodeSnapshot> node_snapshots() const;
+
  private:
   struct Node;
   struct Impl;

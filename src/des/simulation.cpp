@@ -2,11 +2,12 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace ll::des {
 
-EventId Simulation::schedule_at(double when, Callback fn) {
+EventId Simulation::schedule_at(double when, Callback fn, std::uint64_t tag) {
   if (!std::isfinite(when)) {
     throw std::invalid_argument("schedule_at: non-finite time");
   }
@@ -18,21 +19,28 @@ EventId Simulation::schedule_at(double when, Callback fn) {
     throw std::invalid_argument("schedule_at: empty callback");
   }
   const EventId id = next_id_++;
-  queue_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(fn));
+  queue_.push(Entry{when, id, tag});
+  callbacks_.emplace(id, Slot{std::move(fn), tag});
+  if (observer_) observer_->on_schedule(when, id, tag);
   return id;
 }
 
-EventId Simulation::schedule_in(double delay, Callback fn) {
-  if (!(delay >= 0.0)) {
-    throw std::invalid_argument("schedule_in: negative or NaN delay");
+EventId Simulation::schedule_in(double delay, Callback fn, std::uint64_t tag) {
+  if (!std::isfinite(delay) || delay < 0.0) {
+    throw std::invalid_argument("schedule_in: negative or non-finite delay");
   }
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, std::move(fn), tag);
 }
 
 bool Simulation::cancel(EventId id) {
   if (id == kNoEvent) return false;
-  return callbacks_.erase(id) > 0;
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  const std::uint64_t tag = it->second.tag;
+  callbacks_.erase(it);
+  ++cancelled_;
+  if (observer_) observer_->on_cancel(id, tag);
+  return true;
 }
 
 bool Simulation::pending(EventId id) const {
@@ -40,6 +48,10 @@ bool Simulation::pending(EventId id) const {
 }
 
 std::size_t Simulation::pending_count() const { return callbacks_.size(); }
+
+SimObserver* Simulation::set_observer(SimObserver* observer) {
+  return std::exchange(observer_, observer);
+}
 
 bool Simulation::settle_top() {
   while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
@@ -53,10 +65,14 @@ bool Simulation::step() {
   const Entry entry = queue_.top();
   queue_.pop();
   auto it = callbacks_.find(entry.id);
-  Callback fn = std::move(it->second);
+  Callback fn = std::move(it->second.fn);
   callbacks_.erase(it);
   now_ = entry.time;
   ++fired_;
+  // Notify before invoking so the digest records the fire even if the
+  // callback throws, and so observer state is current for re-entrant
+  // schedule/cancel calls made from inside the callback.
+  if (observer_) observer_->on_fire(entry.time, entry.id, entry.tag);
   fn();
   return true;
 }
@@ -68,8 +84,13 @@ std::size_t Simulation::run() {
 }
 
 std::size_t Simulation::run_until(double horizon) {
-  if (!std::isfinite(horizon) || horizon < now_) {
-    throw std::invalid_argument("run_until: invalid horizon");
+  if (!std::isfinite(horizon)) {
+    throw std::invalid_argument("run_until: non-finite horizon");
+  }
+  if (horizon < now_) {
+    throw std::invalid_argument("run_until: horizon " +
+                                std::to_string(horizon) + " is before now " +
+                                std::to_string(now_));
   }
   std::size_t fired = 0;
   while (settle_top() && queue_.top().time <= horizon) {

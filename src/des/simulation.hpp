@@ -10,6 +10,16 @@
 ///
 /// Events are plain callbacks. Scheduling returns an EventId that can cancel
 /// the event later (lazy deletion: cancelled ids are skipped when popped).
+///
+/// An optional SimObserver receives schedule/fire/cancel notifications —
+/// the verification layer (src/verify/) uses this to stream state digests
+/// and invariant checks without touching the hot path. When no observer is
+/// registered the hooks cost a single never-taken branch on a pointer the
+/// engine already has in cache.
+
+#if defined(__FAST_MATH__)
+#error "des/simulation relies on strict IEEE comparisons (event ordering, NaN rejection); build without -ffast-math"
+#endif
 
 #include <cstdint>
 #include <functional>
@@ -24,6 +34,23 @@ namespace ll::des {
 using EventId = std::uint64_t;
 inline constexpr EventId kNoEvent = 0;
 
+/// Passive observer of engine activity. Override only the hooks you need;
+/// the defaults do nothing. `tag` is the caller-supplied label passed to
+/// schedule_at/schedule_in (0 when the caller didn't tag the event) — the
+/// verification digests fold (time, id, tag) of every fired event, so tags
+/// let digests distinguish event *kinds* across refactors that renumber ids.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  virtual void on_schedule(double when, EventId id, std::uint64_t tag) {
+    (void)when, (void)id, (void)tag;
+  }
+  virtual void on_fire(double time, EventId id, std::uint64_t tag) {
+    (void)time, (void)id, (void)tag;
+  }
+  virtual void on_cancel(EventId id, std::uint64_t tag) { (void)id, (void)tag; }
+};
+
 class Simulation {
  public:
   using Callback = std::function<void()>;
@@ -37,11 +64,11 @@ class Simulation {
 
   /// Schedules `fn` to run at absolute time `when` (>= now). Returns the
   /// event's id. Throws std::invalid_argument for events in the past or
-  /// non-finite times.
-  EventId schedule_at(double when, Callback fn);
+  /// non-finite times. `tag` labels the event for observers (0 = untagged).
+  EventId schedule_at(double when, Callback fn, std::uint64_t tag = 0);
 
-  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
-  EventId schedule_in(double delay, Callback fn);
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0, finite).
+  EventId schedule_in(double delay, Callback fn, std::uint64_t tag = 0);
 
   /// Cancels a pending event. Cancelling an already-fired, already-cancelled
   /// or kNoEvent id is a harmless no-op (returns false).
@@ -58,6 +85,8 @@ class Simulation {
 
   /// Runs events with time <= horizon, then advances the clock to exactly
   /// `horizon` (even if the queue empties earlier). Returns events fired.
+  /// Throws std::invalid_argument for non-finite (NaN/±inf) or backward
+  /// horizons; horizon == now() is a valid no-op that fires due events.
   std::size_t run_until(double horizon);
 
   /// Fires the single earliest event, if any. Returns whether one fired.
@@ -66,13 +95,36 @@ class Simulation {
   /// Total number of events fired so far (monitoring / perf tests).
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
 
+  /// Total number of events cancelled while still pending.
+  [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_; }
+
+  /// Total number of events ever scheduled. Conservation invariant:
+  /// events_scheduled() == events_fired() + events_cancelled() +
+  /// pending_count().
+  [[nodiscard]] std::uint64_t events_scheduled() const {
+    return next_id_ - 1;
+  }
+
+  /// Registers (or, with nullptr, detaches) the observer. Returns the
+  /// previously registered observer so callers can restore it. The observer
+  /// must outlive its registration; the engine does not own it.
+  SimObserver* set_observer(SimObserver* observer);
+
+  /// Currently registered observer, or nullptr.
+  [[nodiscard]] SimObserver* observer() const { return observer_; }
+
  private:
   struct Entry {
     double time;
     EventId id;
+    std::uint64_t tag;
     // Ordered min-first by (time, id); id is monotone so FIFO among ties.
+    // Written as two strict comparisons (not `!=`) so the order is a total
+    // order over the finite times the API admits even under compilers that
+    // relax floating-point equality.
     bool operator>(const Entry& other) const {
-      if (time != other.time) return time > other.time;
+      if (time > other.time) return true;
+      if (time < other.time) return false;
       return id > other.id;
     }
   };
@@ -83,10 +135,17 @@ class Simulation {
   double now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
+  std::uint64_t cancelled_ = 0;
+  SimObserver* observer_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   // Callback storage by id; erased on fire/cancel. An unordered_map keeps
-  // cancel() O(1) without touching the heap.
-  std::unordered_map<EventId, Callback> callbacks_;
+  // cancel() O(1) without touching the heap. The tag rides along so
+  // cancel() can report it to the observer.
+  struct Slot {
+    Callback fn;
+    std::uint64_t tag;
+  };
+  std::unordered_map<EventId, Slot> callbacks_;
 };
 
 }  // namespace ll::des

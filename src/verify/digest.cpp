@@ -1,0 +1,58 @@
+#include "verify/digest.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace ll::verify {
+
+void Digest::add_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    add_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Digest::add_double(double v) {
+  if (std::isnan(v)) {
+    // All NaNs (quiet/signaling, any payload) digest identically.
+    add_u64(0x7FF8000000000000ULL);
+    return;
+  }
+  if (v == 0.0) v = 0.0;  // -0.0 == 0.0 is true; normalize the bit pattern
+  add_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Digest::add_string(std::string_view s) {
+  add_u64(s.size());
+  for (char c : s) add_byte(static_cast<std::uint8_t>(c));
+}
+
+std::string Digest::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  std::uint64_t v = state_;
+  for (std::size_t i = 16; i-- > 0;) {
+    out[i] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> Digest::parse_hex(std::string_view s) {
+  if (s.empty() || s.size() > 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+}  // namespace ll::verify

@@ -4,53 +4,13 @@
 
 #include <cmath>
 
+#include "common/scenario_builders.hpp"
 #include "workload/burst_table.hpp"
 
 namespace ll::cluster {
 namespace {
 
-// One quiet window flips the machine idle: recruitment effects are tested in
-// trace tests; here we want precise control of the idle flag per window.
-const trace::RecruitmentRule kInstantRule{0.1, 2.0};
-
-/// Builds a trace from a pattern string: '.' = idle window (cpu 0),
-/// 'B' = busy window (cpu = busy_util). The final character repeats forever
-/// via trace wrap-around only if the caller makes the trace long enough —
-/// so patterns are usually padded.
-trace::CoarseTrace pattern_trace(const std::string& pattern,
-                                 double busy_util = 0.5,
-                                 std::int32_t mem_free = 65536) {
-  trace::CoarseTrace t(2.0);
-  for (char c : pattern) {
-    t.push({c == 'B' ? busy_util : 0.0, mem_free, false});
-  }
-  return t;
-}
-
-ClusterConfig base_config(core::PolicyKind policy, std::size_t nodes) {
-  ClusterConfig cfg;
-  cfg.node_count = nodes;
-  cfg.policy = policy;
-  cfg.recruitment = kInstantRule;
-  cfg.job_bytes = 1ull << 20;  // ~3.4 s migrations keep tests fast
-  // Pattern-driven tests need node i pinned to pool[i] at offset 0.
-  cfg.randomize_placement = false;
-  return cfg;
-}
-
-double migration_cost(const ClusterConfig& cfg) {
-  return cfg.migration.cost(cfg.job_bytes);
-}
-
-/// Pool where every node replays the same pattern (offset 0 is not
-/// guaranteed, so tests that need aligned phases use one-window patterns or
-/// constant traces).
-std::vector<trace::CoarseTrace> uniform_pool(const std::string& pattern,
-                                             double busy_util = 0.5) {
-  return {pattern_trace(pattern, busy_util)};
-}
-
-const workload::BurstTable& table() { return workload::default_burst_table(); }
+using namespace ll::test_support;
 
 TEST(ClusterSim, RejectsBadConstruction) {
   auto cfg = base_config(core::PolicyKind::LingerLonger, 2);

@@ -5,33 +5,13 @@
 #include <gtest/gtest.h>
 
 #include "cluster/cluster_sim.hpp"
+#include "common/scenario_builders.hpp"
 #include "workload/burst_table.hpp"
 
 namespace ll::cluster {
 namespace {
 
-const trace::RecruitmentRule kInstantRule{0.1, 2.0};
-
-trace::CoarseTrace pattern_trace(const std::string& pattern,
-                                 double busy_util = 0.5) {
-  trace::CoarseTrace t(2.0);
-  for (char c : pattern) {
-    t.push({c == 'B' ? busy_util : 0.0, 65536, false});
-  }
-  return t;
-}
-
-ClusterConfig base_config(core::PolicyKind policy, std::size_t nodes) {
-  ClusterConfig cfg;
-  cfg.node_count = nodes;
-  cfg.policy = policy;
-  cfg.recruitment = kInstantRule;
-  cfg.job_bytes = 1ull << 20;
-  cfg.randomize_placement = false;
-  return cfg;
-}
-
-const workload::BurstTable& table() { return workload::default_burst_table(); }
+using namespace ll::test_support;
 
 TEST(ClusterEdge, MigrationConcurrencyCapSerializesMigrations) {
   // Three nodes turn busy simultaneously; three idle targets exist. With

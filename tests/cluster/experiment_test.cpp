@@ -5,29 +5,13 @@
 #include <algorithm>
 #include <mutex>
 
+#include "common/scenario_builders.hpp"
 #include "workload/burst_table.hpp"
 
 namespace ll::cluster {
 namespace {
 
-const trace::RecruitmentRule kInstantRule{0.1, 2.0};
-
-std::vector<trace::CoarseTrace> idle_pool(std::size_t windows = 4000) {
-  trace::CoarseTrace t(2.0);
-  for (std::size_t i = 0; i < windows; ++i) t.push({0.0, 65536, false});
-  return {t};
-}
-
-ExperimentConfig small_experiment(core::PolicyKind policy) {
-  ExperimentConfig cfg;
-  cfg.cluster.node_count = 4;
-  cfg.cluster.policy = policy;
-  cfg.cluster.recruitment = kInstantRule;
-  cfg.cluster.job_bytes = 1ull << 20;
-  cfg.workload = WorkloadSpec{8, 20.0};
-  cfg.seed = 99;
-  return cfg;
-}
+using namespace ll::test_support;
 
 TEST(WorkloadSpecs, MatchPaper) {
   EXPECT_EQ(workload_1().jobs, 128u);

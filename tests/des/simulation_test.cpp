@@ -200,5 +200,156 @@ TEST(Simulation, ZeroDelaySelfScheduleFiresAtSameTime) {
   EXPECT_DOUBLE_EQ(times[1], 1.0);
 }
 
+TEST(Simulation, RunUntilRejectsNonFiniteHorizon) {
+  Simulation sim;
+  EXPECT_THROW((void)sim.run_until(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim.run_until(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim.run_until(-std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  // Bad horizons leave the clock and queue untouched.
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.run_until(1.0), 0u);
+}
+
+TEST(Simulation, ScheduleInRejectsNonFiniteDelay) {
+  Simulation sim;
+  EXPECT_THROW(
+      (void)sim.schedule_in(std::numeric_limits<double>::quiet_NaN(), [] {}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)sim.schedule_in(std::numeric_limits<double>::infinity(), [] {}),
+      std::invalid_argument);
+}
+
+TEST(Simulation, CountersPartitionEveryEvent) {
+  Simulation sim;
+  const EventId doomed = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.schedule_at(3.0, [] {});
+  sim.cancel(doomed);
+  sim.run_until(2.5);
+  EXPECT_EQ(sim.events_scheduled(), 3u);
+  EXPECT_EQ(sim.events_fired(), 1u);
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  EXPECT_EQ(sim.events_scheduled(),
+            sim.events_fired() + sim.events_cancelled() + sim.pending_count());
+}
+
+// Recording observer used by the hook tests below.
+struct RecordingObserver final : SimObserver {
+  struct Rec {
+    char kind;  // 's' schedule, 'f' fire, 'c' cancel
+    double time;
+    EventId id;
+    std::uint64_t tag;
+  };
+  std::vector<Rec> recs;
+  void on_schedule(double when, EventId id, std::uint64_t tag) override {
+    recs.push_back({'s', when, id, tag});
+  }
+  void on_fire(double time, EventId id, std::uint64_t tag) override {
+    recs.push_back({'f', time, id, tag});
+  }
+  void on_cancel(EventId id, std::uint64_t tag) override {
+    recs.push_back({'c', 0.0, id, tag});
+  }
+};
+
+TEST(SimulationObserver, SeesScheduleFireAndCancelWithTags) {
+  Simulation sim;
+  RecordingObserver obs;
+  EXPECT_EQ(sim.set_observer(&obs), nullptr);
+  EXPECT_EQ(sim.observer(), &obs);
+
+  const EventId kept = sim.schedule_at(1.0, [] {}, 7);
+  const EventId doomed = sim.schedule_at(2.0, [] {}, 9);
+  EXPECT_TRUE(sim.cancel(doomed));
+  sim.run();
+
+  ASSERT_EQ(obs.recs.size(), 4u);
+  EXPECT_EQ(obs.recs[0].kind, 's');
+  EXPECT_EQ(obs.recs[0].id, kept);
+  EXPECT_EQ(obs.recs[0].tag, 7u);
+  EXPECT_DOUBLE_EQ(obs.recs[0].time, 1.0);
+  EXPECT_EQ(obs.recs[1].kind, 's');
+  EXPECT_EQ(obs.recs[1].tag, 9u);
+  EXPECT_EQ(obs.recs[2].kind, 'c');
+  EXPECT_EQ(obs.recs[2].id, doomed);
+  EXPECT_EQ(obs.recs[2].tag, 9u);
+  EXPECT_EQ(obs.recs[3].kind, 'f');
+  EXPECT_EQ(obs.recs[3].id, kept);
+  EXPECT_EQ(obs.recs[3].tag, 7u);
+}
+
+TEST(SimulationObserver, UntaggedEventsReportTagZero) {
+  Simulation sim;
+  RecordingObserver obs;
+  sim.set_observer(&obs);
+  sim.schedule_at(1.0, [] {});
+  sim.run();
+  ASSERT_EQ(obs.recs.size(), 2u);
+  EXPECT_EQ(obs.recs[0].tag, 0u);
+  EXPECT_EQ(obs.recs[1].tag, 0u);
+}
+
+TEST(SimulationObserver, SetObserverReturnsPreviousAndDetaches) {
+  Simulation sim;
+  RecordingObserver first;
+  RecordingObserver second;
+  sim.set_observer(&first);
+  EXPECT_EQ(sim.set_observer(&second), &first);
+  sim.schedule_at(1.0, [] {});
+  EXPECT_EQ(sim.set_observer(nullptr), &second);
+  sim.run();  // no observer attached: the fire goes unrecorded
+  EXPECT_TRUE(first.recs.empty());
+  ASSERT_EQ(second.recs.size(), 1u);
+  EXPECT_EQ(second.recs[0].kind, 's');
+}
+
+TEST(SimulationObserver, FireNotifiedBeforeCallbackRuns) {
+  Simulation sim;
+  RecordingObserver obs;
+  sim.set_observer(&obs);
+  std::size_t seen_at_callback = 0;
+  sim.schedule_at(1.0, [&] { seen_at_callback = obs.recs.size(); });
+  sim.run();
+  // schedule + fire both already recorded when the callback executes.
+  EXPECT_EQ(seen_at_callback, 2u);
+}
+
+TEST(SimulationObserver, CancelOfFiredOrUnknownIdDoesNotNotify) {
+  Simulation sim;
+  RecordingObserver obs;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  sim.set_observer(&obs);
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(kNoEvent));
+  EXPECT_TRUE(obs.recs.empty());
+}
+
+TEST(SimulationObserver, SelfSchedulingCallbacksAreObserved) {
+  Simulation sim;
+  RecordingObserver obs;
+  sim.set_observer(&obs);
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 4) sim.schedule_in(1.0, chain, static_cast<std::uint64_t>(depth));
+  };
+  sim.schedule_at(0.0, chain, 99);
+  sim.run();
+  std::size_t schedules = 0;
+  std::size_t fires = 0;
+  for (const auto& r : obs.recs) {
+    if (r.kind == 's') ++schedules;
+    if (r.kind == 'f') ++fires;
+  }
+  EXPECT_EQ(schedules, 4u);
+  EXPECT_EQ(fires, 4u);
+}
+
 }  // namespace
 }  // namespace ll::des

@@ -75,6 +75,19 @@ TEST(FitHyperExp2, SampledMomentsMatchFit) {
   EXPECT_NEAR(sum.variance(), variance, variance * 0.06);
 }
 
+TEST(FitHyperExp2, RefittingFromFittedMomentsIsIdempotent) {
+  // Parameter-level round-trip: feeding a fit's own (mean, variance) back
+  // through the method of moments must reproduce the same distribution.
+  for (const double cv2 : {1.0, 2.0, 8.0, 40.0}) {
+    const double mean = 0.03;
+    const HyperExp2 first = fit_hyperexp2(mean, cv2 * mean * mean);
+    const HyperExp2 second = fit_hyperexp2(first.mean(), first.variance());
+    EXPECT_NEAR(first.p(), second.p(), 1e-9);
+    EXPECT_NEAR(first.rate1(), second.rate1(), first.rate1() * 1e-9);
+    EXPECT_NEAR(first.rate2(), second.rate2(), first.rate2() * 1e-9);
+  }
+}
+
 TEST(FitHyperExp2, ExtremeCv2StillValid) {
   const HyperExp2 h = fit_hyperexp2(1.0, 1000.0);
   EXPECT_GT(h.p(), 0.99);

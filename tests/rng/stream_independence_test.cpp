@@ -1,0 +1,87 @@
+/// Sub-stream independence properties of the splittable RNG. The whole
+/// verification story (scenarios.cpp, llverify --all) leans on forking being
+/// a pure function of (parent seed, label, index): adding, removing, or
+/// reordering forks must never perturb the draws of existing consumers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace ll::rng {
+namespace {
+
+std::vector<std::uint64_t> draws(Stream s, int n = 8) {
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(s.engine()());
+  return out;
+}
+
+TEST(StreamIndependence, ForkIsPureFunctionOfParent) {
+  Stream master(123);
+  const Stream a = master.fork("child", 4);
+  master.uniform01();  // consuming parent entropy must not matter...
+  const Stream b = master.fork("child", 4);
+  EXPECT_EQ(a.seed(), b.seed());
+  EXPECT_EQ(draws(a), draws(b));
+}
+
+TEST(StreamIndependence, DecoyForksDoNotPerturbSiblings) {
+  // The exact perturbation llverify applies: interleave decoy forks around
+  // the real derivation and require identical streams.
+  Stream plain(77);
+  const Stream direct = plain.fork("cluster", 2);
+
+  Stream perturbed(77);
+  (void)perturbed.fork("decoy-before");
+  (void)perturbed.fork("cluster", 999);
+  const Stream indirect = perturbed.fork("cluster", 2);
+  (void)perturbed.fork("decoy-after", 3);
+
+  EXPECT_EQ(direct.seed(), indirect.seed());
+  EXPECT_EQ(draws(direct), draws(indirect));
+}
+
+TEST(StreamIndependence, ForkOrderIrrelevantAcrossLabels) {
+  Stream a(5);
+  const Stream a_node = a.fork("node", 1);
+  const Stream a_bursts = a.fork("bursts");
+
+  Stream b(5);
+  const Stream b_bursts = b.fork("bursts");  // reversed derivation order
+  const Stream b_node = b.fork("node", 1);
+
+  EXPECT_EQ(draws(a_node), draws(b_node));
+  EXPECT_EQ(draws(a_bursts), draws(b_bursts));
+}
+
+TEST(StreamIndependence, DistinctLabelsAndIndicesDiffer) {
+  Stream master(9);
+  EXPECT_NE(master.fork("a").seed(), master.fork("b").seed());
+  EXPECT_NE(master.fork("a", 0).seed(), master.fork("a", 1).seed());
+  EXPECT_NE(draws(master.fork("a")), draws(master.fork("b")));
+}
+
+TEST(StreamIndependence, NestedForksComposeDeterministically) {
+  Stream master(31);
+  const Stream deep_a = master.fork("cluster").fork("node", 3).fork("bursts");
+  const Stream deep_b = master.fork("cluster").fork("node", 3).fork("bursts");
+  EXPECT_EQ(draws(deep_a), draws(deep_b));
+  // Path matters: node 3's bursts differ from node 4's.
+  const Stream other = master.fork("cluster").fork("node", 4).fork("bursts");
+  EXPECT_NE(draws(deep_a), draws(other));
+}
+
+TEST(StreamIndependence, DrawingFromChildLeavesSiblingUntouched) {
+  Stream master(55);
+  Stream noisy = master.fork("noisy");
+  const Stream quiet_before = master.fork("quiet");
+  for (int i = 0; i < 1000; ++i) noisy.uniform01();
+  const Stream quiet_after = master.fork("quiet");
+  EXPECT_EQ(draws(quiet_before), draws(quiet_after));
+}
+
+}  // namespace
+}  // namespace ll::rng

@@ -1,0 +1,139 @@
+#include "verify/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "des/simulation.hpp"
+
+namespace ll::verify {
+namespace {
+
+Digest fold_bytes(const std::string& s) {
+  Digest d;
+  for (char c : s) d.add_byte(static_cast<std::uint8_t>(c));
+  return d;
+}
+
+TEST(Digest, EmptyDigestIsOffsetBasis) {
+  Digest d;
+  EXPECT_EQ(d.value(), Digest::kOffsetBasis);
+  EXPECT_EQ(d.hex(), "cbf29ce484222325");
+}
+
+TEST(Digest, MatchesPublishedFnv1aVectors) {
+  // Reference vectors for 64-bit FNV-1a (Fowler/Noll/Vo test suite).
+  EXPECT_EQ(fold_bytes("a").value(), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fold_bytes("foobar").value(), 0x85944171f73967e8ULL);
+}
+
+TEST(Digest, U64FoldsAsLittleEndianBytes) {
+  Digest via_u64;
+  via_u64.add_u64(0x0102030405060708ULL);
+  Digest via_bytes;
+  for (std::uint8_t b : {0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01}) {
+    via_bytes.add_byte(b);
+  }
+  EXPECT_EQ(via_u64.value(), via_bytes.value());
+}
+
+TEST(Digest, NegativeZeroDigestsLikePositiveZero) {
+  Digest pos;
+  pos.add_double(0.0);
+  Digest neg;
+  neg.add_double(-0.0);
+  EXPECT_EQ(pos.value(), neg.value());
+}
+
+TEST(Digest, AllNanPayloadsDigestIdentically) {
+  Digest quiet;
+  quiet.add_double(std::numeric_limits<double>::quiet_NaN());
+  Digest signaling;
+  signaling.add_double(std::numeric_limits<double>::signaling_NaN());
+  Digest payload;
+  payload.add_double(std::nan("0x12345"));
+  EXPECT_EQ(quiet.value(), signaling.value());
+  EXPECT_EQ(quiet.value(), payload.value());
+
+  Digest one;
+  one.add_double(1.0);
+  EXPECT_NE(quiet.value(), one.value());
+}
+
+TEST(Digest, StringsAreLengthPrefixed) {
+  Digest ab_c;
+  ab_c.add_string("ab");
+  ab_c.add_string("c");
+  Digest a_bc;
+  a_bc.add_string("a");
+  a_bc.add_string("bc");
+  EXPECT_NE(ab_c.value(), a_bc.value());
+}
+
+TEST(Digest, HexRoundTripsThroughParse) {
+  Digest d;
+  d.add_event(1.5, 42, 7);
+  const std::string hex = d.hex();
+  EXPECT_EQ(hex.size(), 16u);
+  const auto parsed = Digest::parse_hex(hex);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, d.value());
+}
+
+TEST(Digest, HexPadsLeadingZeros) {
+  EXPECT_EQ(Digest::parse_hex("00000000000000ff"), 0xffULL);
+  EXPECT_EQ(Digest::parse_hex("ff"), 0xffULL);
+  EXPECT_EQ(Digest::parse_hex("FF"), 0xffULL);
+}
+
+TEST(Digest, ParseHexRejectsMalformedInput) {
+  EXPECT_FALSE(Digest::parse_hex("").has_value());
+  EXPECT_FALSE(Digest::parse_hex("xyz").has_value());
+  EXPECT_FALSE(Digest::parse_hex("0123456789abcdef0").has_value());  // 17 chars
+  EXPECT_FALSE(Digest::parse_hex("12 4").has_value());
+}
+
+TEST(Digest, EventOrderIsSignificant) {
+  Digest forward;
+  forward.add_event(1.0, 1, 0);
+  forward.add_event(2.0, 2, 0);
+  Digest reversed;
+  reversed.add_event(2.0, 2, 0);
+  reversed.add_event(1.0, 1, 0);
+  EXPECT_NE(forward.value(), reversed.value());
+}
+
+TEST(DigestObserver, FoldsOnlyFiredEvents) {
+  des::Simulation sim;
+  DigestObserver obs;
+  sim.set_observer(&obs);
+  const des::EventId kept = sim.schedule_at(1.0, [] {}, 5);
+  const des::EventId doomed = sim.schedule_at(2.0, [] {}, 6);
+  sim.cancel(doomed);  // cancelled events must not perturb the digest
+  sim.run();
+
+  Digest expected;
+  expected.add_event(1.0, kept, 5);
+  EXPECT_EQ(obs.events(), 1u);
+  EXPECT_EQ(obs.digest().value(), expected.value());
+}
+
+TEST(DigestObserver, IdenticalRunsProduceIdenticalDigests) {
+  auto run_once = [] {
+    des::Simulation sim;
+    DigestObserver obs;
+    sim.set_observer(&obs);
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(static_cast<double>((i * 13) % 17), [] {},
+                      static_cast<std::uint64_t>(i));
+    }
+    sim.run();
+    return obs.digest().value();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ll::verify

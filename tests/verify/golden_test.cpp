@@ -1,0 +1,128 @@
+/// Golden-trace regression suite: every verification scenario is pinned, at
+/// kGoldenSeed, to a digest committed under tests/golden/. A failure here
+/// means the simulator's event stream changed — either an intended behavior
+/// change (regenerate with `llverify --write-golden tests/golden` and review
+/// the diff) or a real regression.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "verify/scenarios.hpp"
+
+#ifndef LL_GOLDEN_DIR
+#error "LL_GOLDEN_DIR must point at the committed golden digests"
+#endif
+
+namespace ll::verify {
+namespace {
+
+struct GoldenEntry {
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+};
+
+GoldenEntry read_golden(const std::string& name) {
+  const std::string path = std::string(LL_GOLDEN_DIR) + "/" + name + ".golden";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate: llverify --write-golden)";
+  std::string hex;
+  GoldenEntry entry;
+  in >> hex >> entry.events;
+  const auto parsed = Digest::parse_hex(hex);
+  EXPECT_TRUE(parsed.has_value()) << "malformed digest in " << path;
+  entry.digest = parsed.value_or(0);
+  return entry;
+}
+
+TEST(GoldenScenarios, RegistryCoversCoreModules) {
+  std::set<std::string> modules;
+  for (const auto& s : scenarios()) modules.insert(s.module);
+  for (const char* required : {"des", "node", "cluster", "parallel"}) {
+    EXPECT_TRUE(modules.count(required)) << "no scenario covers " << required;
+  }
+  EXPECT_GE(scenarios().size(), 10u);
+}
+
+TEST(GoldenScenarios, FindScenarioLooksUpByName) {
+  ASSERT_FALSE(scenarios().empty());
+  const auto& first = scenarios().front();
+  const Scenario* found = find_scenario(first.name);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name, first.name);
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+}
+
+TEST(GoldenScenarios, DigestsMatchCommittedGoldens) {
+  for (const auto& scenario : scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    const GoldenEntry golden = read_golden(scenario.name);
+    ScenarioOptions options;  // kGoldenSeed, kCount
+    const ScenarioResult result = scenario.run(options);
+    EXPECT_EQ(result.digest.value(), golden.digest)
+        << "digest drift: got " << result.digest.hex();
+    EXPECT_EQ(result.events, golden.events);
+    EXPECT_EQ(result.violations, 0u);
+  }
+}
+
+TEST(GoldenScenarios, InvariantsHoldInAssertMode) {
+  for (const auto& scenario : scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    ScenarioOptions options;
+    options.mode = Mode::kAssert;
+    ScenarioResult result;
+    EXPECT_NO_THROW(result = scenario.run(options));
+    EXPECT_GT(result.checks, 0u) << "scenario executed zero invariant checks";
+  }
+}
+
+TEST(GoldenScenarios, RerunsAreByteIdentical) {
+  for (const auto& scenario : scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    ScenarioOptions options;
+    options.seed = 4242;  // determinism must hold at any seed, not just golden
+    const ScenarioResult a = scenario.run(options);
+    const ScenarioResult b = scenario.run(options);
+    EXPECT_EQ(a.digest.value(), b.digest.value());
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.checks, b.checks);
+  }
+}
+
+TEST(GoldenScenarios, PerturbedSeedChangesDigest) {
+  for (const auto& scenario : scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    ScenarioOptions base;
+    ScenarioOptions perturbed;
+    perturbed.seed = kGoldenSeed + 1;
+    const ScenarioResult a = scenario.run(base);
+    const ScenarioResult b = scenario.run(perturbed);
+    EXPECT_NE(a.digest.value(), b.digest.value())
+        << "scenario is blind to its seed";
+  }
+}
+
+TEST(GoldenScenarios, StreamForkOrderDoesNotChangeDigest) {
+  // fork(label, index) is a pure function of the parent state, so deriving
+  // the scenario streams through interleaved decoy forks must not perturb
+  // anything. This is the end-to-end sub-stream independence guarantee.
+  for (const auto& scenario : scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    ScenarioOptions base;
+    ScenarioOptions reordered;
+    reordered.reordered_streams = true;
+    const ScenarioResult a = scenario.run(base);
+    const ScenarioResult b = scenario.run(reordered);
+    EXPECT_EQ(a.digest.value(), b.digest.value())
+        << "digest depends on RNG fork order";
+    EXPECT_EQ(a.events, b.events);
+  }
+}
+
+}  // namespace
+}  // namespace ll::verify
