@@ -1,68 +1,8 @@
-/// \file abl_ctx_switch.cpp
-/// Ablation of design decision #2 (DESIGN.md): the effective context-switch
-/// cost (the paper adopts 100 us from Mogul & Borg, dominated by cache
-/// reload). Sweeps 25 us - 1 ms and reports both the single-node metrics
-/// (Figure 5's LDR/FCSR at a representative load) and cluster throughput,
-/// showing when fine-grain stealing stops being "free".
+/// Thin wrapper: this bench is registered in the engine's bench registry
+/// (src/exp) and is also reachable as `llsim bench abl_ctx_switch`.
 
-#include <cstdio>
-
-#include "cluster/experiment.hpp"
-#include "common.hpp"
-#include "node/fine_node_sim.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
+#include "exp/registry.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ll;
-
-  util::Flags flags("abl_ctx_switch", "Effective context-switch cost sweep.");
-  auto seed = flags.add_uint64("seed", 42, "RNG seed");
-  auto nodes = flags.add_int("nodes", 32, "cluster size");
-  auto machines = flags.add_int("machines", 32, "distinct machine traces");
-  auto util_flag = flags.add_double("util", 0.3, "single-node test load");
-  auto csv_path = flags.add_string("csv", "", "optional CSV output path");
-  flags.parse(argc, argv);
-
-  benchx::banner("Ablation: effective context-switch cost",
-                 "Paper's operating point is 100 us; delays stay <5% to "
-                 "300 us, reach ~8% at 500 us.",
-                 *seed);
-
-  const auto pool = benchx::standard_pool(
-      static_cast<std::size_t>(*machines), 24.0, *seed + 1);
-  const auto& table = workload::default_burst_table();
-
-  util::CsvWriter csv(*csv_path);
-  csv.row({"ctx_switch_us", "ldr", "fcsr", "throughput", "fg_delay"});
-
-  util::Table out({"switch cost (us)", "LDR @30%", "FCSR @30%",
-                   "LL throughput", "cluster fg delay"});
-  for (double cs : {25e-6, 50e-6, 100e-6, 200e-6, 300e-6, 500e-6, 1000e-6}) {
-    node::FineNodeConfig fine;
-    fine.utilization = *util_flag;
-    fine.context_switch = cs;
-    fine.duration = 3000.0;
-    const auto r = node::simulate_fine_node(
-        fine, table, rng::Stream(*seed).fork("fine",
-                                             static_cast<std::uint64_t>(cs * 1e7)));
-
-    cluster::ExperimentConfig cfg;
-    cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
-    cfg.cluster.policy = core::PolicyKind::LingerLonger;
-    cfg.cluster.context_switch = cs;
-    cfg.workload = cluster::WorkloadSpec{64, 600.0};
-    cfg.seed = *seed;
-    const auto closed = cluster::run_closed(cfg, pool, table, 3600.0);
-
-    out.add_row({util::fixed(cs * 1e6, 0), util::percent(r.ldr(), 2),
-                 util::percent(r.fcsr(), 1), util::fixed(closed.throughput, 1),
-                 util::percent(closed.foreground_delay, 3)});
-    csv.row({util::fixed(cs * 1e6, 0), util::fixed(r.ldr(), 5),
-             util::fixed(r.fcsr(), 5), util::fixed(closed.throughput, 2),
-             util::fixed(closed.foreground_delay, 6)});
-  }
-  std::printf("%s", out.render().c_str());
-  return 0;
+  return ll::exp::bench_main("abl_ctx_switch", argc, argv);
 }

@@ -1,78 +1,8 @@
-/// \file abl_migration_cost.cpp
-/// Ablation of design decision #4 (DESIGN.md): migration cost. The paper
-/// fixes 8 MB images over an effective 3 Mbps link (~23 s per migration).
-/// Sweeping bandwidth and image size shows how the policy gap between
-/// lingering and eviction widens as migration gets more expensive — the
-/// regime that motivates lingering in the first place.
+/// Thin wrapper: this bench is registered in the engine's bench registry
+/// (src/exp) and is also reachable as `llsim bench abl_migration_cost`.
 
-#include <cstdio>
-
-#include "cluster/experiment.hpp"
-#include "common.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
+#include "exp/registry.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ll;
-
-  util::Flags flags("abl_migration_cost",
-                    "Migration bandwidth and image-size sweep.");
-  auto seed = flags.add_uint64("seed", 42, "RNG seed");
-  auto nodes = flags.add_int("nodes", 32, "cluster size");
-  auto machines = flags.add_int("machines", 32, "distinct machine traces");
-  auto csv_path = flags.add_string("csv", "", "optional CSV output path");
-  flags.parse(argc, argv);
-
-  benchx::banner("Ablation: migration cost (bandwidth x image size)",
-                 "Paper's point: 8 MB @ 3 Mbps effective => ~23 s per "
-                 "migration.",
-                 *seed);
-
-  const auto pool = benchx::standard_pool(
-      static_cast<std::size_t>(*machines), 24.0, *seed + 1);
-  const auto& table = workload::default_burst_table();
-
-  util::CsvWriter csv(*csv_path);
-  csv.row({"bandwidth_mbps", "image_mb", "t_migr", "ll_throughput",
-           "ie_throughput", "ll_over_ie", "ll_migrations", "ie_migrations"});
-
-  util::Table out({"bw (Mbps)", "image (MB)", "T_migr (s)", "LL thpt",
-                   "IE thpt", "LL/IE", "LL migr", "IE migr"});
-  for (double mbps : {1.5, 3.0, 10.0}) {
-    for (double mb : {4.0, 8.0, 16.0}) {
-      auto run_policy = [&](core::PolicyKind policy, std::size_t& migrations) {
-        cluster::ExperimentConfig cfg;
-        cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
-        cfg.cluster.policy = policy;
-        cfg.cluster.migration.bandwidth_bps = mbps * 1e6;
-        cfg.cluster.job_bytes =
-            static_cast<std::uint64_t>(mb * 1024.0 * 1024.0);
-        cfg.cluster.job_mem_kb = static_cast<std::uint32_t>(mb * 1024.0);
-        cfg.workload = cluster::WorkloadSpec{64, 600.0};
-        cfg.seed = *seed;
-        const auto r = cluster::run_closed(cfg, pool, table, 3600.0);
-        migrations = r.migrations;
-        return r.throughput;
-      };
-      std::size_t ll_migr = 0;
-      std::size_t ie_migr = 0;
-      const double ll = run_policy(core::PolicyKind::LingerLonger, ll_migr);
-      const double ie = run_policy(core::PolicyKind::ImmediateEviction, ie_migr);
-      core::MigrationCostModel model;
-      model.bandwidth_bps = mbps * 1e6;
-      const double t_migr =
-          model.cost(static_cast<std::uint64_t>(mb * 1024 * 1024));
-      out.add_row({util::fixed(mbps, 1), util::fixed(mb, 0),
-                   util::fixed(t_migr, 1), util::fixed(ll, 1),
-                   util::fixed(ie, 1), util::fixed(ll / ie, 2),
-                   std::to_string(ll_migr), std::to_string(ie_migr)});
-      csv.row({util::fixed(mbps, 1), util::fixed(mb, 0),
-               util::fixed(t_migr, 2), util::fixed(ll, 2), util::fixed(ie, 2),
-               util::fixed(ll / ie, 3), std::to_string(ll_migr),
-               std::to_string(ie_migr)});
-    }
-  }
-  std::printf("%s", out.render().c_str());
-  return 0;
+  return ll::exp::bench_main("abl_migration_cost", argc, argv);
 }

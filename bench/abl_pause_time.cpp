@@ -1,69 +1,8 @@
-/// \file abl_pause_time.cpp
-/// Ablation of design decision #5 (DESIGN.md): Pause-and-Migrate's grace
-/// period. The paper says only "a fixed time"; this sweep shows the
-/// trade-off the parameter controls — short pauses migrate needlessly on
-/// short owner episodes, long pauses strand suspended jobs — and that no
-/// setting closes the gap to Linger-Longer.
+/// Thin wrapper: this bench is registered in the engine's bench registry
+/// (src/exp) and is also reachable as `llsim bench abl_pause_time`.
 
-#include <cstdio>
-
-#include "cluster/experiment.hpp"
-#include "common.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
+#include "exp/registry.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ll;
-
-  util::Flags flags("abl_pause_time", "Pause-and-Migrate grace-period sweep.");
-  auto seed = flags.add_uint64("seed", 42, "RNG seed");
-  auto nodes = flags.add_int("nodes", 32, "cluster size");
-  auto machines = flags.add_int("machines", 32, "distinct machine traces");
-  auto csv_path = flags.add_string("csv", "", "optional CSV output path");
-  flags.parse(argc, argv);
-
-  benchx::banner("Ablation: PM pause time",
-                 "Repo default is 60 s (the recruitment threshold).", *seed);
-
-  const auto pool = benchx::standard_pool(
-      static_cast<std::size_t>(*machines), 24.0, *seed + 1);
-  const auto& table = workload::default_burst_table();
-
-  util::CsvWriter csv(*csv_path);
-  csv.row({"pause_s", "avg_job", "family", "throughput", "migrations"});
-
-  util::Table out({"pause (s)", "avg job (s)", "family (s)", "throughput",
-                   "migrations"});
-  for (double pause : {10.0, 30.0, 60.0, 120.0, 300.0, 900.0}) {
-    cluster::ExperimentConfig cfg;
-    cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
-    cfg.cluster.policy = core::PolicyKind::PauseAndMigrate;
-    cfg.cluster.policy_params.pause_time = pause;
-    cfg.workload = cluster::WorkloadSpec{64, 600.0};
-    cfg.seed = *seed;
-
-    const auto open = cluster::run_open(cfg, pool, table);
-    const auto closed = cluster::run_closed(cfg, pool, table, 3600.0);
-    out.add_row({util::fixed(pause, 0), util::fixed(open.avg_completion, 0),
-                 util::fixed(open.family_time, 0),
-                 util::fixed(closed.throughput, 1),
-                 std::to_string(open.migrations)});
-    csv.row({util::fixed(pause, 0), util::fixed(open.avg_completion, 1),
-             util::fixed(open.family_time, 1),
-             util::fixed(closed.throughput, 2),
-             std::to_string(open.migrations)});
-  }
-  std::printf("%s", out.render().c_str());
-
-  // Reference row: Linger-Longer on the same configuration.
-  cluster::ExperimentConfig cfg;
-  cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
-  cfg.cluster.policy = core::PolicyKind::LingerLonger;
-  cfg.workload = cluster::WorkloadSpec{64, 600.0};
-  cfg.seed = *seed;
-  const auto ll = cluster::run_closed(cfg, pool, table, 3600.0);
-  std::printf("\nLinger-Longer reference throughput on the same setup: %.1f\n",
-              ll.throughput);
-  return 0;
+  return ll::exp::bench_main("abl_pause_time", argc, argv);
 }

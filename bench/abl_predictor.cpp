@@ -1,90 +1,8 @@
-/// \file abl_predictor.cpp
-/// Ablation of design decision #1 (DESIGN.md): the 2T median-remaining-life
-/// episode predictor. The linger duration T_lingr = (1-l)/(h-l)*T_migr is
-/// exactly the deadline implied by predicting a non-idle episode's total
-/// length as twice its current age; scaling it explores the whole predictor
-/// family:
-///   scale 0    -> migrate at the first opportunity (eviction-eager)
-///   scale 1    -> the paper's 2T rule
-///   scale >> 1 -> approach Linger-Forever (never migrate)
+/// Thin wrapper: this bench is registered in the engine's bench registry
+/// (src/exp) and is also reachable as `llsim bench abl_predictor`.
 
-#include <cstdio>
-
-#include "cluster/experiment.hpp"
-#include "common.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
+#include "exp/registry.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ll;
-
-  util::Flags flags("abl_predictor",
-                    "Linger-duration scale sweep around the 2T rule.");
-  auto seed = flags.add_uint64("seed", 42, "RNG seed");
-  auto nodes = flags.add_int("nodes", 32, "cluster size");
-  auto machines = flags.add_int("machines", 32, "distinct machine traces");
-  auto csv_path = flags.add_string("csv", "", "optional CSV output path");
-  flags.parse(argc, argv);
-
-  benchx::banner("Ablation: episode predictor (linger-duration scale)",
-                 "scale 0 = eager migration, 1 = the paper's 2T rule, large = "
-                 "Linger-Forever.",
-                 *seed);
-
-  util::CsvWriter csv(*csv_path);
-  csv.row({"pool", "linger_scale", "avg_job", "variation", "family",
-           "throughput", "migrations"});
-
-  struct PoolSpec {
-    const char* name;
-    double hours;  // < 24 starts at 09:00 (working hours; busier nodes)
-  };
-  for (const PoolSpec& spec :
-       {PoolSpec{"full-day pool (light owner load)", 24.0},
-        PoolSpec{"working-hours pool (heavy owner load)", 8.0}}) {
-    const auto pool = benchx::standard_pool(
-        static_cast<std::size_t>(*machines), spec.hours, *seed + 1);
-
-    util::Table out({"predictor", "avg job (s)", "variation", "family (s)",
-                     "throughput", "migrations"});
-    // scale < 0 encodes the oracle baseline row.
-    for (double scale : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0, -1.0}) {
-      cluster::ExperimentConfig cfg;
-      cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
-      cfg.cluster.policy = scale < 0.0 ? core::PolicyKind::OracleLinger
-                                       : core::PolicyKind::LingerLonger;
-      cfg.cluster.policy_params.linger_scale = std::max(scale, 0.0);
-      // Sub-saturated on purpose: idle target nodes must exist for the
-      // migrate-or-linger decision to bind (a saturated cluster has nowhere
-      // to migrate to, and every scale degenerates to Linger-Forever).
-      cfg.workload = cluster::WorkloadSpec{
-          static_cast<std::size_t>(*nodes) * 3 / 4, 600.0};
-      cfg.seed = *seed;
-
-      const auto open =
-          cluster::run_open(cfg, pool, workload::default_burst_table());
-      const auto closed = cluster::run_closed(
-          cfg, pool, workload::default_burst_table(), 3600.0);
-      const std::string label =
-          scale < 0.0 ? "oracle" : "2T x " + util::fixed(scale, 2);
-      out.add_row({label, util::fixed(open.avg_completion, 0),
-                   util::percent(open.variation, 1),
-                   util::fixed(open.family_time, 0),
-                   util::fixed(closed.throughput, 1),
-                   std::to_string(open.migrations)});
-      csv.row({spec.name, label, util::fixed(open.avg_completion, 1),
-               util::fixed(open.variation, 4), util::fixed(open.family_time, 1),
-               util::fixed(closed.throughput, 2),
-               std::to_string(open.migrations)});
-    }
-    std::printf("%s:\n%s\n", spec.name, out.render().c_str());
-  }
-  std::printf(
-      "Reading: on realistic traces non-idle nodes are mostly lightly loaded,"
-      "\nso migrating rarely pays and every scale performs alike — the same "
-      "reason\nLF nearly matches LL in the paper's Figure 7. Eager migration "
-      "(scale 0)\nonly adds suspension time; the 2T rule avoids it without "
-      "episode-length\nforeknowledge.\n");
-  return 0;
+  return ll::exp::bench_main("abl_predictor", argc, argv);
 }

@@ -1,134 +1,8 @@
-/// \file fig07_cluster_table.cpp
-/// Paper Figure 7 (the headline table): four scheduling policies (LL, LF,
-/// IE, PM) x two workloads x four metrics on a simulated 64-node cluster.
-///
-///   Workload-1: 128 jobs x 600 cpu-s (heavy: ~2 jobs per node)
-///   Workload-2:  16 jobs x 1800 cpu-s (light: 1/4 of the nodes)
-///
-/// Paper values for reference:
-///   W1: avg job  LL 1044 / LF 1026 / IE 1531 / PM 1531
-///       variation  13.7% / 20.5% / 27.7% / 22.5%
-///       family     1847 / 1844 / 2616 / 2521
-///       throughput 52.2 / 55.5 / 34.6 / 34.6
-///   W2: avg job ~1860 for all; throughput 15.0/14.7/14.5/14.5
-/// plus: foreground delay below 0.5% in all configurations.
+/// Thin wrapper: this bench is registered in the engine's bench registry
+/// (src/exp) and is also reachable as `llsim bench fig07`.
 
-#include <cstdio>
-
-#include "cluster/experiment.hpp"
-#include "common.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
+#include "exp/registry.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ll;
-
-  util::Flags flags("fig07_cluster_table",
-                    "Cluster performance of LL/LF/IE/PM (paper Figure 7).");
-  auto seed = flags.add_uint64("seed", 42, "RNG seed");
-  auto nodes = flags.add_int("nodes", 64, "cluster size");
-  auto machines = flags.add_int("machines", 64, "distinct machine traces");
-  auto reps = flags.add_int("reps", 5,
-                            "replications per cell (means with 95% CIs)");
-  auto csv_path = flags.add_string("csv", "", "optional CSV output path");
-  flags.parse(argc, argv);
-
-  benchx::banner("Figure 7: cluster performance (4 policies x 2 workloads)",
-                 "Paper: lingering improves W1 throughput ~50-60% over "
-                 "eviction; all policies\ntie on the lightly loaded W2; "
-                 "foreground delay < 0.5% throughout.",
-                 *seed);
-
-  const auto pool = benchx::standard_pool(
-      static_cast<std::size_t>(*machines), 24.0, *seed + 1);
-
-  util::CsvWriter csv(*csv_path);
-  csv.row({"workload", "policy", "avg_job", "variation", "family",
-           "throughput", "fg_delay", "migrations"});
-
-  struct Spec {
-    const char* name;
-    cluster::WorkloadSpec workload;
-  };
-  const Spec specs[] = {{"workload-1 (128 x 600 s)", cluster::workload_1()},
-                        {"workload-2 (16 x 1800 s)", cluster::workload_2()}};
-
-  for (const Spec& spec : specs) {
-    util::Table out({"metric", "LL", "LF", "IE", "PM"});
-    std::vector<std::string> avg{"avg. job (s)"};
-    std::vector<std::string> var{"variation"};
-    std::vector<std::string> fam{"family time (s)"};
-    std::vector<std::string> thr{"throughput (cpu-s/s)"};
-    std::vector<std::string> fgd{"foreground delay"};
-    std::vector<std::string> mig{"migrations (open run)"};
-
-    for (core::PolicyKind policy : benchx::kAllPolicies) {
-      // `reps` independent replications per cell, reported as mean +- 95% CI.
-      // Open and closed modes share the replication seeds.
-      auto run_one = [&](std::uint64_t rep_seed, bool closed_mode) {
-        cluster::ExperimentConfig cfg;
-        cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
-        cfg.cluster.policy = policy;
-        cfg.workload = spec.workload;
-        cfg.seed = rep_seed;
-        return closed_mode
-                   ? cluster::run_closed(cfg, pool,
-                                         workload::default_burst_table(), 3600.0)
-                   : cluster::run_open(cfg, pool,
-                                       workload::default_burst_table());
-      };
-      const auto opens = cluster::replicate(
-          static_cast<std::size_t>(*reps), *seed,
-          [&](std::uint64_t s) { return run_one(s, false); });
-      const auto closeds = cluster::replicate(
-          static_cast<std::size_t>(*reps), *seed,
-          [&](std::uint64_t s) { return run_one(s, true); });
-
-      auto ci_of = [](const std::vector<cluster::ClusterReport>& rs,
-                      auto metric) {
-        return cluster::summarize(rs, metric);
-      };
-      const auto avg_ci = ci_of(
-          opens, [](const cluster::ClusterReport& r) { return r.avg_completion; });
-      const auto var_ci = ci_of(
-          opens, [](const cluster::ClusterReport& r) { return r.variation; });
-      const auto fam_ci = ci_of(
-          opens, [](const cluster::ClusterReport& r) { return r.family_time; });
-      const auto thr_ci = ci_of(
-          closeds, [](const cluster::ClusterReport& r) { return r.throughput; });
-      const auto fgd_ci = ci_of(opens, [](const cluster::ClusterReport& r) {
-        return r.foreground_delay;
-      });
-      const auto mig_ci = ci_of(opens, [](const cluster::ClusterReport& r) {
-        return static_cast<double>(r.migrations);
-      });
-
-      avg.push_back(util::format("%.0f ±%.0f", avg_ci.mean, avg_ci.half_width));
-      var.push_back(util::format("%.1f%% ±%.1f", var_ci.mean * 100,
-                                 var_ci.half_width * 100));
-      fam.push_back(util::format("%.0f ±%.0f", fam_ci.mean, fam_ci.half_width));
-      thr.push_back(util::format("%.1f ±%.1f", thr_ci.mean, thr_ci.half_width));
-      fgd.push_back(util::percent(fgd_ci.mean, 2));
-      mig.push_back(util::fixed(mig_ci.mean, 0));
-
-      csv.row({spec.name, std::string(core::to_string(policy)),
-               util::fixed(avg_ci.mean, 1), util::fixed(var_ci.mean, 4),
-               util::fixed(fam_ci.mean, 1), util::fixed(thr_ci.mean, 2),
-               util::fixed(fgd_ci.mean, 5), util::fixed(mig_ci.mean, 1)});
-    }
-    out.add_row(avg);
-    out.add_row(var);
-    out.add_row(fam);
-    out.add_row(thr);
-    out.add_separator();
-    out.add_row(fgd);
-    out.add_row(mig);
-    std::printf("%s (%lld replications, mean ±95%% CI):\n%s\n", spec.name,
-                static_cast<long long>(*reps), out.render().c_str());
-  }
-
-  std::printf("paper W1 reference: avg 1044/1026/1531/1531, "
-              "throughput 52.2/55.5/34.6/34.6\n");
-  return 0;
+  return ll::exp::bench_main("fig07", argc, argv);
 }

@@ -1,72 +1,8 @@
-/// \file fig08_state_breakdown.cpp
-/// Paper Figure 8: breakdown of the average time a foreign job spends in
-/// each state (queued, running, lingering, paused, migrating) per policy,
-/// for both workloads. The paper's reading: the lingering policies win by
-/// slashing queue time; time actually executing grows only modestly.
+/// Thin wrapper: this bench is registered in the engine's bench registry
+/// (src/exp) and is also reachable as `llsim bench fig08`.
 
-#include <cstdio>
-
-#include "cluster/experiment.hpp"
-#include "common.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
+#include "exp/registry.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ll;
-
-  util::Flags flags("fig08_state_breakdown",
-                    "Average per-job time in each state, per policy.");
-  auto seed = flags.add_uint64("seed", 42, "RNG seed");
-  auto nodes = flags.add_int("nodes", 64, "cluster size");
-  auto machines = flags.add_int("machines", 64, "distinct machine traces");
-  auto csv_path = flags.add_string("csv", "", "optional CSV output path");
-  flags.parse(argc, argv);
-
-  benchx::banner("Figure 8: average completion-time breakdown by state",
-                 "Paper: LL/LF cut queueing dramatically on workload-1; all "
-                 "policies look alike\non workload-2 except for small "
-                 "linger fractions.",
-                 *seed);
-
-  const auto pool = benchx::standard_pool(
-      static_cast<std::size_t>(*machines), 24.0, *seed + 1);
-
-  util::CsvWriter csv(*csv_path);
-  csv.row({"workload", "policy", "queued", "running", "lingering", "paused",
-           "migrating", "total"});
-
-  struct Spec {
-    const char* name;
-    cluster::WorkloadSpec workload;
-  };
-  const Spec specs[] = {{"workload-1 (128 x 600 s)", cluster::workload_1()},
-                        {"workload-2 (16 x 1800 s)", cluster::workload_2()}};
-
-  for (const Spec& spec : specs) {
-    util::Table out({"policy", "queued (s)", "running (s)", "lingering (s)",
-                     "paused (s)", "migrating (s)", "total (s)"});
-    for (core::PolicyKind policy : benchx::kAllPolicies) {
-      cluster::ExperimentConfig cfg;
-      cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
-      cfg.cluster.policy = policy;
-      cfg.workload = spec.workload;
-      cfg.seed = *seed;
-      const auto r =
-          cluster::run_open(cfg, pool, workload::default_burst_table());
-      const double total = r.avg_queued + r.avg_running + r.avg_lingering +
-                           r.avg_paused + r.avg_migrating;
-      out.add_row({std::string(core::to_string(policy)),
-                   util::fixed(r.avg_queued, 0), util::fixed(r.avg_running, 0),
-                   util::fixed(r.avg_lingering, 0),
-                   util::fixed(r.avg_paused, 0),
-                   util::fixed(r.avg_migrating, 0), util::fixed(total, 0)});
-      csv.row({spec.name, std::string(core::to_string(policy)),
-               util::fixed(r.avg_queued, 2), util::fixed(r.avg_running, 2),
-               util::fixed(r.avg_lingering, 2), util::fixed(r.avg_paused, 2),
-               util::fixed(r.avg_migrating, 2), util::fixed(total, 2)});
-    }
-    std::printf("%s:\n%s\n", spec.name, out.render().c_str());
-  }
-  return 0;
+  return ll::exp::bench_main("fig08", argc, argv);
 }

@@ -1,61 +1,8 @@
-/// \file fig09_parallel_slowdown.cpp
-/// Paper Figure 9: slowdown of an 8-process bulk-synchronous job (100 ms
-/// between synchronizations, NEWS messaging) when ONE node is non-idle, as
-/// the owner's utilization on that node rises from 0% to 90%. Paper: the
-/// slowdown stays in the 1.1-1.5 range up to ~40% load and explodes past
-/// 50% (~9-10x at 90%).
+/// Thin wrapper: this bench is registered in the engine's bench registry
+/// (src/exp) and is also reachable as `llsim bench fig09`.
 
-#include <cstdio>
-
-#include "common.hpp"
-#include "parallel/bsp.hpp"
-#include "util/ascii_chart.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
+#include "exp/registry.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ll;
-
-  util::Flags flags("fig09_parallel_slowdown",
-                    "BSP job slowdown vs one node's owner utilization.");
-  auto seed = flags.add_uint64("seed", 42, "RNG seed");
-  auto phases = flags.add_int("phases", 200, "BSP iterations per point");
-  auto csv_path = flags.add_string("csv", "", "optional CSV output path");
-  flags.parse(argc, argv);
-
-  benchx::banner("Figure 9: 8-process BSP slowdown vs local utilization",
-                 "Paper: <=1.5x up to ~40% load on the one busy node; ~9-10x "
-                 "at 90%.",
-                 *seed);
-
-  parallel::BspConfig bsp;
-  bsp.processes = 8;
-  bsp.granularity = 0.1;  // 100 ms between synchronization phases
-  bsp.phases = static_cast<std::size_t>(*phases);
-  bsp.messages_per_process = 4;  // NEWS exchange
-
-  util::CsvWriter csv(*csv_path);
-  csv.row({"utilization", "slowdown"});
-
-  util::Table out({"local util", "slowdown"});
-  util::ChartSeries curve{"slowdown", {}, {}};
-  const auto& table = workload::default_burst_table();
-  for (int pct = 0; pct <= 90; pct += 10) {
-    const double u = pct / 100.0;
-    std::vector<double> utils(8, 0.0);
-    utils[0] = u;
-    const auto r = parallel::simulate_bsp(
-        bsp, utils, table, rng::Stream(*seed).fork("pt", pct));
-    out.add_row({util::percent(u, 0), util::fixed(r.slowdown(), 2)});
-    csv.row({util::fixed(u, 2), util::fixed(r.slowdown(), 4)});
-    curve.xs.push_back(u * 100);
-    curve.ys.push_back(r.slowdown());
-  }
-  std::printf("%s\n", out.render().c_str());
-  util::ChartOptions chart;
-  chart.x_label = "local CPU utilization (%)";
-  chart.y_label = "slowdown";
-  std::printf("%s", util::render_chart({curve}, chart).c_str());
-  return 0;
+  return ll::exp::bench_main("fig09", argc, argv);
 }

@@ -1,118 +1,8 @@
-/// \file fig11_linger_vs_reconfig.cpp
-/// Paper Figure 11: completion time of a fixed-size parallel job on a
-/// 32-node cluster versus the number of idle nodes, comparing Linger-Longer
-/// at widths 8/16/32 against reconfiguration (shrink to the largest
-/// power-of-two of idle nodes). Non-idle nodes carry 20% owner load; the
-/// synchronization granularity is 500 ms. Paper: LL-32 beats reconfiguration
-/// when 5 or fewer nodes are non-idle; LL-8 and LL-16 beat it throughout
-/// their regimes.
+/// Thin wrapper: this bench is registered in the engine's bench registry
+/// (src/exp) and is also reachable as `llsim bench fig11`.
 
-#include <cstdio>
-
-#include "common.hpp"
-#include "parallel/reconfig.hpp"
-#include "util/ascii_chart.hpp"
-#include "util/csv.hpp"
-#include "util/flags.hpp"
-#include "util/table.hpp"
+#include "exp/registry.hpp"
 
 int main(int argc, char** argv) {
-  using namespace ll;
-
-  util::Flags flags("fig11_linger_vs_reconfig",
-                    "LL(8/16/32) vs reconfiguration on 32 nodes.");
-  auto seed = flags.add_uint64("seed", 42, "RNG seed");
-  auto util_flag = flags.add_double("util", 0.2, "owner load on busy nodes");
-  auto work = flags.add_double("work", 38.4, "job size (cpu-seconds)");
-  auto reps = flags.add_int("reps", 9, "replications averaged per point");
-  auto csv_path = flags.add_string("csv", "", "optional CSV output path");
-  flags.parse(argc, argv);
-
-  benchx::banner("Figure 11: Linger-Longer vs reconfiguration (32 nodes)",
-                 "Paper: with <= 5 busy nodes, lingering at width 32 beats "
-                 "shrinking to 16;\nsmaller widths are flat lines unaffected "
-                 "by owner returns.",
-                 *seed);
-
-  parallel::ReconfigScenario scenario;
-  scenario.cluster_nodes = 32;
-  scenario.nonidle_util = *util_flag;
-  scenario.total_work = *work;
-  scenario.bsp.granularity = 0.5;
-
-  const auto& table = workload::default_burst_table();
-  rng::Stream master(*seed);
-  const auto n_reps = static_cast<std::uint64_t>(*reps);
-
-  auto mean_ll = [&](std::size_t width, std::size_t idle_nodes) {
-    double sum = 0.0;
-    for (std::uint64_t r = 0; r < n_reps; ++r) {
-      sum += parallel::ll_completion(
-          scenario, width, idle_nodes, table,
-          master.fork("ll", width * 10000 + idle_nodes * 100 + r));
-    }
-    return sum / static_cast<double>(n_reps);
-  };
-  auto mean_rec = [&](std::size_t idle_nodes) {
-    double sum = 0.0;
-    for (std::uint64_t r = 0; r < n_reps; ++r) {
-      sum += parallel::reconfig_completion(scenario, idle_nodes, table,
-                                           master.fork("rec", idle_nodes * 100 + r));
-    }
-    return sum / static_cast<double>(n_reps);
-  };
-
-  util::CsvWriter csv(*csv_path);
-  csv.row({"idle_nodes", "ll32", "ll16", "ll8", "reconfig"});
-
-  util::Table out({"idle nodes", "LL-32 (s)", "LL-16 (s)", "LL-8 (s)",
-                   "reconfig (s)"});
-  util::ChartSeries s32{"LL-32", {}, {}};
-  util::ChartSeries s16{"LL-16", {}, {}};
-  util::ChartSeries s8{"LL-8", {}, {}};
-  util::ChartSeries srec{"reconfig", {}, {}};
-  for (int idle = 32; idle >= 0; idle -= 2) {
-    const auto idle_nodes = static_cast<std::size_t>(idle);
-    const double ll32 = mean_ll(32, idle_nodes);
-    const double ll16 = mean_ll(16, idle_nodes);
-    const double ll8 = mean_ll(8, idle_nodes);
-    const double rec = mean_rec(idle_nodes);
-    out.add_row({std::to_string(idle), util::fixed(ll32, 2),
-                 util::fixed(ll16, 2), util::fixed(ll8, 2),
-                 util::fixed(rec, 2)});
-    csv.row({std::to_string(idle), util::fixed(ll32, 4), util::fixed(ll16, 4),
-             util::fixed(ll8, 4), util::fixed(rec, 4)});
-    const auto x = static_cast<double>(idle);
-    s32.xs.push_back(x);
-    s32.ys.push_back(ll32);
-    s16.xs.push_back(x);
-    s16.ys.push_back(ll16);
-    s8.xs.push_back(x);
-    s8.ys.push_back(ll8);
-    srec.xs.push_back(x);
-    srec.ys.push_back(rec);
-  }
-  std::printf("%s\n", out.render().c_str());
-  util::ChartOptions chart;
-  chart.x_label = "idle nodes";
-  chart.y_label = "completion time (s)";
-  chart.y_min = 0.0;
-  chart.y_max = 12.0;  // clip reconfig's collapse tail, as the paper does
-  std::printf("%s", util::render_chart({s32, s16, s8, srec}, chart).c_str());
-
-  // The crossover the paper calls out: within the regime where
-  // reconfiguration still runs 16-wide (16..31 idle nodes), how many busy
-  // nodes can LL-32 tolerate before shrinking would have been better?
-  int tolerated = 0;
-  for (int busy = 1; busy <= 16; ++busy) {
-    const auto idle_nodes = static_cast<std::size_t>(32 - busy);
-    if (mean_ll(32, idle_nodes) <= mean_rec(idle_nodes)) {
-      tolerated = busy;
-    } else {
-      break;
-    }
-  }
-  std::printf("\nLL-32 beats reconfiguration for up to %d busy nodes "
-              "(paper: 5).\n", tolerated);
-  return 0;
+  return ll::exp::bench_main("fig11", argc, argv);
 }

@@ -5,6 +5,11 @@
 #include <string>
 
 #include "cluster/experiment.hpp"
+#include "exp/drivers.hpp"
+#include "exp/engine.hpp"
+#include "exp/pool_cache.hpp"
+#include "exp/registry.hpp"
+#include "exp/spec.hpp"
 #include "trace/coarse_analysis.hpp"
 #include "trace/coarse_generator.hpp"
 #include "trace/trace_io.hpp"
@@ -28,7 +33,8 @@ constexpr std::string_view kUsage =
     "  analyze   availability/memory statistics of a trace directory\n"
     "  fit       fit a 21-level burst table from a fine dispatch trace\n"
     "  cluster   run sequential foreign jobs under a scheduling policy\n"
-    "  parallel  run parallel jobs under a width policy\n";
+    "  parallel  run parallel jobs under a width policy\n"
+    "  bench     run a registered experiment sweep (try: bench --list)\n";
 
 std::vector<const char*> to_argv(const std::vector<std::string>& args) {
   std::vector<const char*> argv{"llsim"};
@@ -54,17 +60,24 @@ std::vector<trace::CoarseTrace> load_trace_dir(const std::string& dir) {
   return pool;
 }
 
-/// Builds the pool either from --traces DIR or synthetically.
-std::vector<trace::CoarseTrace> pool_from_flags(const std::string& dir,
-                                                std::int64_t machines,
-                                                double days,
-                                                std::uint64_t seed) {
-  if (!dir.empty()) return load_trace_dir(dir);
-  trace::CoarseGenConfig gen;
-  gen.duration = days * 86400.0;
-  gen.start_hour = days < 1.0 ? 9.0 : 0.0;
-  return trace::generate_machine_pool(gen, static_cast<std::size_t>(machines),
-                                      rng::Stream(seed));
+/// Builds the pool either from --traces DIR or synthetically. Synthetic
+/// pools come from the process-wide cache, so repeated runs (and registered
+/// benches using the same dimensions) build each pool exactly once.
+exp::TracePoolCache::PoolPtr pool_from_flags(const std::string& dir,
+                                             std::int64_t machines,
+                                             double days, std::uint64_t seed) {
+  if (!dir.empty()) {
+    return std::make_shared<const std::vector<trace::CoarseTrace>>(
+        load_trace_dir(dir));
+  }
+  return exp::TracePoolCache::shared().standard(
+      static_cast<std::size_t>(machines), days * 24.0, seed);
+}
+
+/// Formats a replication-count metric: exact for single runs, one decimal
+/// for means across replications.
+std::string count_metric(double mean, std::size_t reps) {
+  return util::fixed(mean, reps > 1 ? 1 : 0);
 }
 
 int cmd_traces(const std::vector<std::string>& args, std::ostream& out) {
@@ -175,6 +188,11 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
                                   "write per-job state transitions as CSV "
                                   "(open mode only)");
   auto seed = flags.add_uint64("seed", 42, "RNG seed");
+  auto reps = flags.add_int("reps", 1,
+                            "replications (report means with 95% CIs)");
+  auto workers = flags.add_int("workers", 0,
+                               "worker threads (0 = hardware concurrency)");
+  auto json = flags.add_bool("json", false, "emit the sweep as JSON");
   auto argv = to_argv(args);
   flags.parse(static_cast<int>(argv.size()), argv.data());
 
@@ -194,37 +212,80 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
   cfg.cluster.policy_params.pause_time = *pause;
   cfg.workload =
       cluster::WorkloadSpec{static_cast<std::size_t>(*jobs), *demand};
-  cfg.seed = *seed;
+
+  // One-cell sweep on the engine: the same path `llsim bench` uses, so
+  // replication seeding, pooled execution and CI summaries come for free.
+  exp::ExperimentSpec spec;
+  spec.name = "cluster";
+  spec.seed = *seed;
+  spec.replications = static_cast<std::size_t>(*reps);
+  spec.axes = {"policy"};
+  const double closed_duration = *closed;
+  spec.add_cell({{"policy", std::string(core::to_string(*policy))}},
+                [cfg, pool, &table, closed_duration](std::uint64_t s) mutable {
+                  cfg.seed = s;
+                  if (closed_duration > 0.0) {
+                    return exp::closed_metrics(
+                        cluster::run_closed(cfg, *pool, table,
+                                            closed_duration));
+                  }
+                  return exp::open_metrics(cluster::run_open(cfg, *pool,
+                                                             table));
+                });
+  exp::EngineOptions options;
+  options.jobs = static_cast<std::size_t>(*workers);
+  const exp::SweepResult sweep = exp::run_sweep(spec, options);
+  const exp::CellResult& cell = sweep.cells.front();
+  const std::size_t n = spec.replications;
+  const auto mean = [&cell](std::string_view metric) {
+    const auto* ci = cell.summary(metric);
+    return ci ? ci->mean : 0.0;
+  };
+
+  if (*closed <= 0.0 && !job_log->empty()) {
+    // The log is a per-job debugging feed, so it covers one run: the first
+    // replication, re-run with its engine-derived seed.
+    cfg.seed = exp::replication_seed(*seed, 0, 0);
+    std::deque<cluster::JobRecord> job_records;
+    (void)cluster::run_open(cfg, *pool, table, &job_records);
+    cluster::write_job_log(job_records, *job_log);
+    out << "wrote job log to " << *job_log << "\n";
+  }
+  if (*json) {
+    exp::write_json(sweep, out);
+    return 0;
+  }
 
   util::Table report({"metric", "value"});
   report.add_row({"policy", std::string(core::to_string(*policy))});
+  if (n > 1) report.add_row({"replications", std::to_string(n)});
   if (*closed > 0.0) {
-    const auto r = cluster::run_closed(cfg, pool, table, *closed);
     report.add_row({"mode", util::format("closed (%.0f s)", *closed)});
-    report.add_row({"throughput (cpu-s/s)", util::fixed(r.throughput, 2)});
-    report.add_row({"completions", std::to_string(r.completed)});
-    report.add_row({"migrations", std::to_string(r.migrations)});
-    report.add_row({"foreground delay", util::percent(r.foreground_delay, 2)});
-  } else {
-    std::deque<cluster::JobRecord> job_records;
-    const auto r = cluster::run_open(cfg, pool, table,
-                                     job_log->empty() ? nullptr : &job_records);
-    if (!job_log->empty()) {
-      cluster::write_job_log(job_records, *job_log);
-      out << "wrote job log to " << *job_log << "\n";
+    std::string throughput = util::fixed(mean("throughput"), 2);
+    if (n > 1) {
+      throughput +=
+          util::format(" ± %.2f", cell.summary("throughput")->half_width);
     }
+    report.add_row({"throughput (cpu-s/s)", throughput});
+    report.add_row({"completions", count_metric(mean("completed"), n)});
+    report.add_row({"migrations", count_metric(mean("migrations"), n)});
+    report.add_row({"foreground delay", util::percent(mean("fg_delay"), 2)});
+  } else {
     report.add_row({"mode", "open (family)"});
-    report.add_row({"avg job (s)", util::fixed(r.avg_completion, 1)});
+    std::string avg_job = util::fixed(mean("avg_job"), 1);
+    if (n > 1) {
+      avg_job += util::format(" ± %.1f", cell.summary("avg_job")->half_width);
+    }
+    report.add_row({"avg job (s)", avg_job});
     report.add_row({"p50 / p90 (s)",
-                    util::format("%.1f / %.1f", r.p50_completion,
-                                 r.p90_completion)});
-    report.add_row({"variation", util::percent(r.variation, 1)});
-    report.add_row({"family time (s)", util::fixed(r.family_time, 1)});
-    report.add_row({"migrations", std::to_string(r.migrations)});
-    report.add_row({"foreground delay", util::percent(r.foreground_delay, 2)});
+                    util::format("%.1f / %.1f", mean("p50"), mean("p90"))});
+    report.add_row({"variation", util::percent(mean("variation"), 1)});
+    report.add_row({"family time (s)", util::fixed(mean("family"), 1)});
+    report.add_row({"migrations", count_metric(mean("migrations"), n)});
+    report.add_row({"foreground delay", util::percent(mean("fg_delay"), 2)});
     report.add_row({"avg queued/running/lingering (s)",
-                    util::format("%.0f / %.0f / %.0f", r.avg_queued,
-                                 r.avg_running, r.avg_lingering)});
+                    util::format("%.0f / %.0f / %.0f", mean("queued"),
+                                 mean("running"), mean("lingering"))});
   }
   out << report.render();
   return 0;
@@ -245,6 +306,11 @@ int cmd_parallel(const std::vector<std::string>& args, std::ostream& out) {
   auto machines = flags.add_int("machines", 32, "synthetic machines if no dir");
   auto days = flags.add_double("days", 1.0, "synthetic trace days");
   auto seed = flags.add_uint64("seed", 42, "RNG seed");
+  auto reps = flags.add_int("reps", 1,
+                            "replications (report means with 95% CIs)");
+  auto workers = flags.add_int("workers", 0,
+                               "worker threads (0 = hardware concurrency)");
+  auto json = flags.add_bool("json", false, "emit the sweep as JSON");
   auto argv = to_argv(args);
   flags.parse(static_cast<int>(argv.size()), argv.data());
 
@@ -256,43 +322,55 @@ int cmd_parallel(const std::vector<std::string>& args, std::ostream& out) {
   }
   const auto pool = pool_from_flags(*traces_dir, *machines, *days, *seed + 1);
 
-  parallel::ParallelClusterConfig cfg;
-  cfg.node_count = static_cast<std::size_t>(*nodes);
-  cfg.policy = *policy;
-  cfg.fixed_width = cfg.node_count;
+  exp::ParallelCellSpec cell_spec;
+  cell_spec.cluster.node_count = static_cast<std::size_t>(*nodes);
+  cell_spec.cluster.policy = *policy;
+  cell_spec.cluster.fixed_width = cell_spec.cluster.node_count;
+  cell_spec.job.total_work = *work;
+  cell_spec.job.bsp.granularity = *granularity;
+  cell_spec.job.max_width = cell_spec.cluster.node_count;
+  cell_spec.jobs_in_system = static_cast<std::size_t>(*jobs);
+  cell_spec.duration = *duration;
 
-  parallel::ParallelJobSpec spec;
-  spec.total_work = *work;
-  spec.bsp.granularity = *granularity;
-  spec.max_width = cfg.node_count;
-
-  parallel::ParallelClusterSim sim(cfg, pool,
-                                   workload::default_burst_table(),
-                                   rng::Stream(*seed));
-  sim.set_completion_callback(
-      [&sim, spec](const parallel::ParallelJobRecord&) { sim.submit(spec); });
-  for (std::int64_t j = 0; j < *jobs; ++j) sim.submit(spec);
-  sim.run_for(*duration);
-
-  std::size_t completed = 0;
-  double turnaround = 0.0;
-  double width = 0.0;
-  for (const auto& job : sim.jobs()) {
-    if (!job.completion) continue;
-    ++completed;
-    turnaround += job.turnaround();
-    width += static_cast<double>(job.width);
+  exp::ExperimentSpec spec;
+  spec.name = "parallel";
+  spec.seed = *seed;
+  spec.replications = static_cast<std::size_t>(*reps);
+  spec.axes = {"policy"};
+  spec.add_cell({{"policy", std::string(parallel::to_string(*policy))}},
+                [cell_spec, pool](std::uint64_t s) {
+                  return exp::parallel_cell(cell_spec, pool,
+                                            workload::default_burst_table(),
+                                            s);
+                });
+  exp::EngineOptions options;
+  options.jobs = static_cast<std::size_t>(*workers);
+  const exp::SweepResult sweep = exp::run_sweep(spec, options);
+  if (*json) {
+    exp::write_json(sweep, out);
+    return 0;
   }
+  const exp::CellResult& cell = sweep.cells.front();
+  const std::size_t n = spec.replications;
+  const auto mean = [&cell](std::string_view metric) {
+    const auto* ci = cell.summary(metric);
+    return ci ? ci->mean : 0.0;
+  };
+
   util::Table report({"metric", "value"});
   report.add_row({"policy", std::string(parallel::to_string(*policy))});
-  report.add_row({"work delivered (cpu-s/s)",
-                  util::fixed(sim.delivered_work() / *duration, 2)});
-  report.add_row({"jobs completed", std::to_string(completed)});
-  if (completed > 0) {
+  if (n > 1) report.add_row({"replications", std::to_string(n)});
+  std::string delivered = util::fixed(mean("work_per_s"), 2);
+  if (n > 1) {
+    delivered +=
+        util::format(" ± %.2f", cell.summary("work_per_s")->half_width);
+  }
+  report.add_row({"work delivered (cpu-s/s)", delivered});
+  report.add_row({"jobs completed", count_metric(mean("completed"), n)});
+  if (mean("completed") > 0.0) {
     report.add_row({"mean turnaround (s)",
-                    util::fixed(turnaround / static_cast<double>(completed), 1)});
-    report.add_row({"mean width",
-                    util::fixed(width / static_cast<double>(completed), 1)});
+                    util::fixed(mean("mean_turnaround"), 1)});
+    report.add_row({"mean width", util::fixed(mean("mean_width"), 1)});
   }
   out << report.render();
   return 0;
@@ -331,6 +409,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "fit") return cmd_fit(rest, out);
     if (cmd == "cluster") return cmd_cluster(rest, out);
     if (cmd == "parallel") return cmd_parallel(rest, out);
+    if (cmd == "bench") return exp::run_bench_cli(rest, out, err);
     err << "llsim: unknown subcommand '" << cmd << "'\n\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

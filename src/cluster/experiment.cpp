@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
-#include <future>
 #include <ostream>
 #include <stdexcept>
 
 #include "stats/cdf.hpp"
 #include "stats/summary.hpp"
+#include "util/runner.hpp"
 
 namespace ll::cluster {
 namespace {
@@ -115,20 +115,21 @@ std::vector<ClusterReport> replicate(
     throw std::invalid_argument("replicate: need at least one replication");
   }
   rng::Stream master(base_seed);
-  std::vector<std::uint64_t> seeds;
-  seeds.reserve(replications);
+  // Results land in seed-indexed slots, so collection order (and therefore
+  // the returned vector) is independent of how the pool schedules the work.
+  std::vector<ClusterReport> reports(replications);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(replications);
   for (std::size_t i = 0; i < replications; ++i) {
-    seeds.push_back(master.fork("replication", i).seed());
+    tasks.push_back([&fn, &slot = reports[i],
+                     seed = master.fork("replication", i).seed()] {
+      slot = fn(seed);
+    });
   }
-  std::vector<std::future<ClusterReport>> futures;
-  futures.reserve(replications);
-  for (std::size_t i = 0; i < replications; ++i) {
-    futures.push_back(
-        std::async(std::launch::async, [&fn, seed = seeds[i]] { return fn(seed); }));
-  }
-  std::vector<ClusterReport> reports;
-  reports.reserve(replications);
-  for (auto& f : futures) reports.push_back(f.get());
+  // Bounded shared pool instead of a thread per replication; run() rethrows
+  // the lowest-index failure after every task has settled, so a throwing
+  // replication cannot leak threads still writing into `reports`.
+  util::TaskRunner::shared().run(std::move(tasks));
   return reports;
 }
 

@@ -79,9 +79,11 @@ struct ExperimentConfig {
                                        const workload::BurstTable& table,
                                        double duration = 3600.0);
 
-/// Runs `fn(seed)` for `replications` derived seeds in parallel and returns
-/// the reports in seed order. `fn` must be thread-safe (each call builds its
-/// own simulator).
+/// Runs `fn(seed)` for `replications` derived seeds on the shared bounded
+/// task pool (util::TaskRunner::shared()) and returns the reports in seed
+/// order regardless of execution order. `fn` must be thread-safe (each call
+/// builds its own simulator). If a replication throws, the first failure in
+/// seed order is rethrown after all replications have settled.
 [[nodiscard]] std::vector<ClusterReport> replicate(
     std::size_t replications, std::uint64_t base_seed,
     const std::function<ClusterReport(std::uint64_t seed)>& fn);

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Internal helpers shared by the registered benches: the standard flag set
+/// (--seed/--reps/--jobs/--csv/--json) and the common emit path (banner +
+/// table, or JSON to stdout, or CSV to a file). This is the once-per-bench
+/// boilerplate the old standalone binaries each duplicated.
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/engine.hpp"
+#include "exp/result.hpp"
+#include "util/flags.hpp"
+
+namespace ll::exp {
+
+struct StandardFlags {
+  util::Flags::Handle<std::uint64_t> seed;
+  util::Flags::Handle<std::int64_t> reps;
+  util::Flags::Handle<std::int64_t> jobs;
+  util::Flags::Handle<std::string> csv;
+  util::Flags::Handle<bool> json;
+};
+
+inline StandardFlags add_standard_flags(util::Flags& flags,
+                                        std::int64_t default_reps) {
+  return StandardFlags{
+      flags.add_uint64("seed", 42, "master RNG seed"),
+      flags.add_int("reps", default_reps,
+                    "replications per cell (means with 95% CIs)"),
+      flags.add_int("jobs", 0,
+                    "worker threads for the sweep (0 = hardware concurrency)"),
+      flags.add_string("csv", "", "optional CSV output path"),
+      flags.add_bool("json", false,
+                     "emit the sweep as JSON instead of a table"),
+  };
+}
+
+inline void parse_args(util::Flags& flags, const std::string& program,
+                       const std::vector<std::string>& args) {
+  std::vector<const char*> argv{program.c_str()};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+inline EngineOptions engine_options(const StandardFlags& std_flags) {
+  EngineOptions options;
+  options.jobs = static_cast<std::size_t>(*std_flags.jobs);
+  return options;
+}
+
+/// Applies the spec-level standard flags (seed, reps).
+inline void apply_standard_flags(ExperimentSpec& spec,
+                                 const StandardFlags& std_flags) {
+  spec.seed = *std_flags.seed;
+  spec.replications = static_cast<std::size_t>(*std_flags.reps);
+}
+
+/// Emits the sweep: JSON to `out` when --json, otherwise the banner
+/// (figure id + claim + seed) and the ASCII table; --csv=<path> always
+/// writes the CSV file in addition.
+inline void emit_sweep(const SweepResult& sweep, const StandardFlags& std_flags,
+                       std::ostream& out, const std::string& claim) {
+  if (!std_flags.csv->empty()) {
+    std::ofstream csv(*std_flags.csv, std::ios::trunc);
+    if (!csv) {
+      throw std::runtime_error("cannot open CSV output " + *std_flags.csv);
+    }
+    write_csv(sweep, csv);
+  }
+  if (*std_flags.json) {
+    write_json(sweep, out);
+    return;
+  }
+  out << "=== " << sweep.name << " ===\n"
+      << claim << "\nseed=" << sweep.seed
+      << " (shapes, not absolute values, are the comparison target)\n\n"
+      << render_table(sweep);
+}
+
+}  // namespace ll::exp

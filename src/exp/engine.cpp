@@ -1,0 +1,89 @@
+#include "exp/engine.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "stats/confidence.hpp"
+
+namespace ll::exp {
+
+SweepResult run_sweep(const ExperimentSpec& spec,
+                      const EngineOptions& options) {
+  if (spec.replications == 0) {
+    throw std::invalid_argument("run_sweep: need at least one replication");
+  }
+  const std::size_t reps = spec.replications;
+  std::vector<std::vector<RunResult>> slots(spec.cells.size());
+  for (auto& cell_slots : slots) cell_slots.resize(reps);
+
+  // One task per (cell, replication), writing to its own slot. Each task
+  // gets its OWN COPY of the cell function: replications of the same cell
+  // run concurrently, and a by-value capture the callable mutates (the
+  // common `[cfg](seed) mutable { cfg.seed = seed; ... }` idiom) would
+  // otherwise be shared mutable state racing across replications.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(spec.cells.size() * reps);
+  for (std::size_t c = 0; c < spec.cells.size(); ++c) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      const std::uint64_t seed = replication_seed(spec.seed, c, r);
+      tasks.push_back([run = spec.cells[c].run, &slots, c, r, seed] {
+        slots[c][r] = run(seed);
+      });
+    }
+  }
+
+  if (options.runner) {
+    options.runner->run(std::move(tasks));
+  } else {
+    util::TaskRunner runner(options.jobs);
+    runner.run(std::move(tasks));
+  }
+
+  SweepResult sweep;
+  sweep.name = spec.name;
+  sweep.seed = spec.seed;
+  sweep.replications = reps;
+  sweep.axes = spec.axes;
+  sweep.cells.reserve(spec.cells.size());
+  for (std::size_t c = 0; c < spec.cells.size(); ++c) {
+    CellResult cell;
+    cell.labels = spec.cells[c].labels;
+    cell.replications = std::move(slots[c]);
+    // Metric order: first-seen across this cell's replications; the union
+    // also feeds the sweep-wide column order.
+    std::vector<std::string> order;
+    for (const RunResult& run : cell.replications) {
+      for (const auto& [name, value] : run.metrics()) {
+        (void)value;
+        bool seen = false;
+        for (const std::string& existing : order) {
+          if (existing == name) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) order.push_back(name);
+      }
+    }
+    for (const std::string& metric : order) {
+      std::vector<double> values;
+      values.reserve(cell.replications.size());
+      for (const RunResult& run : cell.replications) {
+        if (const auto v = run.get(metric)) values.push_back(*v);
+      }
+      cell.summaries.emplace_back(metric, stats::mean_confidence_95(values));
+      bool seen = false;
+      for (const std::string& existing : sweep.metric_names) {
+        if (existing == metric) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) sweep.metric_names.push_back(metric);
+    }
+    sweep.cells.push_back(std::move(cell));
+  }
+  return sweep;
+}
+
+}  // namespace ll::exp

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file engine.hpp
+/// The experiment engine: executes an ExperimentSpec's (cell × replication)
+/// grid on the bounded work-stealing runner (util/runner.hpp) and collects
+/// a SweepResult in deterministic seed order.
+///
+/// Concurrency model: the grid is flattened into one task per replication;
+/// every task writes its RunResult into a pre-allocated (cell, replication)
+/// slot, so the assembled SweepResult — and therefore every sink's output —
+/// is bit-identical for any `jobs` value. Thread count is bounded by the
+/// runner: `jobs` workers total (the calling thread included), not one
+/// thread per replication as the old cluster::replicate spawned.
+
+#include <cstddef>
+
+#include "exp/spec.hpp"
+#include "util/runner.hpp"
+
+namespace ll::exp {
+
+struct EngineOptions {
+  /// Worker threads for this sweep (0 = hardware concurrency). Ignored when
+  /// `runner` is set.
+  std::size_t jobs = 0;
+  /// Run on an externally owned runner instead of constructing one — e.g.
+  /// util::TaskRunner::shared() to share one pool across sweeps.
+  util::TaskRunner* runner = nullptr;
+};
+
+/// Runs the sweep. Cell functions execute concurrently; results, summaries
+/// and metric ordering are independent of thread count. Rethrows the first
+/// (lowest grid index) cell exception after the batch drains.
+[[nodiscard]] SweepResult run_sweep(const ExperimentSpec& spec,
+                                    const EngineOptions& options = {});
+
+}  // namespace ll::exp

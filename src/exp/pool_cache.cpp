@@ -1,0 +1,56 @@
+#include "exp/pool_cache.hpp"
+
+#include "rng/rng.hpp"
+
+namespace ll::exp {
+
+TracePoolCache::PoolPtr TracePoolCache::standard(std::size_t machines,
+                                                 double hours,
+                                                 std::uint64_t seed) {
+  return get_or_build(machines, hours, seed, [&] {
+    trace::CoarseGenConfig gen;
+    gen.duration = hours * 3600.0;
+    gen.start_hour = hours < 24.0 ? 9.0 : 0.0;
+    return trace::generate_machine_pool(gen, machines, rng::Stream(seed));
+  });
+}
+
+TracePoolCache::PoolPtr TracePoolCache::get_or_build(
+    std::size_t machines, double hours, std::uint64_t seed,
+    const std::function<Pool()>& build) {
+  const Key key{machines, hours, seed};
+  // Holding the lock across the build keeps "exactly once" trivially true;
+  // pools build in milliseconds relative to the sweeps that consume them.
+  std::scoped_lock lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++builds_;
+  PoolPtr pool = std::make_shared<const Pool>(build());
+  cache_.emplace(key, pool);
+  return pool;
+}
+
+std::size_t TracePoolCache::builds() const {
+  std::scoped_lock lock(mu_);
+  return builds_;
+}
+
+std::size_t TracePoolCache::hits() const {
+  std::scoped_lock lock(mu_);
+  return hits_;
+}
+
+void TracePoolCache::clear() {
+  std::scoped_lock lock(mu_);
+  cache_.clear();
+}
+
+TracePoolCache& TracePoolCache::shared() {
+  static TracePoolCache cache;
+  return cache;
+}
+
+}  // namespace ll::exp

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file pool_cache.hpp
+/// Shared trace-pool cache.
+///
+/// Every cluster/parallel experiment replays a pool of coarse machine
+/// traces, and before the engine existed each bench binary — and each cell
+/// inside it — regenerated that pool from scratch. Pools are pure functions
+/// of (machines, hours, seed), so a sweep needs to build each distinct pool
+/// exactly once; this cache enforces that, process-wide and thread-safe.
+/// Cells hold the pool by shared_ptr-to-const: immutable, so sharing across
+/// runner threads is race-free.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "trace/coarse_generator.hpp"
+
+namespace ll::exp {
+
+class TracePoolCache {
+ public:
+  using Pool = std::vector<trace::CoarseTrace>;
+  using PoolPtr = std::shared_ptr<const Pool>;
+
+  /// The standard synthetic pool (bench/common.hpp's convention, now the
+  /// single definition): `hours` per machine; pools shorter than a day
+  /// start at 09:00 so they cover working hours, full days at midnight.
+  PoolPtr standard(std::size_t machines, double hours, std::uint64_t seed);
+
+  /// Returns the cached pool for the key, building it via `build` exactly
+  /// once per key (subsequent calls, from any thread, hit the cache).
+  PoolPtr get_or_build(std::size_t machines, double hours, std::uint64_t seed,
+                       const std::function<Pool()>& build);
+
+  [[nodiscard]] std::size_t builds() const;
+  [[nodiscard]] std::size_t hits() const;
+
+  /// Drops every cached pool (tests; long-lived processes changing scale).
+  void clear();
+
+  /// Process-wide instance shared by the engine, the CLI, and the benches.
+  static TracePoolCache& shared();
+
+ private:
+  struct Key {
+    std::size_t machines;
+    double hours;
+    std::uint64_t seed;
+    bool operator<(const Key& o) const {
+      if (machines != o.machines) return machines < o.machines;
+      if (hours != o.hours) return hours < o.hours;
+      return seed < o.seed;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, PoolPtr> cache_;
+  std::size_t builds_ = 0;
+  std::size_t hits_ = 0;
+};
+
+}  // namespace ll::exp

@@ -1,0 +1,73 @@
+#include "exp/registry.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <ostream>
+
+#include "exp/benches.hpp"
+
+namespace ll::exp {
+
+BenchRegistry& BenchRegistry::instance() {
+  static BenchRegistry* registry = [] {
+    auto* r = new BenchRegistry;
+    register_cluster_benches(*r);
+    register_parallel_benches(*r);
+    register_ablation_benches(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void BenchRegistry::add(Bench bench) { benches_.push_back(std::move(bench)); }
+
+const Bench* BenchRegistry::find(std::string_view name) const {
+  for (const Bench& b : benches_) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+std::vector<const Bench*> BenchRegistry::list() const {
+  std::vector<const Bench*> out;
+  out.reserve(benches_.size());
+  for (const Bench& b : benches_) out.push_back(&b);
+  std::sort(out.begin(), out.end(),
+            [](const Bench* a, const Bench* b) { return a->name < b->name; });
+  return out;
+}
+
+int run_bench_cli(const std::vector<std::string>& args, std::ostream& out,
+                  std::ostream& err) {
+  const BenchRegistry& registry = BenchRegistry::instance();
+  if (args.empty() || args[0] == "--list" || args[0] == "list") {
+    out << "Registered benches (run with: llsim bench <name> [flags], "
+           "--help for each):\n";
+    for (const Bench* b : registry.list()) {
+      out << "  " << b->name;
+      for (std::size_t i = b->name.size(); i < 20; ++i) out << ' ';
+      out << b->summary << "\n";
+    }
+    return 0;
+  }
+  const Bench* bench = registry.find(args[0]);
+  if (!bench) {
+    err << "llsim bench: unknown bench '" << args[0]
+        << "' (see llsim bench --list)\n";
+    return 2;
+  }
+  return bench->run(std::vector<std::string>(args.begin() + 1, args.end()),
+                    out);
+}
+
+int bench_main(std::string_view name, int argc, char** argv) {
+  const Bench* bench = BenchRegistry::instance().find(name);
+  if (!bench) {
+    std::cerr << "bench '" << name << "' is not registered\n";
+    return 2;
+  }
+  return bench->run(std::vector<std::string>(argv + 1, argv + argc),
+                    std::cout);
+}
+
+}  // namespace ll::exp

@@ -1,0 +1,195 @@
+#include "exp/result.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace ll::exp {
+namespace {
+
+/// Shortest round-trip-exact double representation, locale-independent.
+std::string num(double value) {
+  if (!std::isfinite(value)) return "null";
+  std::string s = util::format("%.17g", value);
+  // Prefer the shorter %g form when it round-trips exactly.
+  const std::string shorter = util::format("%g", value);
+  if (std::stod(shorter) == value) return shorter;
+  return s;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void RunResult::set(std::string_view name, double value) {
+  for (auto& [existing, v] : metrics_) {
+    if (existing == name) {
+      v = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(std::string(name), value);
+}
+
+std::optional<double> RunResult::get(std::string_view name) const {
+  for (const auto& [existing, v] : metrics_) {
+    if (existing == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::string CellResult::label(std::string_view axis) const {
+  for (const auto& [key, value] : labels) {
+    if (key == axis) return value;
+  }
+  return {};
+}
+
+const stats::ConfidenceInterval* CellResult::summary(
+    std::string_view metric) const {
+  for (const auto& [name, ci] : summaries) {
+    if (name == metric) return &ci;
+  }
+  return nullptr;
+}
+
+const CellResult* SweepResult::find(
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) const {
+  for (const CellResult& cell : cells) {
+    bool all = true;
+    for (const auto& [axis, value] : labels) {
+      if (cell.label(axis) != value) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return &cell;
+  }
+  return nullptr;
+}
+
+std::string render_table(const SweepResult& sweep) {
+  bool any_ci = false;
+  for (const CellResult& cell : sweep.cells) {
+    if (cell.replications.size() > 1) any_ci = true;
+  }
+  std::vector<std::string> header(sweep.axes);
+  for (const std::string& metric : sweep.metric_names) {
+    header.push_back(any_ci ? metric + " (±95%)" : metric);
+  }
+  util::Table table(std::move(header));
+  for (const CellResult& cell : sweep.cells) {
+    std::vector<std::string> row;
+    for (const std::string& axis : sweep.axes) row.push_back(cell.label(axis));
+    for (const std::string& metric : sweep.metric_names) {
+      const stats::ConfidenceInterval* ci = cell.summary(metric);
+      if (!ci) {
+        row.emplace_back("-");
+      } else if (any_ci && ci->n > 1) {
+        row.push_back(util::format("%.4g ±%.3g", ci->mean, ci->half_width));
+      } else {
+        row.push_back(util::format("%.4g", ci->mean));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+void write_csv(const SweepResult& sweep, std::ostream& out) {
+  std::vector<std::string> header(sweep.axes);
+  for (const std::string& metric : sweep.metric_names) header.push_back(metric);
+  for (const std::string& metric : sweep.metric_names) {
+    header.push_back(metric + "_ci95");
+  }
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out << ',';
+    out << util::CsvWriter::escape(header[i]);
+  }
+  out << '\n';
+  for (const CellResult& cell : sweep.cells) {
+    bool first = true;
+    for (const std::string& axis : sweep.axes) {
+      if (!first) out << ',';
+      first = false;
+      out << util::CsvWriter::escape(cell.label(axis));
+    }
+    for (const std::string& metric : sweep.metric_names) {
+      const stats::ConfidenceInterval* ci = cell.summary(metric);
+      out << ',' << (ci ? num(ci->mean) : "");
+    }
+    for (const std::string& metric : sweep.metric_names) {
+      const stats::ConfidenceInterval* ci = cell.summary(metric);
+      out << ',' << (ci ? num(ci->half_width) : "");
+    }
+    out << '\n';
+  }
+}
+
+void write_json(const SweepResult& sweep, std::ostream& out) {
+  out << "{\n  \"name\": \"" << json_escape(sweep.name) << "\",\n"
+      << "  \"seed\": " << sweep.seed << ",\n"
+      << "  \"replications\": " << sweep.replications << ",\n"
+      << "  \"cells\": [";
+  for (std::size_t c = 0; c < sweep.cells.size(); ++c) {
+    const CellResult& cell = sweep.cells[c];
+    out << (c ? ",\n    {" : "\n    {") << "\"labels\": {";
+    for (std::size_t i = 0; i < cell.labels.size(); ++i) {
+      if (i) out << ", ";
+      out << '"' << json_escape(cell.labels[i].first) << "\": \""
+          << json_escape(cell.labels[i].second) << '"';
+    }
+    out << "},\n     \"replications\": [";
+    for (std::size_t r = 0; r < cell.replications.size(); ++r) {
+      const RunResult& run = cell.replications[r];
+      out << (r ? ", {" : "{");
+      for (std::size_t i = 0; i < run.metrics().size(); ++i) {
+        if (i) out << ", ";
+        out << '"' << json_escape(run.metrics()[i].first)
+            << "\": " << num(run.metrics()[i].second);
+      }
+      out << '}';
+    }
+    out << "],\n     \"summary\": {";
+    for (std::size_t i = 0; i < cell.summaries.size(); ++i) {
+      const auto& [metric, ci] = cell.summaries[i];
+      if (i) out << ", ";
+      out << '"' << json_escape(metric) << "\": {\"mean\": " << num(ci.mean)
+          << ", \"ci95\": " << num(ci.half_width) << ", \"n\": " << ci.n
+          << '}';
+    }
+    out << "}}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::string to_csv(const SweepResult& sweep) {
+  std::ostringstream out;
+  write_csv(sweep, out);
+  return out.str();
+}
+
+std::string to_json(const SweepResult& sweep) {
+  std::ostringstream out;
+  write_json(sweep, out);
+  return out.str();
+}
+
+}  // namespace ll::exp

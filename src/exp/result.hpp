@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file result.hpp
+/// The structured result model of the experiment engine.
+///
+/// Every simulation run — cluster open/closed, parallel co-simulation, BSP
+/// point, ablation cell — reduces to the same shape: a set of *named
+/// metrics*. A sweep is a grid of cells, each replicated across seeds, each
+/// replication producing one RunResult; the engine summarizes every metric
+/// across replications with its 95% confidence interval. One model, three
+/// sinks (ASCII table, CSV, JSON) replaces the per-bench ad-hoc
+/// table/CSV emission and unifies cluster::ClusterReport with the parallel
+/// cluster's inline report.
+///
+/// Determinism contract: all containers are insertion-ordered and all
+/// numeric formatting is locale-independent printf, so serializing the same
+/// SweepResult always yields the same bytes — the property the
+/// thread-count-invariance test pins down.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "stats/confidence.hpp"
+
+namespace ll::exp {
+
+/// One run's named metrics, in insertion order.
+class RunResult {
+ public:
+  /// Sets (or overwrites) a metric.
+  void set(std::string_view name, double value);
+
+  [[nodiscard]] std::optional<double> get(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& metrics()
+      const {
+    return metrics_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// One grid cell: its axis labels (e.g. {"workload","workload-1"},
+/// {"policy","LL"}), the per-replication results in seed order, and the
+/// per-metric confidence summaries.
+struct CellResult {
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<RunResult> replications;
+  std::vector<std::pair<std::string, stats::ConfidenceInterval>> summaries;
+
+  [[nodiscard]] std::string label(std::string_view axis) const;
+  [[nodiscard]] const stats::ConfidenceInterval* summary(
+      std::string_view metric) const;
+};
+
+struct SweepResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::size_t replications = 0;
+  std::vector<std::string> axes;          // label keys, grid order
+  std::vector<std::string> metric_names;  // union across cells, first-seen
+  std::vector<CellResult> cells;          // spec order
+
+  [[nodiscard]] const CellResult* find(
+      std::initializer_list<std::pair<std::string_view, std::string_view>>
+          labels) const;
+};
+
+/// ASCII sink: one row per cell, one column per axis, then per metric
+/// "mean ±hw" (the half-width column is omitted when every cell ran a
+/// single replication).
+[[nodiscard]] std::string render_table(const SweepResult& sweep);
+
+/// CSV sink: header `axes...,metric...,metric_ci95...`, one row per cell
+/// (means; ci95 columns carry the half-widths).
+void write_csv(const SweepResult& sweep, std::ostream& out);
+
+/// JSON sink: the full structure — per-replication metrics and summaries —
+/// with deterministic formatting ("%.17g", non-finite values as null).
+void write_json(const SweepResult& sweep, std::ostream& out);
+
+/// Convenience: serialize through the given sink into a string.
+[[nodiscard]] std::string to_csv(const SweepResult& sweep);
+[[nodiscard]] std::string to_json(const SweepResult& sweep);
+
+}  // namespace ll::exp

@@ -1,0 +1,20 @@
+#include "exp/spec.hpp"
+
+namespace ll::exp {
+
+CellSpec& ExperimentSpec::add_cell(
+    std::vector<std::pair<std::string, std::string>> labels,
+    std::function<RunResult(std::uint64_t seed)> run) {
+  cells.push_back(CellSpec{std::move(labels), std::move(run)});
+  return cells.back();
+}
+
+std::uint64_t replication_seed(std::uint64_t master_seed, std::size_t cell,
+                               std::size_t replication) {
+  return rng::Stream(master_seed)
+      .fork("cell", cell)
+      .fork("replication", replication)
+      .seed();
+}
+
+}  // namespace ll::exp

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file spec.hpp
+/// Declarative sweep model: an ExperimentSpec describes a grid of cells
+/// (policy × workload × overrides × …) and how often each is replicated;
+/// the engine (engine.hpp) executes it on the bounded runner.
+///
+/// Seeding discipline: every (cell, replication) derives its seed from the
+/// spec's master seed as Stream(seed).fork("cell", c).fork("replication", r)
+/// — a pure function of the grid position, so adding cells or changing the
+/// execution order/thread count never perturbs the draws of existing cells
+/// (the same discipline rng.hpp applies inside one simulation).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/result.hpp"
+#include "rng/rng.hpp"
+
+namespace ll::exp {
+
+struct CellSpec {
+  /// Axis labels identifying the cell, e.g. {"workload","workload-1"},
+  /// {"policy","LL"}. Keys should match ExperimentSpec::axes.
+  std::vector<std::pair<std::string, std::string>> labels;
+  /// Runs one replication. Must be thread-safe (each call builds its own
+  /// simulator from the seed) and must not depend on wall clock or shared
+  /// mutable state — the engine's determinism guarantee rests on this.
+  /// The engine invokes a fresh COPY of this callable per (cell,
+  /// replication), so mutating by-value captures is safe; anything captured
+  /// by reference must stay immutable for the sweep's duration.
+  std::function<RunResult(std::uint64_t seed)> run;
+};
+
+struct ExperimentSpec {
+  std::string name;
+  std::uint64_t seed = 42;
+  /// Replications per cell (each with its own derived seed).
+  std::size_t replications = 1;
+  /// Label keys, in grid order; sinks emit one column per axis.
+  std::vector<std::string> axes;
+  std::vector<CellSpec> cells;
+
+  /// Appends a cell; returns it for further setup.
+  CellSpec& add_cell(
+      std::vector<std::pair<std::string, std::string>> labels,
+      std::function<RunResult(std::uint64_t seed)> run);
+};
+
+/// The engine's per-replication seed derivation (exposed for tests and for
+/// consumers that need to reproduce a single cell outside a sweep).
+[[nodiscard]] std::uint64_t replication_seed(std::uint64_t master_seed,
+                                             std::size_t cell,
+                                             std::size_t replication);
+
+}  // namespace ll::exp

@@ -28,7 +28,7 @@ double t_critical_95(std::size_t degrees_of_freedom) {
 
 ConfidenceInterval mean_confidence_95(const std::vector<double>& samples) {
   if (samples.empty()) {
-    throw std::invalid_argument("mean_confidence_95: no samples");
+    return ConfidenceInterval{};  // {mean 0, half_width 0, n 0}
   }
   Summary summary;
   for (double x : samples) summary.add(x);

@@ -23,7 +23,9 @@ struct ConfidenceInterval {
 [[nodiscard]] double t_critical_95(std::size_t degrees_of_freedom);
 
 /// 95% confidence interval of the mean of independent replications.
-/// Requires at least one sample; with one sample the half-width is 0.
+/// Empty input yields the zero interval {mean 0, half_width 0, n 0} so
+/// aggregation over possibly-absent metrics needs no special casing; with
+/// one sample the half-width is 0 (no spread estimate).
 [[nodiscard]] ConfidenceInterval mean_confidence_95(const std::vector<double>& samples);
 
 }  // namespace ll::stats

@@ -1,0 +1,159 @@
+#include "util/runner.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace ll::util {
+namespace {
+
+std::atomic<std::uint64_t> g_threads_created{0};
+
+}  // namespace
+
+struct TaskRunner::Impl {
+  /// One in-flight run() call. Lives on the calling thread's stack; the
+  /// runner's mutex guards every field.
+  struct Batch {
+    std::vector<std::function<void()>>* tasks = nullptr;
+    std::vector<std::deque<std::size_t>> queues;  // task indices, per slot
+    std::vector<std::exception_ptr> errors;       // per task
+    std::size_t unfinished = 0;
+  };
+
+  explicit Impl(std::size_t threads) {
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 4;
+    }
+    slots = threads;
+    workers.reserve(threads - 1);
+    for (std::size_t slot = 1; slot < threads; ++slot) {
+      workers.emplace_back([this, slot] { worker_loop(slot); });
+      g_threads_created.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  ~Impl() {
+    {
+      std::scoped_lock lock(mu);
+      stop = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  /// Pops one task of `batch` (own deque first, then steals from the back
+  /// of the fullest other deque). Caller must hold `mu`.
+  static bool pop_task(Batch& batch, std::size_t slot, std::size_t& index) {
+    std::deque<std::size_t>& own = batch.queues[slot % batch.queues.size()];
+    if (!own.empty()) {
+      index = own.front();
+      own.pop_front();
+      return true;
+    }
+    std::deque<std::size_t>* victim = nullptr;
+    for (std::deque<std::size_t>& q : batch.queues) {
+      if (!q.empty() && (!victim || q.size() > victim->size())) victim = &q;
+    }
+    if (!victim) return false;
+    index = victim->back();
+    victim->pop_back();
+    return true;
+  }
+
+  /// Finds a runnable task in any active batch. Caller must hold `mu`.
+  bool next_task(std::size_t slot, Batch*& batch, std::size_t& index) {
+    for (Batch* b : batches) {
+      if (pop_task(*b, slot, index)) {
+        batch = b;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void execute(std::unique_lock<std::mutex>& lock, Batch& batch,
+               std::size_t index) {
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*batch.tasks)[index]();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    batch.errors[index] = error;
+    if (--batch.unfinished == 0) done_cv.notify_all();
+  }
+
+  void worker_loop(std::size_t slot) {
+    std::unique_lock lock(mu);
+    for (;;) {
+      Batch* batch = nullptr;
+      std::size_t index = 0;
+      work_cv.wait(lock, [&] { return stop || next_task(slot, batch, index); });
+      if (batch == nullptr) {
+        if (stop) return;
+        continue;
+      }
+      execute(lock, *batch, index);
+    }
+  }
+
+  std::size_t slots = 1;
+  std::vector<std::thread> workers;
+  std::mutex mu;
+  std::condition_variable work_cv;  // workers: new tasks or shutdown
+  std::condition_variable done_cv;  // run() callers: batch drained
+  std::vector<Batch*> batches;      // active run() calls, FIFO
+  bool stop = false;
+};
+
+TaskRunner::TaskRunner(std::size_t threads)
+    : impl_(std::make_unique<Impl>(threads)) {}
+
+TaskRunner::~TaskRunner() = default;
+
+std::size_t TaskRunner::thread_count() const { return impl_->slots; }
+
+std::uint64_t TaskRunner::total_threads_created() {
+  return g_threads_created.load(std::memory_order_relaxed);
+}
+
+TaskRunner& TaskRunner::shared() {
+  static TaskRunner runner;
+  return runner;
+}
+
+void TaskRunner::run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  Impl::Batch batch;
+  batch.tasks = &tasks;
+  batch.errors.resize(tasks.size());
+  batch.unfinished = tasks.size();
+  batch.queues.resize(impl_->slots);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    batch.queues[i % impl_->slots].push_back(i);
+  }
+
+  std::unique_lock lock(impl_->mu);
+  impl_->batches.push_back(&batch);
+  impl_->work_cv.notify_all();
+  // The caller is worker 0: drain this batch (stealing included), then wait
+  // for tasks other workers still hold in flight.
+  std::size_t index = 0;
+  while (Impl::pop_task(batch, 0, index)) impl_->execute(lock, batch, index);
+  impl_->done_cv.wait(lock, [&] { return batch.unfinished == 0; });
+  std::erase(impl_->batches, &batch);
+  lock.unlock();
+
+  for (const std::exception_ptr& error : batch.errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ll::util

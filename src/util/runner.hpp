@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file runner.hpp
+/// Bounded work-stealing task runner — the execution substrate of the
+/// experiment engine (src/exp) and of cluster::replicate.
+///
+/// A TaskRunner owns a fixed set of worker threads. run() executes a batch
+/// of independent tasks to completion with the *calling thread
+/// participating as a worker*, so a runner with `threads == 1` spawns no
+/// background threads at all and a process never holds more than
+/// `threads - 1` pool threads regardless of how many batches it runs —
+/// replacing the thread-per-replication std::async pattern whose thread
+/// count grew with the replication count.
+///
+/// Scheduling is work-stealing: the batch's task indices are dealt
+/// round-robin into one deque per worker; each worker drains its own deque
+/// from the front and, when empty, steals from the back of the others.
+/// Determinism contract: tasks must write to disjoint, pre-allocated result
+/// slots and must not read shared mutable state — then the batch's combined
+/// result is bit-identical for every thread count, because scheduling only
+/// changes *when* a task runs, never *what* it computes.
+///
+/// Exception safety: a throwing task never deadlocks or leaks the batch.
+/// Remaining tasks still run; after the batch drains, run() rethrows the
+/// pending exception with the smallest task index (deterministic choice).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace ll::util {
+
+class TaskRunner {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency(). The caller
+  /// counts as one worker, so `threads - 1` background threads are started.
+  explicit TaskRunner(std::size_t threads = 0);
+  ~TaskRunner();
+  TaskRunner(const TaskRunner&) = delete;
+  TaskRunner& operator=(const TaskRunner&) = delete;
+
+  /// Runs every task to completion, then returns (or rethrows the
+  /// lowest-index task exception). Reentrant: a task may itself call run()
+  /// on the same runner — the inner batch is drained by the calling worker,
+  /// so nesting cannot deadlock.
+  void run(std::vector<std::function<void()>> tasks);
+
+  /// Worker count including the participating caller.
+  [[nodiscard]] std::size_t thread_count() const;
+
+  /// Background threads ever started by any TaskRunner in this process —
+  /// the probe bench/micro_runner.cpp uses to verify the N+constant bound.
+  [[nodiscard]] static std::uint64_t total_threads_created();
+
+  /// Process-wide shared runner at hardware concurrency. Used by
+  /// cluster::replicate and as the engine default, so concurrent sweeps
+  /// share one bounded pool instead of multiplying threads.
+  static TaskRunner& shared();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ll::util

@@ -235,6 +235,61 @@ TEST_F(CliTest, ParallelRejectsUnknownPolicy) {
   EXPECT_NE(r.err.find("unknown policy"), std::string::npos);
 }
 
+TEST_F(CliTest, ClusterReplicationsReportCi) {
+  const CliResult r =
+      run({"cluster", "--policy=LL", "--nodes=8", "--jobs=8", "--demand=60",
+           "--machines=4", "--days=0.2", "--seed=5", "--reps=3",
+           "--workers=2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("replications"), std::string::npos);
+  EXPECT_NE(r.out.find("avg job"), std::string::npos);
+  EXPECT_NE(r.out.find("±"), std::string::npos);
+}
+
+TEST_F(CliTest, ClusterJsonEmitsSweep) {
+  const CliResult r =
+      run({"cluster", "--policy=LL", "--nodes=8", "--jobs=8", "--demand=60",
+           "--machines=4", "--days=0.2", "--seed=5", "--json"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '{');
+  EXPECT_NE(r.out.find("\"avg_job\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"summary\""), std::string::npos);
+}
+
+TEST_F(CliTest, BenchListShowsRegisteredBenches) {
+  const CliResult r = run({"bench", "--list"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("fig07"), std::string::npos);
+  EXPECT_NE(r.out.find("fig11"), std::string::npos);
+  EXPECT_NE(r.out.find("abl_pause_time"), std::string::npos);
+}
+
+TEST_F(CliTest, BenchUnknownNameFails) {
+  const CliResult r = run({"bench", "nonesuch"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown bench"), std::string::npos);
+}
+
+TEST_F(CliTest, BenchFig09SmokeRun) {
+  const CliResult r = run({"bench", "fig09", "--phases=3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("slowdown"), std::string::npos);
+}
+
+TEST_F(CliTest, BenchThreadCountInvariance) {
+  const std::vector<std::string> base = {"bench",     "fig09", "--phases=3",
+                                         "--reps=2",  "--json"};
+  auto with_jobs = [&base](const std::string& jobs) {
+    std::vector<std::string> args = base;
+    args.push_back("--jobs=" + jobs);
+    return args;
+  };
+  const CliResult one = run(with_jobs("1"));
+  ASSERT_EQ(one.code, 0) << one.err;
+  EXPECT_EQ(one.out, run(with_jobs("4")).out);
+  EXPECT_EQ(one.out, run(with_jobs("16")).out);
+}
+
 TEST_F(CliTest, DeterministicAcrossInvocations) {
   const std::vector<std::string> args = {
       "cluster", "--policy=LL",     "--nodes=8",  "--jobs=8",

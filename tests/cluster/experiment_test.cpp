@@ -4,8 +4,11 @@
 
 #include <algorithm>
 #include <mutex>
+#include <set>
+#include <thread>
 
 #include "common/scenario_builders.hpp"
+#include "util/runner.hpp"
 #include "workload/burst_table.hpp"
 
 namespace ll::cluster {
@@ -134,6 +137,37 @@ TEST(Replicate, ZeroReplicationsThrows) {
   EXPECT_THROW(
       replicate(0, 1, [](std::uint64_t) { return ClusterReport{}; }),
       std::invalid_argument);
+}
+
+TEST(Replicate, ThrowingReplicationPropagatesWithoutHanging) {
+  EXPECT_THROW(
+      (void)replicate(8, 3,
+                      [](std::uint64_t seed) -> ClusterReport {
+                        if (seed % 2 == 0) {
+                          throw std::runtime_error("replication failed");
+                        }
+                        return ClusterReport{};
+                      }),
+      std::runtime_error);
+  // The shared pool survives a throwing batch and stays usable.
+  const auto reports =
+      replicate(4, 3, [](std::uint64_t) { return ClusterReport{}; });
+  EXPECT_EQ(reports.size(), 4u);
+}
+
+TEST(Replicate, ThreadCountStaysBoundedByTheSharedPool) {
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  (void)replicate(64, 9, [&](std::uint64_t) {
+    {
+      std::scoped_lock lock(mu);
+      ids.insert(std::this_thread::get_id());
+    }
+    return ClusterReport{};
+  });
+  // The old implementation spawned 64 std::async threads; the pooled one is
+  // bounded by the shared runner's worker count.
+  EXPECT_LE(ids.size(), util::TaskRunner::shared().thread_count());
 }
 
 TEST(Replicate, DeterministicSeedDerivation) {

@@ -1,0 +1,180 @@
+#include "exp/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "exp/result.hpp"
+#include "exp/spec.hpp"
+#include "rng/rng.hpp"
+
+namespace ll::exp {
+namespace {
+
+/// A deterministic pseudo-simulation: metrics are pure functions of the
+/// seed, so any scheduling difference would show up in the collected sweep.
+RunResult fake_run(std::uint64_t seed) {
+  rng::Stream stream(seed);
+  RunResult r;
+  r.set("x", stream.uniform01());
+  r.set("y", stream.uniform01() * 10.0);
+  return r;
+}
+
+ExperimentSpec grid_spec(std::size_t cells, std::size_t reps,
+                         std::uint64_t seed = 42) {
+  ExperimentSpec spec;
+  spec.name = "grid";
+  spec.seed = seed;
+  spec.replications = reps;
+  spec.axes = {"cell"};
+  for (std::size_t c = 0; c < cells; ++c) {
+    spec.add_cell({{"cell", std::to_string(c)}}, fake_run);
+  }
+  return spec;
+}
+
+TEST(Engine, SeedsAreAPureFunctionOfGridPosition) {
+  const std::uint64_t expected =
+      rng::Stream(42).fork("cell", 3).fork("replication", 2).seed();
+  EXPECT_EQ(replication_seed(42, 3, 2), expected);
+  // Distinct positions, distinct seeds.
+  EXPECT_NE(replication_seed(42, 0, 0), replication_seed(42, 0, 1));
+  EXPECT_NE(replication_seed(42, 0, 0), replication_seed(42, 1, 0));
+  EXPECT_NE(replication_seed(42, 0, 0), replication_seed(43, 0, 0));
+}
+
+TEST(Engine, CollectsEveryCellInSpecOrderWithDerivedSeeds) {
+  const ExperimentSpec spec = grid_spec(5, 3);
+  const SweepResult sweep = run_sweep(spec);
+  ASSERT_EQ(sweep.cells.size(), 5u);
+  EXPECT_EQ(sweep.replications, 3u);
+  EXPECT_EQ(sweep.axes, std::vector<std::string>{"cell"});
+  for (std::size_t c = 0; c < sweep.cells.size(); ++c) {
+    EXPECT_EQ(sweep.cells[c].label("cell"), std::to_string(c));
+    ASSERT_EQ(sweep.cells[c].replications.size(), 3u);
+    for (std::size_t r = 0; r < 3; ++r) {
+      const RunResult expected = fake_run(replication_seed(42, c, r));
+      EXPECT_EQ(sweep.cells[c].replications[r].get("x"), expected.get("x"));
+    }
+  }
+}
+
+TEST(Engine, SummariesMatchDirectConfidenceComputation) {
+  const SweepResult sweep = run_sweep(grid_spec(2, 4));
+  for (const CellResult& cell : sweep.cells) {
+    std::vector<double> xs;
+    for (const RunResult& run : cell.replications) xs.push_back(*run.get("x"));
+    const auto direct = stats::mean_confidence_95(xs);
+    const auto* ci = cell.summary("x");
+    ASSERT_NE(ci, nullptr);
+    EXPECT_DOUBLE_EQ(ci->mean, direct.mean);
+    EXPECT_DOUBLE_EQ(ci->half_width, direct.half_width);
+    EXPECT_EQ(ci->n, 4u);
+  }
+}
+
+TEST(Engine, OutputIsByteIdenticalForAnyThreadCount) {
+  const ExperimentSpec spec = grid_spec(7, 5, 11);
+  EngineOptions one;
+  one.jobs = 1;
+  const SweepResult base = run_sweep(spec, one);
+  const std::string json = to_json(base);
+  const std::string csv = to_csv(base);
+  for (std::size_t jobs : {4u, 16u}) {
+    EngineOptions options;
+    options.jobs = jobs;
+    const SweepResult sweep = run_sweep(spec, options);
+    EXPECT_EQ(to_json(sweep), json) << "jobs=" << jobs;
+    EXPECT_EQ(to_csv(sweep), csv) << "jobs=" << jobs;
+  }
+}
+
+TEST(Engine, MutatingByValueCapturesIsSafeAcrossReplications) {
+  // The engine copies the cell callable per replication; a shared capture
+  // mutated by every replication (the `[cfg](seed) mutable` idiom) must not
+  // leak state between concurrent replications.
+  struct Config {
+    std::uint64_t seed = 0;
+  };
+  ExperimentSpec spec;
+  spec.name = "mutable-capture";
+  spec.seed = 5;
+  spec.replications = 16;
+  spec.axes = {"cell"};
+  Config cfg;
+  spec.add_cell({{"cell", "0"}}, [cfg](std::uint64_t seed) mutable {
+    cfg.seed = seed;
+    // A second read after some work; if another replication overwrote the
+    // shared capture, this diverges from `seed`.
+    double burn = 0.0;
+    for (int i = 0; i < 1000; ++i) burn += std::sqrt(static_cast<double>(i));
+    RunResult r;
+    r.set("seed_stable", cfg.seed == seed ? 1.0 : 0.0);
+    r.set("burn", burn);
+    return r;
+  });
+  EngineOptions options;
+  options.jobs = 8;
+  const SweepResult sweep = run_sweep(spec, options);
+  EXPECT_DOUBLE_EQ(sweep.cells[0].summary("seed_stable")->mean, 1.0);
+}
+
+TEST(Engine, ZeroReplicationsThrows) {
+  ExperimentSpec spec = grid_spec(1, 1);
+  spec.replications = 0;
+  EXPECT_THROW((void)run_sweep(spec), std::invalid_argument);
+}
+
+TEST(Engine, CellExceptionPropagatesLowestIndexFirst) {
+  ExperimentSpec spec;
+  spec.seed = 1;
+  spec.replications = 2;
+  spec.axes = {"cell"};
+  spec.add_cell({{"cell", "ok"}}, fake_run);
+  spec.add_cell({{"cell", "bad"}}, [](std::uint64_t) -> RunResult {
+    throw std::runtime_error("cell failure");
+  });
+  EngineOptions options;
+  options.jobs = 4;
+  EXPECT_THROW((void)run_sweep(spec, options), std::runtime_error);
+}
+
+TEST(Engine, MetricUnionPreservesFirstSeenOrder) {
+  ExperimentSpec spec;
+  spec.seed = 3;
+  spec.replications = 1;
+  spec.axes = {"cell"};
+  spec.add_cell({{"cell", "a"}}, [](std::uint64_t) {
+    RunResult r;
+    r.set("alpha", 1.0);
+    r.set("beta", 2.0);
+    return r;
+  });
+  spec.add_cell({{"cell", "b"}}, [](std::uint64_t) {
+    RunResult r;
+    r.set("beta", 3.0);
+    r.set("gamma", 4.0);
+    return r;
+  });
+  const SweepResult sweep = run_sweep(spec);
+  EXPECT_EQ(sweep.metric_names,
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  // A metric absent from a cell renders as "-" rather than throwing.
+  EXPECT_EQ(sweep.cells[1].summary("alpha"), nullptr);
+  EXPECT_NE(render_table(sweep).find("-"), std::string::npos);
+}
+
+TEST(Engine, ExternalRunnerIsUsed) {
+  util::TaskRunner runner(2);
+  EngineOptions options;
+  options.runner = &runner;
+  const SweepResult sweep = run_sweep(grid_spec(3, 2), options);
+  EXPECT_EQ(sweep.cells.size(), 3u);
+  // Identical to an internally constructed runner.
+  EXPECT_EQ(to_json(sweep), to_json(run_sweep(grid_spec(3, 2))));
+}
+
+}  // namespace
+}  // namespace ll::exp

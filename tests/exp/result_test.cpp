@@ -1,0 +1,112 @@
+#include "exp/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace ll::exp {
+namespace {
+
+TEST(RunResult, PreservesInsertionOrderAndOverwrites) {
+  RunResult r;
+  r.set("b", 2.0);
+  r.set("a", 1.0);
+  r.set("b", 3.0);  // overwrite keeps the original position
+  ASSERT_EQ(r.metrics().size(), 2u);
+  EXPECT_EQ(r.metrics()[0].first, "b");
+  EXPECT_EQ(r.metrics()[0].second, 3.0);
+  EXPECT_EQ(r.metrics()[1].first, "a");
+  EXPECT_EQ(r.get("a"), 1.0);
+  EXPECT_FALSE(r.get("missing").has_value());
+}
+
+TEST(CellResult, LabelAndSummaryLookup) {
+  CellResult cell;
+  cell.labels = {{"policy", "LL"}, {"workload", "w1"}};
+  cell.summaries.emplace_back("avg",
+                              stats::ConfidenceInterval{10.0, 2.0, 5});
+  EXPECT_EQ(cell.label("workload"), "w1");
+  EXPECT_EQ(cell.label("nope"), "");
+  ASSERT_NE(cell.summary("avg"), nullptr);
+  EXPECT_EQ(cell.summary("avg")->mean, 10.0);
+  EXPECT_EQ(cell.summary("nope"), nullptr);
+}
+
+SweepResult tiny_sweep(std::size_t reps) {
+  SweepResult sweep;
+  sweep.name = "tiny";
+  sweep.seed = 9;
+  sweep.replications = reps;
+  sweep.axes = {"policy"};
+  sweep.metric_names = {"m"};
+  for (const char* policy : {"LL", "IE"}) {
+    CellResult cell;
+    cell.labels = {{"policy", policy}};
+    const double base = policy[0] == 'L' ? 1.0 : 2.0;
+    std::vector<double> values;
+    for (std::size_t r = 0; r < reps; ++r) {
+      RunResult run;
+      run.set("m", base + static_cast<double>(r));
+      values.push_back(base + static_cast<double>(r));
+      cell.replications.push_back(run);
+    }
+    cell.summaries.emplace_back("m", stats::mean_confidence_95(values));
+    sweep.cells.push_back(std::move(cell));
+  }
+  return sweep;
+}
+
+TEST(SweepResult, FindMatchesAllGivenLabels) {
+  const SweepResult sweep = tiny_sweep(1);
+  ASSERT_NE(sweep.find({{"policy", "IE"}}), nullptr);
+  EXPECT_EQ(sweep.find({{"policy", "IE"}})->summary("m")->mean, 2.0);
+  EXPECT_EQ(sweep.find({{"policy", "PM"}}), nullptr);
+}
+
+TEST(Sinks, TableHidesCiColumnForSingleReplication) {
+  const std::string single = render_table(tiny_sweep(1));
+  EXPECT_NE(single.find("| policy |"), std::string::npos);
+  EXPECT_EQ(single.find("±95%"), std::string::npos);
+
+  const std::string multi = render_table(tiny_sweep(3));
+  EXPECT_NE(multi.find("±95%"), std::string::npos);
+}
+
+TEST(Sinks, CsvHasAxisMetricAndCiColumns) {
+  std::ostringstream out;
+  write_csv(tiny_sweep(2), out);
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "policy,m,m_ci95");
+  EXPECT_NE(csv.find("\nLL,"), std::string::npos);
+  EXPECT_NE(csv.find("\nIE,"), std::string::npos);
+}
+
+TEST(Sinks, JsonRoundTripsStructure) {
+  const std::string json = to_json(tiny_sweep(2));
+  EXPECT_NE(json.find("\"name\": \"tiny\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"replications\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\": \"LL\""), std::string::npos);
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+}
+
+TEST(Sinks, JsonSerializesNonFiniteAsNull) {
+  SweepResult sweep = tiny_sweep(1);
+  RunResult bad;
+  bad.set("m", std::numeric_limits<double>::quiet_NaN());
+  sweep.cells[0].replications[0] = bad;
+  const std::string json = to_json(sweep);
+  EXPECT_NE(json.find("null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST(Sinks, SerializationIsDeterministic) {
+  const SweepResult sweep = tiny_sweep(3);
+  EXPECT_EQ(to_json(sweep), to_json(sweep));
+  EXPECT_EQ(to_csv(sweep), to_csv(sweep));
+  EXPECT_EQ(render_table(sweep), render_table(sweep));
+}
+
+}  // namespace
+}  // namespace ll::exp

@@ -33,8 +33,11 @@ TEST(TCritical, MonotoneNonIncreasing) {
   }
 }
 
-TEST(MeanConfidence, EmptyThrows) {
-  EXPECT_THROW((void)(mean_confidence_95({})), std::invalid_argument);
+TEST(MeanConfidence, EmptyYieldsZeroInterval) {
+  const auto ci = mean_confidence_95({});
+  EXPECT_DOUBLE_EQ(ci.mean, 0.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_EQ(ci.n, 0u);
 }
 
 TEST(MeanConfidence, SingleSampleZeroWidth) {
@@ -42,6 +45,14 @@ TEST(MeanConfidence, SingleSampleZeroWidth) {
   EXPECT_DOUBLE_EQ(ci.mean, 4.2);
   EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
   EXPECT_EQ(ci.n, 1u);
+}
+
+TEST(MeanConfidence, TwoSamplesUseT1) {
+  // n = 2: mean 2, sample sd sqrt(2), se 1, df 1 -> half width = 12.706.
+  const auto ci = mean_confidence_95({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+  EXPECT_NEAR(ci.half_width, 12.706, 1e-3);
+  EXPECT_EQ(ci.n, 2u);
 }
 
 TEST(MeanConfidence, KnownSmallSample) {
