@@ -1,0 +1,131 @@
+/// \file micro_obs.cpp
+/// google-benchmark microbenchmarks of the observability layer: what does a
+/// detached simulator pay (nothing beyond the engine's null check), what
+/// does a fully instrumented one pay (profiler + metrics + timeline), and
+/// how expensive are the individual metric primitives. The detached-vs-bare
+/// pair is the acceptance gate for the obs layer: attach nothing and the
+/// event loop must run at its pre-obs speed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "des/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/timeline.hpp"
+
+namespace {
+
+using namespace ll;
+
+constexpr std::uint64_t kTag = 1;
+
+void schedule_all(des::Simulation& sim, std::size_t n, std::size_t& fired) {
+  for (std::size_t i = 0; i < n; ++i) {
+    sim.schedule_at(static_cast<double>((i * 7919) % 104729),
+                    [&fired] { ++fired; }, kTag);
+  }
+}
+
+// Baseline: the same loop shape as BM_DesScheduleFire in micro_substrate,
+// no observer attached. The profiler benches below are measured against
+// this (identical code path, so the delta is pure observation cost).
+void BM_ObsDetached(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulation sim;
+    std::size_t fired = 0;
+    schedule_all(sim, n, fired);
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ObsDetached)->Arg(1000)->Arg(100000);
+
+void BM_ObsProfilerAttached(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulation sim;
+    obs::EventLoopProfiler profiler;
+    sim.set_observer(&profiler);
+    std::size_t fired = 0;
+    schedule_all(sim, n, fired);
+    sim.run();
+    benchmark::DoNotOptimize(profiler.fires());
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ObsProfilerAttached)->Arg(1000)->Arg(100000);
+
+// The full `llsim profile` stack: profiler on the engine plus a callback
+// that bumps a counter and a time-weighted metric per event — the densest
+// instrumentation any simulator in this repo attaches.
+void BM_ObsFullStack(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    des::Simulation sim;
+    obs::EventLoopProfiler profiler;
+    sim.set_observer(&profiler);
+    obs::MetricRegistry registry;
+    obs::Counter& events = registry.counter("bench.events");
+    obs::TimeWeighted& level = registry.time_weighted("bench.level");
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>((i * 7919) % 104729);
+      sim.schedule_at(t, [&fired, &events, &level, &sim] {
+        ++fired;
+        events.add();
+        level.set(sim.now(), static_cast<double>(fired & 7));
+      }, kTag);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(registry.size());
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ObsFullStack)->Arg(100000);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::MetricRegistry registry;
+  obs::Counter& c = registry.counter("bench.counter");
+  for (auto _ : state) {
+    c.add();
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsTimeWeightedSet(benchmark::State& state) {
+  obs::MetricRegistry registry;
+  obs::TimeWeighted& tw = registry.time_weighted("bench.tw");
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    tw.set(t, t * 0.5);
+    benchmark::DoNotOptimize(tw);
+  }
+}
+BENCHMARK(BM_ObsTimeWeightedSet);
+
+void BM_ObsTimelineRecord(benchmark::State& state) {
+  obs::Timeline timeline(4096);  // realistic ring: wraps during the bench
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    timeline.record(t, "node 3", "busy", "util 0.75");
+    benchmark::DoNotOptimize(timeline.size());
+  }
+}
+BENCHMARK(BM_ObsTimelineRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

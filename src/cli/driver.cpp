@@ -1,11 +1,16 @@
 #include "cli/driver.hpp"
 
 #include <filesystem>
+#include <fstream>
 #include <ostream>
 #include <string>
 
 #include "cluster/experiment.hpp"
 #include "exp/drivers.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/timeline.hpp"
 #include "exp/engine.hpp"
 #include "exp/pool_cache.hpp"
 #include "exp/registry.hpp"
@@ -34,6 +39,7 @@ constexpr std::string_view kUsage =
     "  fit       fit a 21-level burst table from a fine dispatch trace\n"
     "  cluster   run sequential foreign jobs under a scheduling policy\n"
     "  parallel  run parallel jobs under a width policy\n"
+    "  profile   instrumented cluster run: event-loop profile + metrics\n"
     "  bench     run a registered experiment sweep (try: bench --list)\n";
 
 std::vector<const char*> to_argv(const std::vector<std::string>& args) {
@@ -78,6 +84,63 @@ exp::TracePoolCache::PoolPtr pool_from_flags(const std::string& dir,
 /// for means across replications.
 std::string count_metric(double mean, std::size_t reps) {
   return util::fixed(mean, reps > 1 ? 1 : 0);
+}
+
+// ---- observability helpers ------------------------------------------------
+
+/// One fully instrumented cluster run: metrics registry, event-loop
+/// profiler (with named tags) and optional timeline all attached via the
+/// experiment driver's RunHooks, snapshots taken while the simulator is
+/// still alive.
+struct ClusterObsRun {
+  cluster::ClusterReport report;
+  std::vector<obs::MetricSample> metrics;
+  obs::ProfileSnapshot profile;
+  std::string profile_table;
+};
+
+ClusterObsRun run_cluster_instrumented(const cluster::ExperimentConfig& cfg,
+                                       std::span<const trace::CoarseTrace> pool,
+                                       const workload::BurstTable& table,
+                                       double closed_duration,
+                                       obs::Timeline* timeline) {
+  obs::MetricRegistry registry;
+  obs::EventLoopProfiler profiler;
+  profiler.name_tag(cluster::ClusterSim::kTagTick, "tick");
+  profiler.name_tag(cluster::ClusterSim::kTagCompletion, "completion");
+  profiler.name_tag(cluster::ClusterSim::kTagRecheck, "recheck");
+  profiler.name_tag(cluster::ClusterSim::kTagMigration, "migration");
+
+  ClusterObsRun result;
+  cluster::RunHooks hooks;
+  hooks.on_start = [&](cluster::ClusterSim& sim) {
+    sim.set_metrics(&registry);
+    if (timeline) sim.set_timeline(timeline);
+    sim.set_sim_observer(&profiler);
+  };
+  hooks.on_finish = [&](cluster::ClusterSim& sim) {
+    // require_conserved: a profiled run double-checks the engine's event
+    // conservation invariant (scheduled == fired + cancelled + pending).
+    result.profile =
+        profiler.snapshot(sim.engine(), /*require_conserved=*/true);
+    result.profile_table = profiler.render_table(sim.engine());
+    result.metrics = registry.snapshot(sim.now());
+    sim.set_sim_observer(nullptr);
+    sim.set_metrics(nullptr);
+    sim.set_timeline(nullptr);
+  };
+  result.report =
+      closed_duration > 0.0
+          ? cluster::run_closed(cfg, pool, table, closed_duration, &hooks)
+          : cluster::run_open(cfg, pool, table, nullptr, &hooks);
+  return result;
+}
+
+void write_manifest_file(const obs::RunManifest& manifest,
+                         const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open " + path + " for writing");
+  obs::write_manifest_json(manifest, file);
 }
 
 int cmd_traces(const std::vector<std::string>& args, std::ostream& out) {
@@ -187,6 +250,10 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
   auto job_log = flags.add_string("job-log", "",
                                   "write per-job state transitions as CSV "
                                   "(open mode only)");
+  auto metrics_out = flags.add_string(
+      "metrics-out", "",
+      "write a run manifest (JSON) from an instrumented re-run of the "
+      "first replication");
   auto seed = flags.add_uint64("seed", 42, "RNG seed");
   auto reps = flags.add_int("reps", 1,
                             "replications (report means with 95% CIs)");
@@ -251,6 +318,29 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
     cluster::write_job_log(job_records, *job_log);
     out << "wrote job log to " << *job_log << "\n";
   }
+  if (!metrics_out->empty()) {
+    // Same pattern as --job-log: the manifest documents one concrete run,
+    // so it re-runs the first replication with its engine-derived seed.
+    cfg.seed = exp::replication_seed(*seed, 0, 0);
+    ClusterObsRun obs_run = run_cluster_instrumented(
+        cfg, *pool, table, closed_duration, /*timeline=*/nullptr);
+    obs::RunManifest manifest;
+    manifest.tool = "llsim cluster";
+    manifest.version = obs::current_git_describe();
+    manifest.seed = cfg.seed;
+    manifest.config = {
+        {"policy", std::string(core::to_string(*policy))},
+        {"nodes", std::to_string(*nodes)},
+        {"jobs", std::to_string(*jobs)},
+        {"demand", util::format("%g", *demand)},
+        {"closed", util::format("%g", *closed)},
+        {"master_seed", std::to_string(*seed)},
+    };
+    manifest.metrics = std::move(obs_run.metrics);
+    manifest.profile = std::move(obs_run.profile);
+    write_manifest_file(manifest, *metrics_out);
+    out << "wrote run manifest to " << *metrics_out << "\n";
+  }
   if (*json) {
     exp::write_json(sweep, out);
     return 0;
@@ -310,6 +400,10 @@ int cmd_parallel(const std::vector<std::string>& args, std::ostream& out) {
                             "replications (report means with 95% CIs)");
   auto workers = flags.add_int("workers", 0,
                                "worker threads (0 = hardware concurrency)");
+  auto metrics_out = flags.add_string(
+      "metrics-out", "",
+      "write a run manifest (JSON) from an instrumented re-run of the "
+      "first replication");
   auto json = flags.add_bool("json", false, "emit the sweep as JSON");
   auto argv = to_argv(args);
   flags.parse(static_cast<int>(argv.size()), argv.data());
@@ -346,6 +440,43 @@ int cmd_parallel(const std::vector<std::string>& args, std::ostream& out) {
   exp::EngineOptions options;
   options.jobs = static_cast<std::size_t>(*workers);
   const exp::SweepResult sweep = exp::run_sweep(spec, options);
+  if (!metrics_out->empty()) {
+    obs::MetricRegistry registry;
+    obs::EventLoopProfiler profiler;
+    profiler.name_tag(parallel::ParallelClusterSim::kTagPhase, "phase");
+    profiler.name_tag(parallel::ParallelClusterSim::kTagRetry, "retry");
+    obs::RunManifest manifest;
+    exp::ParallelRunHooks hooks;
+    hooks.on_start = [&](parallel::ParallelClusterSim& sim) {
+      sim.set_metrics(&registry);
+      sim.set_sim_observer(&profiler);
+    };
+    hooks.on_finish = [&](parallel::ParallelClusterSim& sim) {
+      manifest.profile =
+          profiler.snapshot(sim.engine(), /*require_conserved=*/true);
+      manifest.metrics = registry.snapshot(sim.now());
+      sim.set_sim_observer(nullptr);
+      sim.set_metrics(nullptr);
+    };
+    const std::uint64_t rep_seed = exp::replication_seed(*seed, 0, 0);
+    (void)exp::parallel_cell(cell_spec, pool,
+                             workload::default_burst_table(), rep_seed,
+                             &hooks);
+    manifest.tool = "llsim parallel";
+    manifest.version = obs::current_git_describe();
+    manifest.seed = rep_seed;
+    manifest.config = {
+        {"policy", std::string(parallel::to_string(*policy))},
+        {"nodes", std::to_string(*nodes)},
+        {"jobs", std::to_string(*jobs)},
+        {"work", util::format("%g", *work)},
+        {"granularity", util::format("%g", *granularity)},
+        {"duration", util::format("%g", *duration)},
+        {"master_seed", std::to_string(*seed)},
+    };
+    write_manifest_file(manifest, *metrics_out);
+    out << "wrote run manifest to " << *metrics_out << "\n";
+  }
   if (*json) {
     exp::write_json(sweep, out);
     return 0;
@@ -373,6 +504,103 @@ int cmd_parallel(const std::vector<std::string>& args, std::ostream& out) {
     report.add_row({"mean width", util::fixed(mean("mean_width"), 1)});
   }
   out << report.render();
+  return 0;
+}
+
+int cmd_profile(const std::vector<std::string>& args, std::ostream& out) {
+  util::Flags flags(
+      "llsim profile",
+      "Run one instrumented cluster simulation and report where it goes: "
+      "per-tag event-loop profile, sim-time metrics, optional timeline.");
+  auto policy_name = flags.add_string("policy", "LL",
+                                      "LL, LF, IE, PM, or LL-oracle");
+  auto nodes = flags.add_int("nodes", 64, "cluster size");
+  auto jobs = flags.add_int("jobs", 128, "foreign jobs");
+  auto demand = flags.add_double("demand", 600.0, "CPU-seconds per job");
+  auto closed = flags.add_double("closed", 0.0,
+                                 "if > 0: closed-system run of this many "
+                                 "seconds");
+  auto traces_dir = flags.add_string("traces", "", "trace directory (optional)");
+  auto machines = flags.add_int("machines", 32, "synthetic machines if no dir");
+  auto days = flags.add_double("days", 1.0, "synthetic trace days");
+  auto timeline_cap = flags.add_int(
+      "timeline", 0,
+      "if > 0: record the last N job/node state transitions and print them");
+  auto metrics_out = flags.add_string("metrics-out", "",
+                                      "also write a run manifest (JSON)");
+  auto seed = flags.add_uint64("seed", 42, "RNG seed");
+  auto json = flags.add_bool("json", false,
+                             "emit the manifest JSON to stdout instead of "
+                             "tables");
+  auto argv = to_argv(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+
+  const auto policy = parse_policy(*policy_name);
+  if (!policy) {
+    throw std::invalid_argument("profile: unknown policy '" + *policy_name +
+                                "' (LL, LF, IE, PM, LL-oracle)");
+  }
+  const auto pool = pool_from_flags(*traces_dir, *machines, *days, *seed + 1);
+
+  cluster::ExperimentConfig cfg;
+  cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
+  cfg.cluster.policy = *policy;
+  cfg.workload =
+      cluster::WorkloadSpec{static_cast<std::size_t>(*jobs), *demand};
+  cfg.seed = *seed;
+
+  std::optional<obs::Timeline> timeline;
+  if (*timeline_cap > 0) {
+    timeline.emplace(static_cast<std::size_t>(*timeline_cap));
+  }
+  ClusterObsRun run = run_cluster_instrumented(
+      cfg, *pool, workload::default_burst_table(), *closed,
+      timeline ? &*timeline : nullptr);
+
+  obs::RunManifest manifest;
+  manifest.tool = "llsim profile";
+  manifest.version = obs::current_git_describe();
+  manifest.seed = *seed;
+  manifest.config = {
+      {"policy", std::string(core::to_string(*policy))},
+      {"nodes", std::to_string(*nodes)},
+      {"jobs", std::to_string(*jobs)},
+      {"demand", util::format("%g", *demand)},
+      {"closed", util::format("%g", *closed)},
+  };
+  manifest.metrics = run.metrics;
+  manifest.profile = run.profile;
+  if (!metrics_out->empty()) {
+    write_manifest_file(manifest, *metrics_out);
+  }
+  if (*json) {
+    obs::write_manifest_json(manifest, out);
+    return 0;
+  }
+
+  out << "event-loop profile (" << *policy_name << ", " << *nodes
+      << " nodes, " << *jobs << " jobs"
+      << (*closed > 0.0 ? util::format(", closed %.0f s", *closed)
+                        : std::string(", open"))
+      << "):\n"
+      << run.profile_table << "\n";
+  util::Table metrics_table({"metric", "kind", "value", "mean"});
+  for (const obs::MetricSample& s : run.metrics) {
+    metrics_table.add_row(
+        {s.name, std::string(obs::to_string(s.kind)),
+         util::format("%.6g", s.value),
+         s.kind == obs::MetricKind::kTimeWeighted ? util::format("%.6g", s.mean)
+                                                  : std::string()});
+  }
+  out << metrics_table.render();
+  if (timeline) {
+    out << "\ntimeline (last " << timeline->size() << " of "
+        << timeline->total_recorded() << " transitions):\n";
+    timeline->write_text(out);
+  }
+  if (!metrics_out->empty()) {
+    out << "\nwrote run manifest to " << *metrics_out << "\n";
+  }
   return 0;
 }
 
@@ -409,6 +637,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "fit") return cmd_fit(rest, out);
     if (cmd == "cluster") return cmd_cluster(rest, out);
     if (cmd == "parallel") return cmd_parallel(rest, out);
+    if (cmd == "profile") return cmd_profile(rest, out);
     if (cmd == "bench") return exp::run_bench_cli(rest, out, err);
     err << "llsim: unknown subcommand '" << cmd << "'\n\n" << kUsage;
     return 2;

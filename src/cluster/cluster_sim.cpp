@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/table.hpp"
+
 namespace ll::cluster {
 namespace {
 
@@ -16,11 +18,12 @@ constexpr double kRemainingEps = 1e-9;
 // Observer tags for the engine's event kinds — they make the verification
 // digests (and any future event-level tooling) distinguish *what* fired,
 // not just when, so a refactor that reorders same-time events of different
-// kinds changes the digest.
-constexpr std::uint64_t kTagTick = 1;
-constexpr std::uint64_t kTagCompletion = 2;
-constexpr std::uint64_t kTagRecheck = 3;
-constexpr std::uint64_t kTagMigration = 4;
+// kinds changes the digest. Values live in cluster_sim.hpp so external
+// tooling (the CLI profiler) can label them.
+constexpr std::uint64_t kTagTick = ClusterSim::kTagTick;
+constexpr std::uint64_t kTagCompletion = ClusterSim::kTagCompletion;
+constexpr std::uint64_t kTagRecheck = ClusterSim::kTagRecheck;
+constexpr std::uint64_t kTagMigration = ClusterSim::kTagMigration;
 
 }  // namespace
 
@@ -70,6 +73,37 @@ struct ClusterSim::Impl {
 
   std::deque<JobId> queue;      // fresh jobs awaiting first dispatch
   std::deque<JobId> displaced;  // evicted jobs awaiting a migration target
+
+  // Observability (all optional; nullptr = detached, zero work). The
+  // metric objects live inside the attached registry; we cache raw
+  // pointers so the hot path pays only the null check.
+  obs::Timeline* timeline = nullptr;
+  obs::Counter* m_submitted = nullptr;
+  obs::Counter* m_completed = nullptr;
+  obs::Counter* m_migrations = nullptr;
+  obs::Gauge* g_delivered = nullptr;
+  obs::TimeWeighted* tw_queue = nullptr;
+  obs::TimeWeighted* tw_occupied = nullptr;
+  obs::TimeWeighted* tw_idle = nullptr;
+
+  /// Folds the current queue length / node occupancy into the time-weighted
+  /// accumulators. Called wherever those quantities may have changed.
+  void note_metrics() {
+    if (tw_queue) {
+      tw_queue->set(now(),
+                    static_cast<double>(queue.size() + displaced.size()));
+    }
+    if (tw_occupied || tw_idle) {
+      std::size_t occupied = 0;
+      std::size_t idle = 0;
+      for (const Node& n : nodes) {
+        if (!n.occupants.empty()) ++occupied;
+        if (n.idle) ++idle;
+      }
+      if (tw_occupied) tw_occupied->set(now(), static_cast<double>(occupied));
+      if (tw_idle) tw_idle->set(now(), static_cast<double>(idle));
+    }
+  }
 
   double period = 2.0;
   std::size_t inflight_migrations = 0;
@@ -374,6 +408,11 @@ struct ClusterSim::Impl {
     Node& n = nodes[node_idx];
     JobRuntime& r = rt[id];
     JobRecord& job = self.jobs_[id];
+    if (timeline) {
+      timeline->record(now(), util::format("job %zu", static_cast<std::size_t>(id)),
+                       n.idle ? "running" : "lingering",
+                       util::format("node %zu", node_idx));
+    }
     n.occupants.push_back(id);
     r.node = static_cast<int>(node_idx);
     r.last_update = now();
@@ -422,6 +461,11 @@ struct ClusterSim::Impl {
     job.set_state(JobState::Migrating, now());
     ++inflight_migrations;
     ++self.migrations_;
+    if (m_migrations) m_migrations->add();
+    if (timeline) {
+      timeline->record(now(), util::format("job %zu", static_cast<std::size_t>(id)), "migrating",
+                       util::format("-> node %zu", target_idx));
+    }
     sim.schedule_in(
         migration_cost(job),
         [this, id, target_idx] { finish_migration(id, target_idx); },
@@ -479,6 +523,10 @@ struct ClusterSim::Impl {
       placement_pass();
     } while (placement_pending);
     in_placement = false;
+    // Every path that changes queue length or node occupancy funnels
+    // through a placement pass, so this one call keeps the time-weighted
+    // accumulators exact.
+    note_metrics();
   }
 
   void placement_pass() {
@@ -539,6 +587,9 @@ struct ClusterSim::Impl {
     job.remaining = 0.0;
     job.set_state(JobState::Done, now());
     --self.active_jobs_;
+    if (m_completed) m_completed->add();
+    if (g_delivered) g_delivered->set(self.delivered_cpu_);
+    if (timeline) timeline->record(now(), util::format("job %zu", static_cast<std::size_t>(id)), "done");
     if (on_complete) on_complete(job);
     placement();
   }
@@ -565,6 +616,11 @@ struct ClusterSim::Impl {
       Node& n = nodes[i];
       const bool was_idle = n.idle;
       update_sample(n);
+      if (timeline && was_idle != n.idle) {
+        timeline->record(now(), util::format("node %zu", i),
+                         n.idle ? "idle" : "busy",
+                         util::format("util %.2f", n.util));
+      }
       if (was_idle && !n.idle) {
         // Owner returned mid-run: consult the policy for every occupant.
         const std::vector<JobId> snapshot = n.occupants;
@@ -686,6 +742,11 @@ JobId ClusterSim::submit(double cpu_demand_seconds) {
   im.rt.emplace_back();
   im.rt.back().last_update = im.now();
   ++active_jobs_;
+  if (im.m_submitted) im.m_submitted->add();
+  if (im.timeline) {
+    im.timeline->record(im.now(), util::format("job %zu", static_cast<std::size_t>(id)), "queued",
+                        util::format("demand %.1f s", cpu_demand_seconds));
+  }
   im.queue.push_back(id);
   im.ensure_tick();
   im.placement();
@@ -731,6 +792,28 @@ void ClusterSim::run_for(double duration) {
 double ClusterSim::now() const { return impl_->now(); }
 
 const ClusterConfig& ClusterSim::config() const { return impl_->cfg; }
+
+void ClusterSim::set_metrics(obs::MetricRegistry* registry) {
+  Impl& im = *impl_;
+  if (!registry) {
+    im.m_submitted = im.m_completed = im.m_migrations = nullptr;
+    im.g_delivered = nullptr;
+    im.tw_queue = im.tw_occupied = im.tw_idle = nullptr;
+    return;
+  }
+  im.m_submitted = &registry->counter("cluster.jobs_submitted");
+  im.m_completed = &registry->counter("cluster.jobs_completed");
+  im.m_migrations = &registry->counter("cluster.migrations");
+  im.g_delivered = &registry->gauge("cluster.delivered_cpu_seconds");
+  im.tw_queue = &registry->time_weighted("cluster.queue_length");
+  im.tw_occupied = &registry->time_weighted("cluster.occupied_nodes");
+  im.tw_idle = &registry->time_weighted("cluster.idle_nodes");
+  im.note_metrics();
+}
+
+void ClusterSim::set_timeline(obs::Timeline* timeline) {
+  impl_->timeline = timeline;
+}
 
 des::SimObserver* ClusterSim::set_sim_observer(des::SimObserver* observer) {
   return impl_->sim.set_observer(observer);

@@ -36,6 +36,8 @@
 #include "core/policy.hpp"
 #include "cluster/job.hpp"
 #include "des/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "node/effective_rate.hpp"
 #include "node/memory_model.hpp"
 #include "rng/rng.hpp"
@@ -131,6 +133,19 @@ class ClusterSim {
   /// The configuration this simulator was built with.
   [[nodiscard]] const ClusterConfig& config() const;
 
+  /// Attaches a metrics registry (nullptr detaches). The simulator registers
+  /// cluster.* counters/gauges and cluster.*-over-virtual-time accumulators
+  /// (queue length, occupied/idle node counts) and updates them at the
+  /// points where the underlying quantity changes. Purely observational:
+  /// attaching a registry cannot change simulated behavior (the golden
+  /// digest suite pins this). The registry must outlive its registration.
+  void set_metrics(obs::MetricRegistry* registry);
+
+  /// Attaches a ring-buffered timeline (nullptr detaches) recording job
+  /// state transitions and node idle/busy flips. Same observational-only
+  /// contract as set_metrics.
+  void set_timeline(obs::Timeline* timeline);
+
   /// Attaches an observer to the internal event engine (nullptr detaches;
   /// returns the previous observer). The verification layer uses this to
   /// stream digests of every fired event and to machine-check engine
@@ -151,6 +166,13 @@ class ClusterSim {
     std::vector<JobId> occupants;  ///< resident foreign jobs
   };
   [[nodiscard]] std::vector<NodeSnapshot> node_snapshots() const;
+
+  /// Observer tags carried by the internal engine's events. The values are
+  /// pinned by the golden digests (tests/golden/) — do not renumber.
+  static constexpr std::uint64_t kTagTick = 1;
+  static constexpr std::uint64_t kTagCompletion = 2;
+  static constexpr std::uint64_t kTagRecheck = 3;
+  static constexpr std::uint64_t kTagMigration = 4;
 
  private:
   struct Node;

@@ -37,13 +37,16 @@ WorkloadSpec workload_2() { return WorkloadSpec{16, 1800.0}; }
 ClusterReport run_open(const ExperimentConfig& config,
                        std::span<const trace::CoarseTrace> pool,
                        const workload::BurstTable& table,
-                       std::deque<JobRecord>* jobs_out) {
+                       std::deque<JobRecord>* jobs_out,
+                       const RunHooks* hooks) {
   rng::Stream master(config.seed);
   ClusterSim sim(config.cluster, pool, table, master.fork("cluster"));
+  if (hooks && hooks->on_start) hooks->on_start(sim);
   for (std::size_t i = 0; i < config.workload.jobs; ++i) {
     sim.submit(config.workload.demand);
   }
   sim.run_until_all_complete();
+  if (hooks && hooks->on_finish) hooks->on_finish(sim);
 
   ClusterReport report;
   stats::Summary turnaround;
@@ -77,12 +80,14 @@ ClusterReport run_open(const ExperimentConfig& config,
 
 ClusterReport run_closed(const ExperimentConfig& config,
                          std::span<const trace::CoarseTrace> pool,
-                         const workload::BurstTable& table, double duration) {
+                         const workload::BurstTable& table, double duration,
+                         const RunHooks* hooks) {
   if (!(duration > 0.0)) {
     throw std::invalid_argument("run_closed: duration must be > 0");
   }
   rng::Stream master(config.seed);
   ClusterSim sim(config.cluster, pool, table, master.fork("cluster"));
+  if (hooks && hooks->on_start) hooks->on_start(sim);
   // Hold the job population constant: every completion immediately enters a
   // replacement with the same demand.
   const double demand = config.workload.demand;
@@ -92,6 +97,7 @@ ClusterReport run_closed(const ExperimentConfig& config,
     sim.submit(demand);
   }
   sim.run_for(duration);
+  if (hooks && hooks->on_finish) hooks->on_finish(sim);
 
   ClusterReport report;
   report.throughput = sim.delivered_cpu() / duration;

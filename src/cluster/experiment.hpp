@@ -65,19 +65,33 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
 };
 
+/// Observability hooks for the run drivers. `on_start` fires right after
+/// the simulator is constructed (attach metrics registries, timelines,
+/// engine observers); `on_finish` fires after the run completes but while
+/// the simulator is still alive (snapshot the profiler against the engine).
+/// Hooks must be observational only: attaching them must not change the
+/// simulated behavior (the golden-digest suite pins this for the obs
+/// layer's own hooks).
+struct RunHooks {
+  std::function<void(ClusterSim&)> on_start;
+  std::function<void(ClusterSim&)> on_finish;
+};
+
 /// Open-mode run over an existing trace pool. When `jobs_out` is non-null it
 /// receives the per-job records (state times, transition histories) for
 /// export via write_job_log or custom analysis.
 [[nodiscard]] ClusterReport run_open(const ExperimentConfig& config,
                                      std::span<const trace::CoarseTrace> pool,
                                      const workload::BurstTable& table,
-                                     std::deque<JobRecord>* jobs_out = nullptr);
+                                     std::deque<JobRecord>* jobs_out = nullptr,
+                                     const RunHooks* hooks = nullptr);
 
 /// Closed-mode run: holds `workload.jobs` jobs in the system for `duration`.
 [[nodiscard]] ClusterReport run_closed(const ExperimentConfig& config,
                                        std::span<const trace::CoarseTrace> pool,
                                        const workload::BurstTable& table,
-                                       double duration = 3600.0);
+                                       double duration = 3600.0,
+                                       const RunHooks* hooks = nullptr);
 
 /// Runs `fn(seed)` for `replications` derived seeds on the shared bounded
 /// task pool (util::TaskRunner::shared()) and returns the reports in seed

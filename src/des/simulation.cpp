@@ -39,8 +39,20 @@ bool Simulation::cancel(EventId id) {
   const std::uint64_t tag = it->second.tag;
   callbacks_.erase(it);
   ++cancelled_;
+  maybe_shrink_callbacks();
   if (observer_) observer_->on_cancel(id, tag);
   return true;
+}
+
+void Simulation::maybe_shrink_callbacks() {
+  // Shrink only large, mostly-empty tables: occupancy below 1/8 of at least
+  // 1024 buckets. The pending set is small at that point, so the rehash is
+  // cheap, and repeated shrinks during a long drain amortize to O(n) total.
+  constexpr std::size_t kMinBuckets = 1024;
+  if (callbacks_.bucket_count() >= kMinBuckets &&
+      callbacks_.size() * 8 < callbacks_.bucket_count()) {
+    callbacks_.rehash(callbacks_.size() * 2);
+  }
 }
 
 bool Simulation::pending(EventId id) const {
@@ -73,7 +85,10 @@ bool Simulation::step() {
   // callback throws, and so observer state is current for re-entrant
   // schedule/cancel calls made from inside the callback.
   if (observer_) observer_->on_fire(entry.time, entry.id, entry.tag);
+  maybe_shrink_callbacks();
   fn();
+  // Re-read observer_: the callback may have re-registered or detached it.
+  if (observer_) observer_->on_fire_done(entry.time, entry.id, entry.tag);
   return true;
 }
 

@@ -48,6 +48,14 @@ class SimObserver {
   virtual void on_fire(double time, EventId id, std::uint64_t tag) {
     (void)time, (void)id, (void)tag;
   }
+  /// Fires after the event's callback returned (on_fire fires before it).
+  /// The pair brackets the callback, which is what lets the event-loop
+  /// profiler (src/obs/profiler.hpp) attribute wall-clock time to event
+  /// tags. Not called when the callback throws — the digest/invariant
+  /// contract of on_fire ("the fire happened") is unaffected either way.
+  virtual void on_fire_done(double time, EventId id, std::uint64_t tag) {
+    (void)time, (void)id, (void)tag;
+  }
   virtual void on_cancel(EventId id, std::uint64_t tag) { (void)id, (void)tag; }
 };
 
@@ -85,6 +93,10 @@ class Simulation {
 
   /// Runs events with time <= horizon, then advances the clock to exactly
   /// `horizon` (even if the queue empties earlier). Returns events fired.
+  /// Pinned edge case (tests/des/simulation_test.cpp): a callback firing at
+  /// exactly `horizon` may schedule further events at exactly `horizon`;
+  /// they fire within the same call (the queue is re-examined after every
+  /// fire) and the clock still lands on exactly `horizon`.
   /// Throws std::invalid_argument for non-finite (NaN/±inf) or backward
   /// horizons; horizon == now() is a valid no-op that fires due events.
   std::size_t run_until(double horizon);
@@ -103,6 +115,14 @@ class Simulation {
   /// pending_count().
   [[nodiscard]] std::uint64_t events_scheduled() const {
     return next_id_ - 1;
+  }
+
+  /// Bucket count of the internal callback table. Monitoring/test hook:
+  /// the cancel-storm shrink (maybe_shrink_callbacks) is observable here —
+  /// after a large pending set collapses, the table rehashes down instead
+  /// of keeping its peak-size bucket array for the rest of the run.
+  [[nodiscard]] std::size_t callback_buckets() const {
+    return callbacks_.bucket_count();
   }
 
   /// Registers (or, with nullptr, detaches) the observer. Returns the
@@ -131,6 +151,11 @@ class Simulation {
 
   // Pops cancelled entries off the top; returns false if queue exhausted.
   bool settle_top();
+
+  // Rehashes callbacks_ down after its population collapses (erase never
+  // shrinks the bucket array, so a cancel storm would otherwise leave its
+  // peak-size table — and its cache footprint — behind for the whole run).
+  void maybe_shrink_callbacks();
 
   double now_ = 0.0;
   EventId next_id_ = 1;

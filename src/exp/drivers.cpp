@@ -44,14 +44,16 @@ RunResult cluster_cell(const cluster::ExperimentConfig& config,
 RunResult parallel_cell(const ParallelCellSpec& spec,
                         const TracePoolCache::PoolPtr& pool,
                         const workload::BurstTable& table,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, const ParallelRunHooks* hooks) {
   parallel::ParallelClusterSim sim(spec.cluster, *pool, table,
                                    rng::Stream(seed));
+  if (hooks && hooks->on_start) hooks->on_start(sim);
   const parallel::ParallelJobSpec job = spec.job;
   sim.set_completion_callback(
       [&sim, job](const parallel::ParallelJobRecord&) { sim.submit(job); });
   for (std::size_t j = 0; j < spec.jobs_in_system; ++j) sim.submit(job);
   sim.run_for(spec.duration);
+  if (hooks && hooks->on_finish) hooks->on_finish(sim);
 
   stats::Summary turnaround;
   stats::Summary width;

@@ -6,6 +6,7 @@
 /// instead of hand-rolling report structs and table emission.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "cluster/experiment.hpp"
@@ -37,6 +38,14 @@ struct ParallelCellSpec {
   double duration = 3600.0;
 };
 
+/// Observability hooks for parallel_cell, mirroring cluster::RunHooks:
+/// `on_start` fires after the simulator is constructed, `on_finish` after
+/// the run while the simulator is still alive. Observational only.
+struct ParallelRunHooks {
+  std::function<void(parallel::ParallelClusterSim&)> on_start;
+  std::function<void(parallel::ParallelClusterSim&)> on_finish;
+};
+
 /// One replication of the closed-system parallel-cluster experiment:
 /// work_per_s, jobs_per_hour, mean_turnaround, mean_width, mean_queue_wait —
 /// the structured form of the report cmd_parallel and
@@ -44,6 +53,7 @@ struct ParallelCellSpec {
 [[nodiscard]] RunResult parallel_cell(const ParallelCellSpec& spec,
                                       const TracePoolCache::PoolPtr& pool,
                                       const workload::BurstTable& table,
-                                      std::uint64_t seed);
+                                      std::uint64_t seed,
+                                      const ParallelRunHooks* hooks = nullptr);
 
 }  // namespace ll::exp

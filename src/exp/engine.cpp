@@ -39,6 +39,12 @@ SweepResult run_sweep(const ExperimentSpec& spec,
     runner.run(std::move(tasks));
   }
 
+  if (options.metrics) {
+    options.metrics->counter("exp.sweeps").add();
+    options.metrics->counter("exp.cells").add(spec.cells.size());
+    options.metrics->counter("exp.replications").add(spec.cells.size() * reps);
+  }
+
   SweepResult sweep;
   sweep.name = spec.name;
   sweep.seed = spec.seed;

@@ -15,6 +15,7 @@
 #include <cstddef>
 
 #include "exp/spec.hpp"
+#include "obs/metrics.hpp"
 #include "util/runner.hpp"
 
 namespace ll::exp {
@@ -26,6 +27,10 @@ struct EngineOptions {
   /// Run on an externally owned runner instead of constructing one — e.g.
   /// util::TaskRunner::shared() to share one pool across sweeps.
   util::TaskRunner* runner = nullptr;
+  /// Optional engine accounting: run_sweep bumps exp.sweeps / exp.cells /
+  /// exp.replications counters after the batch drains (the registry is
+  /// single-threaded by contract, so updates never race with cell tasks).
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Runs the sweep. Cell functions execute concurrently; results, summaries

@@ -48,6 +48,12 @@ void TracePoolCache::clear() {
   cache_.clear();
 }
 
+void TracePoolCache::export_metrics(obs::MetricRegistry& registry) const {
+  std::scoped_lock lock(mu_);
+  registry.counter("exp.pool_cache.builds").add(builds_);
+  registry.counter("exp.pool_cache.hits").add(hits_);
+}
+
 TracePoolCache& TracePoolCache::shared() {
   static TracePoolCache cache;
   return cache;

@@ -18,6 +18,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "trace/coarse_generator.hpp"
 
 namespace ll::exp {
@@ -42,6 +43,10 @@ class TracePoolCache {
 
   /// Drops every cached pool (tests; long-lived processes changing scale).
   void clear();
+
+  /// Publishes exp.pool_cache.{builds,hits} counters into `registry`
+  /// (absolute values at call time — call once, after the sweeps ran).
+  void export_metrics(obs::MetricRegistry& registry) const;
 
   /// Process-wide instance shared by the engine, the CLI, and the benches.
   static TracePoolCache& shared();

@@ -1,10 +1,15 @@
 #include "exp/registry.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <ostream>
+#include <stdexcept>
 
 #include "exp/benches.hpp"
+#include "exp/pool_cache.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 
 namespace ll::exp {
 
@@ -37,8 +42,23 @@ std::vector<const Bench*> BenchRegistry::list() const {
   return out;
 }
 
-int run_bench_cli(const std::vector<std::string>& args, std::ostream& out,
+int run_bench_cli(const std::vector<std::string>& raw_args, std::ostream& out,
                   std::ostream& err) {
+  // Peel --metrics-out=FILE before dispatch: it is a cross-bench flag (every
+  // registered bench gets a run manifest without re-implementing the
+  // plumbing), so the bench's own flag parser must never see it.
+  std::string metrics_out;
+  std::vector<std::string> args;
+  args.reserve(raw_args.size());
+  for (const std::string& a : raw_args) {
+    constexpr std::string_view kFlag = "--metrics-out=";
+    if (a.rfind(kFlag, 0) == 0) {
+      metrics_out = a.substr(kFlag.size());
+    } else {
+      args.push_back(a);
+    }
+  }
+
   const BenchRegistry& registry = BenchRegistry::instance();
   if (args.empty() || args[0] == "--list" || args[0] == "list") {
     out << "Registered benches (run with: llsim bench <name> [flags], "
@@ -56,8 +76,25 @@ int run_bench_cli(const std::vector<std::string>& args, std::ostream& out,
         << "' (see llsim bench --list)\n";
     return 2;
   }
-  return bench->run(std::vector<std::string>(args.begin() + 1, args.end()),
-                    out);
+  const int rc =
+      bench->run(std::vector<std::string>(args.begin() + 1, args.end()), out);
+  if (rc == 0 && !metrics_out.empty()) {
+    obs::MetricRegistry reg;
+    TracePoolCache::shared().export_metrics(reg);
+    obs::RunManifest manifest;
+    manifest.tool = "llsim bench " + args[0];
+    manifest.version = obs::current_git_describe();
+    manifest.config = {{"bench", args[0]}};
+    manifest.metrics = reg.snapshot(0.0);
+    std::ofstream file(metrics_out);
+    if (!file) {
+      throw std::runtime_error("cannot open " + metrics_out +
+                               " for writing");
+    }
+    obs::write_manifest_json(manifest, file);
+    out << "wrote run manifest to " << metrics_out << "\n";
+  }
+  return rc;
 }
 
 int bench_main(std::string_view name, int argc, char** argv) {

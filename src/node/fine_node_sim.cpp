@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace ll::node {
@@ -102,6 +103,19 @@ FineNodeResult simulate_fine_node_trace(const trace::CoarseTrace& coarse,
   }
   result.wall = duration;
   return result;
+}
+
+void export_metrics(const FineNodeResult& result, std::string_view prefix,
+                    obs::MetricRegistry& registry) {
+  const std::string p(prefix);
+  registry.gauge(p + ".local_cpu_seconds").set(result.local_cpu);
+  registry.gauge(p + ".local_delay_seconds").set(result.local_delay);
+  registry.gauge(p + ".idle_cpu_seconds").set(result.idle_cpu);
+  registry.gauge(p + ".foreign_cpu_seconds").set(result.foreign_cpu);
+  registry.gauge(p + ".wall_seconds").set(result.wall);
+  registry.gauge(p + ".ldr").set(result.ldr());
+  registry.gauge(p + ".fcsr").set(result.fcsr());
+  registry.counter(p + ".preemptions").add(result.preemptions);
 }
 
 FineNodeExpectation expected_fine_node(double utilization, double context_switch,

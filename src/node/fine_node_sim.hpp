@@ -21,7 +21,9 @@
 ///    cycles the foreign job turns into useful work.
 
 #include <cstdint>
+#include <string_view>
 
+#include "obs/metrics.hpp"
 #include "rng/rng.hpp"
 #include "trace/records.hpp"
 #include "workload/burst_table.hpp"
@@ -70,6 +72,13 @@ struct FineNodeResult {
     const trace::CoarseTrace& coarse, const workload::BurstTable& table,
     double context_switch, double duration, rng::Stream stream,
     double offset = 0.0);
+
+/// Publishes a fine-node result into a metrics registry under
+/// `<prefix>.{local_cpu,local_delay,idle_cpu,foreign_cpu,wall,ldr,fcsr}`
+/// gauges plus a `<prefix>.preemptions` counter, so single-node runs land
+/// in the same manifest shape as the cluster sweeps.
+void export_metrics(const FineNodeResult& result, std::string_view prefix,
+                    obs::MetricRegistry& registry);
 
 /// Closed-form expectations under the H2 burst model, used to cross-check
 /// the simulation in tests:

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file manifest.hpp
+/// Run manifest: one JSON document that makes a simulation run reproducible
+/// and auditable after the fact — which binary (git describe), which seed,
+/// which configuration flags, and what the run measured (metric snapshot,
+/// optional event-loop profile).
+///
+/// Both `llsim` (via --metrics-out / the profile subcommand) and the
+/// experiment engine emit this shape; tools/llmanifest validates it against
+/// docs/manifest.schema.json in CI, so the format drifts only deliberately.
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+
+namespace ll::obs {
+
+struct RunManifest {
+  std::string tool;         ///< "llsim cluster", "llsim bench", ...
+  std::string version;      ///< git describe (or "unknown")
+  std::uint64_t seed = 0;   ///< master seed of the run
+  /// Configuration as ordered key/value pairs (flag name -> rendered value).
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<MetricSample> metrics;
+  std::optional<ProfileSnapshot> profile;
+};
+
+/// Serializes the manifest as a single JSON object:
+///   {"tool": ..., "version": ..., "seed": N,
+///    "config": {...}, "metrics": [...], "profile": {...}?}
+void write_manifest_json(const RunManifest& manifest, std::ostream& out);
+
+/// Best-effort `git describe --always --dirty` of the working tree;
+/// "unknown" when git or the repo is unavailable. Cached after first call.
+[[nodiscard]] std::string current_git_describe();
+
+/// Validates a parsed manifest document against the checked-in schema
+/// shape used by docs/manifest.schema.json: the schema's "required" object
+/// maps key -> expected kind name ("string"/"number"/"array"/"object").
+/// Returns an empty string on success, else a human-readable error.
+[[nodiscard]] std::string validate_manifest(std::string_view manifest_text,
+                                            std::string_view schema_text);
+
+}  // namespace ll::obs

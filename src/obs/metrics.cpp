@@ -1,0 +1,159 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace ll::obs {
+
+void TimeWeighted::set(double t, double value) {
+  if (updates_ == 0) {
+    first_t_ = t;
+    min_ = max_ = value;
+  } else {
+    if (t < last_t_) {
+      throw std::logic_error("TimeWeighted: time ran backwards");
+    }
+    integral_ += value_ * (t - last_t_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  value_ = value;
+  last_t_ = t;
+  ++updates_;
+}
+
+double TimeWeighted::integral(double t_end) const {
+  if (updates_ == 0) return 0.0;
+  if (t_end < last_t_) {
+    throw std::logic_error("TimeWeighted: integral horizon before last update");
+  }
+  return integral_ + value_ * (t_end - last_t_);
+}
+
+double TimeWeighted::mean(double t_end) const {
+  if (updates_ == 0) return 0.0;
+  const double span = t_end - first_t_;
+  return span > 0.0 ? integral(t_end) / span : 0.0;
+}
+
+std::string_view to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kTimeWeighted: return "time_weighted";
+  }
+  return "unknown";
+}
+
+MetricRegistry::Entry* MetricRegistry::find(std::string_view name,
+                                            MetricKind kind) {
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      if (e.kind != kind) {
+        throw std::logic_error("metric '" + std::string(name) +
+                               "' already registered with a different kind");
+      }
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  if (Entry* e = find(name, MetricKind::kCounter)) return *e->counter;
+  Counter& c = counters_.emplace_back();
+  entries_.push_back({std::string(name), MetricKind::kCounter, &c, nullptr,
+                      nullptr});
+  return c;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  if (Entry* e = find(name, MetricKind::kGauge)) return *e->gauge;
+  Gauge& g = gauges_.emplace_back();
+  entries_.push_back({std::string(name), MetricKind::kGauge, nullptr, &g,
+                      nullptr});
+  return g;
+}
+
+TimeWeighted& MetricRegistry::time_weighted(std::string_view name) {
+  if (Entry* e = find(name, MetricKind::kTimeWeighted)) return *e->tw;
+  TimeWeighted& t = tws_.emplace_back();
+  entries_.push_back({std::string(name), MetricKind::kTimeWeighted, nullptr,
+                      nullptr, &t});
+  return t;
+}
+
+std::vector<MetricSample> MetricRegistry::snapshot(double now) const {
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSample s;
+    s.name = e.name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(e.counter->value());
+        break;
+      case MetricKind::kGauge:
+        s.value = e.gauge->value();
+        break;
+      case MetricKind::kTimeWeighted:
+        s.value = e.tw->integral(std::max(now, 0.0));
+        s.mean = e.tw->mean(std::max(now, 0.0));
+        s.min = e.tw->min_value();
+        s.max = e.tw->max_value();
+        s.updates = e.tw->updates();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void write_samples_json(const std::vector<MetricSample>& samples,
+                        std::ostream& out) {
+  out << "[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    if (i != 0) out << ",";
+    out << "\n    {\"name\": \"" << util::json::escape(s.name)
+        << "\", \"kind\": \"" << to_string(s.kind) << "\", \"value\": "
+        << util::format("%.17g", s.value);
+    if (s.kind == MetricKind::kTimeWeighted) {
+      out << ", \"mean\": " << util::format("%.17g", s.mean)
+          << ", \"min\": " << util::format("%.17g", s.min)
+          << ", \"max\": " << util::format("%.17g", s.max)
+          << ", \"updates\": " << s.updates;
+    }
+    out << "}";
+  }
+  out << (samples.empty() ? "]" : "\n  ]");
+}
+
+void MetricRegistry::write_json(double now, std::ostream& out) const {
+  out << "{\n  \"metrics\": ";
+  write_samples_json(snapshot(now), out);
+  out << "\n}\n";
+}
+
+void MetricRegistry::write_csv(double now, std::ostream& out) const {
+  out << "name,kind,value,mean,min,max,updates\n";
+  for (const MetricSample& s : snapshot(now)) {
+    out << s.name << "," << to_string(s.kind) << ","
+        << util::format("%.17g", s.value);
+    if (s.kind == MetricKind::kTimeWeighted) {
+      out << "," << util::format("%.17g", s.mean) << ","
+          << util::format("%.17g", s.min) << ","
+          << util::format("%.17g", s.max) << "," << s.updates;
+    } else {
+      out << ",,,,";
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace ll::obs

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Sim-time metrics registry: named counters, gauges, and time-weighted
+/// accumulators that simulation components register once and update through
+/// raw pointers — no name lookup, no branch beyond the caller's own
+/// `if (metrics_)` guard, so an unattached simulator pays nothing.
+///
+/// The three metric kinds cover everything the paper's evaluation derives:
+///  * Counter      — monotone event counts (jobs completed, migrations);
+///  * Gauge        — last-written value (delivered CPU-seconds, idle "l");
+///  * TimeWeighted — a value integrated over *virtual* time (queue length,
+///    occupied nodes): set(t, v) folds the elapsed stint at the previous
+///    value, so integral(t_end)/mean(t_end) are exact regardless of how
+///    irregular the updates are. This is the per-node occupancy-seconds /
+///    queue-length-seconds primitive SST-style schedulers expose as
+///    first-class statistics output.
+///
+/// Snapshots serialize in registration order (deterministic bytes for a
+/// deterministic run) to JSON or CSV; the run manifest (manifest.hpp)
+/// embeds the same snapshot.
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ll::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Integrates a piecewise-constant value over virtual time. Updates must
+/// arrive with non-decreasing timestamps (simulation time is monotone);
+/// out-of-order updates throw, catching accounting bugs at the source.
+class TimeWeighted {
+ public:
+  /// Records that the value becomes `value` at time `t`, folding the stint
+  /// [last_t, t] at the previous value into the integral.
+  void set(double t, double value);
+
+  /// Integral of the value over [first_t, t_end] (the trailing stint at the
+  /// last value included). t_end before the last update throws.
+  [[nodiscard]] double integral(double t_end) const;
+
+  /// integral(t_end) / (t_end - first_t); 0 when no time has elapsed.
+  [[nodiscard]] double mean(double t_end) const;
+
+  [[nodiscard]] double last_value() const { return value_; }
+  [[nodiscard]] double min_value() const { return updates_ ? min_ : 0.0; }
+  [[nodiscard]] double max_value() const { return updates_ ? max_ : 0.0; }
+  [[nodiscard]] std::uint64_t updates() const { return updates_; }
+
+ private:
+  double integral_ = 0.0;
+  double value_ = 0.0;
+  double first_t_ = 0.0;
+  double last_t_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t updates_ = 0;
+};
+
+enum class MetricKind { kCounter, kGauge, kTimeWeighted };
+
+/// One serialized metric: counters/gauges carry `value`; time-weighted
+/// metrics carry the integral plus mean/min/max over the run.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;     // counter count / gauge value / TW integral
+  double mean = 0.0;      // TW only
+  double min = 0.0;       // TW only
+  double max = 0.0;       // TW only
+  std::uint64_t updates = 0;  // TW only
+};
+
+[[nodiscard]] std::string_view to_string(MetricKind kind);
+
+/// The registry. Registration returns a stable reference (deque storage);
+/// re-registering a name returns the existing metric, so two components can
+/// share one counter. NOT thread-safe by design — one registry per
+/// simulation, like the engine itself.
+class MetricRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  TimeWeighted& time_weighted(std::string_view name);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// All metrics in registration order. `now` closes every time-weighted
+  /// integral at the snapshot instant.
+  [[nodiscard]] std::vector<MetricSample> snapshot(double now) const;
+
+  /// `{"metrics":[{"name":...,"kind":...,...},...]}` — stable field order.
+  void write_json(double now, std::ostream& out) const;
+
+  /// `name,kind,value,mean,min,max,updates` rows after a header.
+  void write_csv(double now, std::ostream& out) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    TimeWeighted* tw = nullptr;
+  };
+
+  Entry* find(std::string_view name, MetricKind kind);
+
+  std::vector<Entry> entries_;
+  // Deques: stable addresses as more metrics are registered.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<TimeWeighted> tws_;
+};
+
+/// Serializes one snapshot (shared by write_json and the manifest writer).
+void write_samples_json(const std::vector<MetricSample>& samples,
+                        std::ostream& out);
+
+}  // namespace ll::obs

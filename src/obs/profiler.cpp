@@ -1,0 +1,190 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace ll::obs {
+namespace {
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void EventLoopProfiler::name_tag(std::uint64_t tag, std::string_view name) {
+  names_[tag] = std::string(name);
+}
+
+EventLoopProfiler::TagState& EventLoopProfiler::state(std::uint64_t tag) {
+  return tags_[tag];
+}
+
+void EventLoopProfiler::on_schedule(double when, des::EventId id,
+                                    std::uint64_t tag) {
+  ++state(tag).scheduled;
+  if (next_) next_->on_schedule(when, id, tag);
+}
+
+void EventLoopProfiler::on_fire(double time, des::EventId id,
+                                std::uint64_t tag) {
+  TagState& s = state(tag);
+  ++s.fired;
+  if (total_fired_ == 0) {
+    first_fire_time_ = time;
+  } else {
+    const double gap = time - last_fire_time_;
+    s.gap_sum += gap;
+    if (!s.any_gap) {
+      s.gap_min = s.gap_max = gap;
+      s.any_gap = true;
+    } else {
+      s.gap_min = std::min(s.gap_min, gap);
+      s.gap_max = std::max(s.gap_max, gap);
+    }
+  }
+  last_fire_time_ = time;
+  ++total_fired_;
+  if (next_) next_->on_fire(time, id, tag);
+  // Start the wall-clock bracket last, so downstream observer work is not
+  // billed to the callback.
+  bracket_start_ns_ = now_ns();
+  in_bracket_ = true;
+}
+
+void EventLoopProfiler::on_fire_done(double time, des::EventId id,
+                                     std::uint64_t tag) {
+  if (in_bracket_) {
+    const double elapsed = (now_ns() - bracket_start_ns_) * 1e-9;
+    TagState& s = state(tag);
+    s.wall_seconds += elapsed;
+    total_wall_ += elapsed;
+    in_bracket_ = false;
+  }
+  if (next_) next_->on_fire_done(time, id, tag);
+}
+
+void EventLoopProfiler::on_cancel(des::EventId id, std::uint64_t tag) {
+  ++state(tag).cancelled;
+  if (next_) next_->on_cancel(id, tag);
+}
+
+ProfileSnapshot EventLoopProfiler::snapshot(const des::Simulation& sim,
+                                            bool require_conserved) const {
+  ProfileSnapshot snap;
+  snap.tags.reserve(tags_.size());
+  for (const auto& [tag, s] : tags_) {
+    TagProfile p;
+    p.tag = tag;
+    if (auto it = names_.find(tag); it != names_.end()) {
+      p.name = it->second;
+    } else {
+      p.name = util::format("tag%llu", static_cast<unsigned long long>(tag));
+    }
+    p.scheduled = s.scheduled;
+    p.fired = s.fired;
+    p.cancelled = s.cancelled;
+    p.wall_seconds = s.wall_seconds;
+    p.gap_sum = s.gap_sum;
+    p.gap_min = s.any_gap ? s.gap_min : 0.0;
+    p.gap_max = s.any_gap ? s.gap_max : 0.0;
+    snap.tags.push_back(std::move(p));
+  }
+  snap.total_fired = total_fired_;
+  snap.total_wall_seconds = total_wall_;
+  snap.first_fire_time = first_fire_time_;
+  snap.last_fire_time = last_fire_time_;
+  snap.engine_scheduled = sim.events_scheduled();
+  snap.engine_fired = sim.events_fired();
+  snap.engine_cancelled = sim.events_cancelled();
+  snap.engine_pending = sim.pending_count();
+  snap.conserved = snap.engine_scheduled ==
+                   snap.engine_fired + snap.engine_cancelled +
+                       snap.engine_pending;
+  if (require_conserved && !snap.conserved) {
+    throw std::logic_error(util::format(
+        "event conservation broken: scheduled=%llu != fired=%llu + "
+        "cancelled=%llu + pending=%llu",
+        static_cast<unsigned long long>(snap.engine_scheduled),
+        static_cast<unsigned long long>(snap.engine_fired),
+        static_cast<unsigned long long>(snap.engine_cancelled),
+        static_cast<unsigned long long>(snap.engine_pending)));
+  }
+  return snap;
+}
+
+std::string EventLoopProfiler::render_table(const des::Simulation& sim) const {
+  const ProfileSnapshot snap = snapshot(sim);
+  util::Table table({"tag", "name", "sched", "fired", "cancel", "wall ms",
+                     "wall %", "mean gap"});
+  for (const TagProfile& p : snap.tags) {
+    const double share = snap.total_wall_seconds > 0.0
+                             ? p.wall_seconds / snap.total_wall_seconds
+                             : 0.0;
+    table.add_row({util::format("%llu", static_cast<unsigned long long>(p.tag)),
+                   p.name,
+                   util::format("%llu",
+                                static_cast<unsigned long long>(p.scheduled)),
+                   util::format("%llu",
+                                static_cast<unsigned long long>(p.fired)),
+                   util::format("%llu",
+                                static_cast<unsigned long long>(p.cancelled)),
+                   util::fixed(p.wall_seconds * 1e3, 3),
+                   util::percent(share, 1), util::fixed(p.mean_gap(), 6)});
+  }
+  std::ostringstream out;
+  out << table.render();
+  out << util::format(
+      "total: %llu fired in %.3f ms wall; virtual span [%.6f, %.6f]\n",
+      static_cast<unsigned long long>(snap.total_fired),
+      snap.total_wall_seconds * 1e3, snap.first_fire_time,
+      snap.last_fire_time);
+  out << util::format(
+      "conservation: scheduled=%llu fired=%llu cancelled=%llu pending=%llu "
+      "(%s)\n",
+      static_cast<unsigned long long>(snap.engine_scheduled),
+      static_cast<unsigned long long>(snap.engine_fired),
+      static_cast<unsigned long long>(snap.engine_cancelled),
+      static_cast<unsigned long long>(snap.engine_pending),
+      snap.conserved ? "ok" : "BROKEN");
+  return out.str();
+}
+
+void EventLoopProfiler::write_json(const ProfileSnapshot& snap,
+                                   std::ostream& out) {
+  out << "{\n    \"total_fired\": " << snap.total_fired
+      << ",\n    \"total_wall_seconds\": "
+      << util::format("%.9f", snap.total_wall_seconds)
+      << ",\n    \"first_fire_time\": "
+      << util::format("%.17g", snap.first_fire_time)
+      << ",\n    \"last_fire_time\": "
+      << util::format("%.17g", snap.last_fire_time)
+      << ",\n    \"conservation\": {\"scheduled\": " << snap.engine_scheduled
+      << ", \"fired\": " << snap.engine_fired
+      << ", \"cancelled\": " << snap.engine_cancelled
+      << ", \"pending\": " << snap.engine_pending << ", \"ok\": "
+      << (snap.conserved ? "true" : "false") << "},\n    \"tags\": [";
+  for (std::size_t i = 0; i < snap.tags.size(); ++i) {
+    const TagProfile& p = snap.tags[i];
+    if (i != 0) out << ",";
+    out << "\n      {\"tag\": " << p.tag << ", \"name\": \""
+        << util::json::escape(p.name) << "\", \"scheduled\": " << p.scheduled
+        << ", \"fired\": " << p.fired << ", \"cancelled\": " << p.cancelled
+        << ", \"wall_seconds\": " << util::format("%.9f", p.wall_seconds)
+        << ", \"mean_gap\": " << util::format("%.17g", p.mean_gap())
+        << ", \"gap_min\": " << util::format("%.17g", p.gap_min)
+        << ", \"gap_max\": " << util::format("%.17g", p.gap_max) << "}";
+  }
+  out << (snap.tags.empty() ? "]" : "\n    ]") << "\n  }";
+}
+
+}  // namespace ll::obs

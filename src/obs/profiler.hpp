@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file profiler.hpp
+/// Event-loop profiler: a SimObserver that answers "where does a run go?" —
+/// which event tags dominate the fire count, how much wall-clock time their
+/// callbacks consume, and how virtual time advances between fires.
+///
+/// Attach with sim.set_observer(&profiler) (or chain it behind the verify
+/// observers via their `next` pointer — it forwards every hook, so digests
+/// and invariant checks are unperturbed). Detached, the engine pays only
+/// its usual single never-taken branch per hook; the profiler never touches
+/// the simulation, so attaching it cannot change simulated behavior — the
+/// golden-digest suite (tests/obs/golden_obs_test.cpp) pins exactly that.
+///
+/// Wall-clock attribution uses the on_fire / on_fire_done bracket the
+/// engine emits around every callback. Virtual-time gaps are the deltas
+/// between consecutive fire *times* (over all tags), binned per tag of the
+/// later event: a tag whose fires cluster at equal times shows gap 0.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "des/simulation.hpp"
+
+namespace ll::obs {
+
+/// Aggregated statistics for one event tag.
+struct TagProfile {
+  std::uint64_t tag = 0;
+  std::string name;             ///< registered label, or "tag<k>"
+  std::uint64_t scheduled = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t cancelled = 0;
+  double wall_seconds = 0.0;    ///< callback wall-clock time (fire bracket)
+  double gap_sum = 0.0;         ///< sum of inter-fire virtual-time gaps
+  double gap_min = 0.0;
+  double gap_max = 0.0;
+
+  [[nodiscard]] double mean_gap() const {
+    return fired > 0 ? gap_sum / static_cast<double>(fired) : 0.0;
+  }
+};
+
+/// Whole-run profile plus the engine conservation line.
+struct ProfileSnapshot {
+  std::vector<TagProfile> tags;  ///< ascending tag order
+  std::uint64_t total_fired = 0;
+  double total_wall_seconds = 0.0;
+  double first_fire_time = 0.0;
+  double last_fire_time = 0.0;
+  // Engine conservation (scheduled == fired + cancelled + pending), checked
+  // against the engine's own counters at snapshot time.
+  std::uint64_t engine_scheduled = 0;
+  std::uint64_t engine_fired = 0;
+  std::uint64_t engine_cancelled = 0;
+  std::uint64_t engine_pending = 0;
+  bool conserved = true;
+};
+
+class EventLoopProfiler final : public des::SimObserver {
+ public:
+  /// `next` chains a downstream observer (digest, invariants, ...); every
+  /// hook forwards to it after recording.
+  explicit EventLoopProfiler(des::SimObserver* next = nullptr) : next_(next) {}
+
+  /// Human label for a tag in reports ("tick", "completion", ...).
+  void name_tag(std::uint64_t tag, std::string_view name);
+
+  void on_schedule(double when, des::EventId id, std::uint64_t tag) override;
+  void on_fire(double time, des::EventId id, std::uint64_t tag) override;
+  void on_fire_done(double time, des::EventId id, std::uint64_t tag) override;
+  void on_cancel(des::EventId id, std::uint64_t tag) override;
+
+  /// Aggregates the per-tag state and audits conservation against the
+  /// engine's counters. In kAssert spirit: `require_conserved` throws
+  /// std::logic_error on a conservation break instead of just flagging it.
+  [[nodiscard]] ProfileSnapshot snapshot(const des::Simulation& sim,
+                                         bool require_conserved = false) const;
+
+  /// Aligned per-tag table (fires, wall ms, share, mean virtual gap).
+  [[nodiscard]] std::string render_table(const des::Simulation& sim) const;
+
+  /// `{"profile": {...}}` fragment used by the run manifest.
+  static void write_json(const ProfileSnapshot& snap, std::ostream& out);
+
+  [[nodiscard]] std::uint64_t fires() const { return total_fired_; }
+
+ private:
+  struct TagState {
+    std::uint64_t scheduled = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t cancelled = 0;
+    double wall_seconds = 0.0;
+    double gap_sum = 0.0;
+    double gap_min = 0.0;
+    double gap_max = 0.0;
+    bool any_gap = false;
+  };
+
+  TagState& state(std::uint64_t tag);
+
+  des::SimObserver* next_;
+  std::map<std::uint64_t, TagState> tags_;
+  std::map<std::uint64_t, std::string> names_;
+  std::uint64_t total_fired_ = 0;
+  double total_wall_ = 0.0;
+  double first_fire_time_ = 0.0;
+  double last_fire_time_ = 0.0;
+  // The on_fire / on_fire_done bracket in flight (callbacks never nest:
+  // the engine fires events strictly sequentially).
+  double bracket_start_ns_ = 0.0;
+  bool in_bracket_ = false;
+};
+
+}  // namespace ll::obs

@@ -1,0 +1,70 @@
+#include "obs/timeline.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace ll::obs {
+
+Timeline::Timeline(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("Timeline: capacity must be positive");
+  }
+  ring_.resize(capacity);
+}
+
+void Timeline::record(double time, std::string_view entity,
+                      std::string_view state, std::string_view detail) {
+  TimelineRecord& slot = ring_[head_];
+  slot.time = time;
+  slot.entity.assign(entity);
+  slot.state.assign(state);
+  slot.detail.assign(detail);
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::vector<TimelineRecord> Timeline::records() const {
+  std::vector<TimelineRecord> out;
+  out.reserve(size_);
+  // Oldest record sits at head_ once the ring has wrapped, else at 0.
+  const std::size_t start = size_ < ring_.size() ? 0 : head_;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Timeline::write_text(std::ostream& out) const {
+  if (dropped_ > 0) {
+    out << util::format("(%llu earlier records dropped; ring capacity %zu)\n",
+                        static_cast<unsigned long long>(dropped_),
+                        ring_.size());
+  }
+  for (const TimelineRecord& r : records()) {
+    out << util::format("%12.6f  %-10s  %-12s  %s\n", r.time,
+                        r.entity.c_str(), r.state.c_str(), r.detail.c_str());
+  }
+}
+
+void Timeline::write_json(std::ostream& out) const {
+  out << "{\n  \"dropped\": " << dropped_ << ",\n  \"records\": [";
+  bool first = true;
+  for (const TimelineRecord& r : records()) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"time\": " << util::format("%.17g", r.time)
+        << ", \"entity\": \"" << util::json::escape(r.entity)
+        << "\", \"state\": \"" << util::json::escape(r.state)
+        << "\", \"detail\": \"" << util::json::escape(r.detail) << "\"}";
+  }
+  out << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+}  // namespace ll::obs

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file timeline.hpp
+/// Per-entity state-transition timelines: a fixed-capacity ring buffer of
+/// (virtual time, entity, state, detail) records. Cluster jobs, node
+/// occupancy flips, and BSP phase boundaries all reduce to this shape, so
+/// one generic recorder serves them all — the simulators just call
+/// record() behind their usual `if (timeline_)` guard.
+///
+/// The ring is bounded on purpose: long sweeps must not grow memory without
+/// limit, so once full the oldest records are overwritten and `dropped()`
+/// counts what was lost. Dumps (text or JSON) always emit records oldest
+/// to newest.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ll::obs {
+
+/// One state transition of one entity.
+struct TimelineRecord {
+  double time = 0.0;     ///< virtual time of the transition
+  std::string entity;    ///< e.g. "job 12", "node 3", "bsp"
+  std::string state;     ///< e.g. "queued", "running", "migrating"
+  std::string detail;    ///< free-form annotation ("node 3 -> node 7")
+};
+
+class Timeline {
+ public:
+  /// Capacity must be positive; the ring never reallocates after this.
+  explicit Timeline(std::size_t capacity);
+
+  void record(double time, std::string_view entity, std::string_view state,
+              std::string_view detail = {});
+
+  /// Records currently held, oldest first. Size <= capacity.
+  [[nodiscard]] std::vector<TimelineRecord> records() const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Records overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    return dropped_ + size_;
+  }
+
+  /// "<time>  <entity>  <state>  <detail>" lines, oldest first, with a
+  /// trailing "(N earlier records dropped)" note when the ring wrapped.
+  void write_text(std::ostream& out) const;
+
+  /// `{"dropped": N, "records": [{"time":...,"entity":...,...}, ...]}`.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::vector<TimelineRecord> ring_;
+  std::size_t head_ = 0;  ///< next slot to write
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ll::obs

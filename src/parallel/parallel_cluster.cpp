@@ -8,6 +8,7 @@
 
 #include "des/simulation.hpp"
 #include "parallel/reconfig.hpp"
+#include "util/table.hpp"
 
 namespace ll::parallel {
 namespace {
@@ -76,6 +77,35 @@ struct ParallelClusterSim::Impl {
   std::deque<std::uint32_t> queue;
   std::function<void(const ParallelJobRecord&)> on_complete;
   rng::Stream job_streams{0};  // master for per-job phase randomness
+
+  // Observability (optional; nullptr = detached, zero work).
+  obs::Counter* m_submitted = nullptr;
+  obs::Counter* m_completed = nullptr;
+  obs::Counter* m_phases = nullptr;
+  obs::Gauge* g_delivered = nullptr;
+  obs::TimeWeighted* tw_queue = nullptr;
+  obs::TimeWeighted* tw_busy = nullptr;
+  obs::Timeline* timeline = nullptr;
+
+  void note_transition(std::uint32_t id, std::string_view state,
+                       std::string detail = {}) {
+    if (timeline) {
+      timeline->record(now(),
+                       util::format("job %zu", static_cast<std::size_t>(id)),
+                       state, detail);
+    }
+  }
+
+  void note_metrics() {
+    if (tw_queue) tw_queue->set(now(), static_cast<double>(queue.size()));
+    if (tw_busy) {
+      std::size_t busy = 0;
+      for (const NodeState& n : nodes) {
+        if (n.job >= 0) ++busy;
+      }
+      tw_busy->set(now(), static_cast<double>(busy));
+    }
+  }
 
   bool retry_scheduled = false;
   double run_horizon = 0.0;
@@ -204,6 +234,9 @@ struct ParallelClusterSim::Impl {
       start_job(id, std::move(assignment));
     }
     ensure_retry();
+    // Dispatch is the only place queue length or node assignment changes
+    // besides submit/complete, and both of those end here.
+    note_metrics();
   }
 
   void start_job(std::uint32_t id, std::vector<std::size_t> assignment) {
@@ -218,6 +251,8 @@ struct ParallelClusterSim::Impl {
     job.start_time = now();
     job.width = r.assigned.size();
     job.idle_at_dispatch = idle;
+    note_transition(id, "running",
+                    util::format("width %zu", r.assigned.size()));
     schedule_phase(id);
   }
 
@@ -238,16 +273,23 @@ struct ParallelClusterSim::Impl {
         sample_phase_duration(bsp, g, utils, sampler, *table, r.stream);
 
     const double work_done = work_per_phase * fraction;
-    sim.schedule_in(duration, [this, id, work_done] {
-      JobRuntime& job_rt = rt[id];
-      job_rt.remaining -= work_done;
-      self.delivered_work_ += work_done;
-      if (job_rt.remaining <= 1e-9) {
-        complete(id);
-      } else {
-        schedule_phase(id);
-      }
-    });
+    sim.schedule_in(
+        duration,
+        [this, id, work_done] {
+          JobRuntime& job_rt = rt[id];
+          job_rt.remaining -= work_done;
+          self.delivered_work_ += work_done;
+          if (m_phases) m_phases->add();
+          if (g_delivered) g_delivered->set(self.delivered_work_);
+          note_transition(id, "phase",
+                          util::format("remaining %.3f", job_rt.remaining));
+          if (job_rt.remaining <= 1e-9) {
+            complete(id);
+          } else {
+            schedule_phase(id);
+          }
+        },
+        ParallelClusterSim::kTagPhase);
   }
 
   void complete(std::uint32_t id) {
@@ -258,6 +300,8 @@ struct ParallelClusterSim::Impl {
     r.remaining = 0.0;
     job.completion = now();
     --self.active_jobs_;
+    if (m_completed) m_completed->add();
+    note_transition(id, "done");
     if (on_complete) on_complete(job);
     try_dispatch();
   }
@@ -268,10 +312,13 @@ struct ParallelClusterSim::Impl {
     if (retry_scheduled || queue.empty()) return;
     retry_scheduled = true;
     const double next = (std::floor(now() / period + 1e-9) + 1.0) * period;
-    sim.schedule_at(next, [this] {
-      retry_scheduled = false;
-      try_dispatch();
-    });
+    sim.schedule_at(
+        next,
+        [this] {
+          retry_scheduled = false;
+          try_dispatch();
+        },
+        ParallelClusterSim::kTagRetry);
   }
 };
 
@@ -348,9 +395,42 @@ std::uint32_t ParallelClusterSim::submit(ParallelJobSpec spec) {
   runtime.stream = im.job_streams.fork("job", id);
   im.rt.push_back(std::move(runtime));
   ++active_jobs_;
+  if (im.m_submitted) im.m_submitted->add();
+  im.note_transition(id, "queued",
+                     util::format("work %.0f", record.total_work));
   im.queue.push_back(id);
   im.try_dispatch();
   return id;
+}
+
+void ParallelClusterSim::set_metrics(obs::MetricRegistry* registry) {
+  Impl& im = *impl_;
+  if (!registry) {
+    im.m_submitted = im.m_completed = im.m_phases = nullptr;
+    im.g_delivered = nullptr;
+    im.tw_queue = im.tw_busy = nullptr;
+    return;
+  }
+  im.m_submitted = &registry->counter("parallel.jobs_submitted");
+  im.m_completed = &registry->counter("parallel.jobs_completed");
+  im.m_phases = &registry->counter("parallel.phases_completed");
+  im.g_delivered = &registry->gauge("parallel.delivered_work_seconds");
+  im.tw_queue = &registry->time_weighted("parallel.queue_length");
+  im.tw_busy = &registry->time_weighted("parallel.busy_nodes");
+  im.note_metrics();
+}
+
+void ParallelClusterSim::set_timeline(obs::Timeline* timeline) {
+  impl_->timeline = timeline;
+}
+
+des::SimObserver* ParallelClusterSim::set_sim_observer(
+    des::SimObserver* observer) {
+  return impl_->sim.set_observer(observer);
+}
+
+const des::Simulation& ParallelClusterSim::engine() const {
+  return impl_->sim;
 }
 
 void ParallelClusterSim::set_completion_callback(

@@ -34,6 +34,9 @@
 #include <string_view>
 #include <vector>
 
+#include "des/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "parallel/bsp.hpp"
 #include "rng/rng.hpp"
 #include "trace/records.hpp"
@@ -109,6 +112,30 @@ class ParallelClusterSim {
 
   /// Parallel CPU-work completed so far (proc-seconds).
   [[nodiscard]] double delivered_work() const { return delivered_work_; }
+
+  /// Attaches a metrics registry (nullptr detaches): parallel.* counters
+  /// (jobs, phases) plus queue-length and busy-node accumulators over
+  /// virtual time. Observational only — never changes simulated behavior.
+  /// The registry must outlive its registration.
+  void set_metrics(obs::MetricRegistry* registry);
+
+  /// Attaches a state-transition timeline (nullptr detaches): BSP job
+  /// dispatch/phase/completion transitions, one record per boundary. Same
+  /// observational-only contract as set_metrics; the timeline must outlive
+  /// its registration.
+  void set_timeline(obs::Timeline* timeline);
+
+  /// Attaches an observer to the internal event engine (nullptr detaches;
+  /// returns the previous observer). Phase completions carry tag
+  /// kTagPhase, dispatch retries kTagRetry.
+  des::SimObserver* set_sim_observer(des::SimObserver* observer);
+
+  /// Read-only view of the internal event engine (clock, event counters).
+  [[nodiscard]] const des::Simulation& engine() const;
+
+  /// Observer tags used by the internal engine's events.
+  static constexpr std::uint64_t kTagPhase = 1;
+  static constexpr std::uint64_t kTagRetry = 2;
 
  private:
   struct Impl;

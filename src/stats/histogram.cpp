@@ -13,6 +13,11 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  // NaN would fall through both range checks below and index a bin via
+  // static_cast<size_t>(NaN) — undefined behavior. Reject it at the door.
+  if (std::isnan(x)) {
+    throw std::invalid_argument("Histogram::add: NaN sample");
+  }
   ++total_;
   if (x < lo_) {
     ++underflow_;
@@ -49,7 +54,11 @@ double Histogram::cumulative_fraction(std::size_t i) const {
 
 double Histogram::quantile(double q) const {
   if (total_ == 0) throw std::logic_error("Histogram::quantile on empty histogram");
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q outside [0,1]");
+  // Negated form so NaN (which fails every comparison) lands in the throw
+  // instead of silently flowing through as "quantile ~ hi_".
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("quantile q outside [0,1]");
+  }
   const auto target = q * static_cast<double>(total_);
   double acc = static_cast<double>(underflow_);
   if (target <= acc) return lo_;

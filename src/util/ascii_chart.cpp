@@ -34,10 +34,20 @@ std::string render_chart(const std::vector<ChartSeries>& series,
                                   "' empty or xs/ys size mismatch");
     }
     for (double x : s.xs) {
+      // A NaN/inf point would reach lround() below with an unspecified
+      // result; name the offending series instead.
+      if (!std::isfinite(x)) {
+        throw std::invalid_argument("render_chart: series '" + s.name +
+                                    "' has a non-finite x value");
+      }
       x_min = std::min(x_min, x);
       x_max = std::max(x_max, x);
     }
     for (double y : s.ys) {
+      if (!std::isfinite(y)) {
+        throw std::invalid_argument("render_chart: series '" + s.name +
+                                    "' has a non-finite y value");
+      }
       y_min = std::min(y_min, y);
       y_max = std::max(y_max, y);
     }

@@ -1,6 +1,9 @@
 #include "util/flags.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -34,13 +37,25 @@ std::uint64_t parse_uint(std::string_view name, std::string_view text) {
 double parse_double(std::string_view name, std::string_view text) {
   // std::from_chars for double is unreliable across libstdc++ versions for
   // every format; strtod on a NUL-terminated copy is portable and exact.
+  // strtod itself is more permissive than a flag should be: it skips
+  // leading whitespace and accepts "nan"/"inf"/overflowing exponents.
+  // Config values must be plain finite numbers, so reject all of those.
   std::string copy(text);
-  char* end = nullptr;
-  double value = std::strtod(copy.c_str(), &end);
-  if (end != copy.c_str() + copy.size() || copy.empty()) {
-    throw std::invalid_argument("flag --" + std::string(name) +
-                                ": expected number, got '" + copy + "'");
+  const auto bad = [&]() -> std::invalid_argument {
+    return std::invalid_argument("flag --" + std::string(name) +
+                                 ": expected finite number, got '" + copy +
+                                 "'");
+  };
+  if (copy.empty() ||
+      std::isspace(static_cast<unsigned char>(copy.front()))) {
+    throw bad();
   }
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) throw bad();     // trailing garbage
+  if (errno == ERANGE && !std::isfinite(value)) throw bad();  // overflow
+  if (!std::isfinite(value)) throw bad();                 // "nan", "inf"
   return value;
 }
 

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal recursive-descent JSON reader.
+///
+/// The observability layer emits run manifests and metric snapshots as JSON
+/// (src/obs/); the tests and the CI manifest validator (tools/llmanifest)
+/// need to read that JSON back without adding a dependency. This is a
+/// strict, small parser for that closed loop — it accepts exactly the
+/// subset our writers produce (RFC 8259 minus \uXXXX surrogate pairs, which
+/// our writers never emit; lone \uXXXX escapes decode to UTF-8).
+///
+/// Objects preserve insertion order (vector of pairs), matching the
+/// determinism contract of every serializer in this repo.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ll::util::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() = default;
+  explicit Value(std::nullptr_t) {}
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double d) : kind_(Kind::kNumber), number_(d) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit Value(Array a)
+      : kind_(Kind::kArray), array_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : kind_(Kind::kObject), object_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const Array& as_array() const { return *array_; }
+  [[nodiscard]] const Object& as_object() const { return *object_; }
+
+  /// Object member lookup by key; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Human name of a kind ("object", "number", ...), for error messages.
+  [[nodiscard]] static std::string_view kind_name(Kind kind);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws std::runtime_error with a byte offset on
+/// malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Escapes a string for embedding in JSON output (quotes not included).
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace ll::util::json

@@ -65,6 +65,11 @@ void SimInvariantObserver::on_fire(double time, des::EventId id,
   if (next_) next_->on_fire(time, id, tag);
 }
 
+void SimInvariantObserver::on_fire_done(double time, des::EventId id,
+                                        std::uint64_t tag) {
+  if (next_) next_->on_fire_done(time, id, tag);
+}
+
 void SimInvariantObserver::on_cancel(des::EventId id, std::uint64_t tag) {
   ++cancelled_;
   if (next_) next_->on_cancel(id, tag);

@@ -109,6 +109,7 @@ class SimInvariantObserver final : public des::SimObserver {
 
   void on_schedule(double when, des::EventId id, std::uint64_t tag) override;
   void on_fire(double time, des::EventId id, std::uint64_t tag) override;
+  void on_fire_done(double time, des::EventId id, std::uint64_t tag) override;
   void on_cancel(des::EventId id, std::uint64_t tag) override;
 
   /// Conservation check over the whole run; call after the last run_*().

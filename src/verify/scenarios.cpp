@@ -94,7 +94,7 @@ ScenarioResult des_storm(const ScenarioOptions& options) {
   des::Simulation sim;
   DigestObserver digest;
   SimInvariantObserver inv(sim, h.registry, &digest);
-  sim.set_observer(&inv);
+  sim.set_observer(options.wrap_observer ? options.wrap_observer(&inv) : &inv);
 
   rng::Stream stream = scenario_stream(options, "des-storm");
   std::vector<des::EventId> live;
@@ -141,7 +141,7 @@ ScenarioResult des_cancel_churn(const ScenarioOptions& options) {
   des::Simulation sim;
   DigestObserver digest;
   SimInvariantObserver inv(sim, h.registry, &digest);
-  sim.set_observer(&inv);
+  sim.set_observer(options.wrap_observer ? options.wrap_observer(&inv) : &inv);
 
   rng::Stream stream = scenario_stream(options, "des-cancel-churn");
   std::vector<des::EventId> ids;
@@ -222,9 +222,12 @@ ScenarioResult cluster_run(const ScenarioOptions& options,
   cluster::ClusterSim sim(cfg, pool, workload::default_burst_table(),
                           stream.fork("sim"));
 
+  if (options.cluster_hook) options.cluster_hook(sim);
+
   DigestObserver digest;
   SimInvariantObserver inv(sim.engine(), h.registry, &digest);
-  sim.set_sim_observer(&inv);
+  sim.set_sim_observer(options.wrap_observer ? options.wrap_observer(&inv)
+                                             : &inv);
 
   if (closed) {
     sim.set_completion_callback(

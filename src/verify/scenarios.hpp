@@ -26,6 +26,10 @@
 #include "verify/digest.hpp"
 #include "verify/invariants.hpp"
 
+namespace ll::cluster {
+class ClusterSim;
+}
+
 namespace ll::verify {
 
 /// The seed the committed golden digests are pinned at.
@@ -39,6 +43,17 @@ struct ScenarioOptions {
   /// of (seed, label, index), so the digest must not change — llverify uses
   /// this to prove sub-stream independence end to end.
   bool reordered_streams = false;
+  /// Optional: wraps the scenario's own observer chain before it is
+  /// attached to an engine — the hook receives the scenario's
+  /// digest/invariant chain head and returns the observer to attach
+  /// (typically an obs::EventLoopProfiler forwarding to `inner`). The
+  /// golden-digest suite in tests/obs/ uses this to prove attaching the
+  /// profiler leaves every pinned digest byte-identical. A hook that does
+  /// anything non-observational breaks the purity contract above.
+  std::function<des::SimObserver*(des::SimObserver* inner)> wrap_observer;
+  /// Optional: runs right after a scenario constructs a ClusterSim (attach
+  /// a metrics registry / timeline). Same observational-only contract.
+  std::function<void(cluster::ClusterSim&)> cluster_hook;
 };
 
 struct ScenarioResult {

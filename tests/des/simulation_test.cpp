@@ -144,6 +144,70 @@ TEST(Simulation, RunUntilRejectsBackwardHorizon) {
   EXPECT_THROW((void)(sim.run_until(4.0)), std::invalid_argument);
 }
 
+TEST(Simulation, RunUntilFiresExactHorizonSelfSchedules) {
+  // Pinned edge case: a callback firing at exactly the horizon may schedule
+  // further events at exactly the horizon; they fire within the SAME
+  // run_until call (the queue is re-examined after every fire) and the
+  // clock still lands on exactly the horizon.
+  Simulation sim;
+  std::vector<int> fired;
+  sim.schedule_at(5.0, [&] {
+    fired.push_back(1);
+    sim.schedule_at(5.0, [&] {
+      fired.push_back(2);
+      sim.schedule_at(5.0, [&] { fired.push_back(3); });
+    });
+  });
+  const std::size_t n = sim.run_until(5.0);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Simulation, RunUntilHorizonEqualsNowFiresDueEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(0.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(0.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 0.0);
+  // And again: horizon == now() with an empty queue is a valid no-op.
+  EXPECT_EQ(sim.run_until(0.0), 0u);
+}
+
+TEST(Simulation, CancelStormShrinksCallbackTable) {
+  // A cancel storm (the recheck/completion pattern in the cluster sim
+  // schedules tentative completions and cancels most of them) used to leave
+  // the callback table at its peak bucket count forever; erase() never
+  // shrinks. The table must rehash down once occupancy collapses.
+  Simulation sim;
+  std::vector<EventId> ids;
+  ids.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    ids.push_back(sim.schedule_at(1e6 + i, [] {}));
+  }
+  const std::size_t peak = sim.callback_buckets();
+  EXPECT_GE(peak, 100000u / 8);  // sanity: the table actually grew
+  for (std::size_t i = 10; i < ids.size(); ++i) sim.cancel(ids[i]);
+  EXPECT_EQ(sim.pending_count(), 10u);
+  EXPECT_LT(sim.callback_buckets(), 1024u);
+  EXPECT_LT(sim.callback_buckets(), peak / 64);
+  // The surviving events still fire normally after the rehash.
+  EXPECT_EQ(sim.run(), 10u);
+}
+
+TEST(Simulation, DrainByFiringAlsoShrinksCallbackTable) {
+  Simulation sim;
+  for (int i = 0; i < 100000; ++i) {
+    sim.schedule_at(static_cast<double>(i), [] {});
+  }
+  const std::size_t peak = sim.callback_buckets();
+  sim.run();
+  EXPECT_LT(sim.callback_buckets(), peak);
+  EXPECT_LT(sim.callback_buckets(), 1024u);
+}
+
 TEST(Simulation, EventsCanScheduleEvents) {
   Simulation sim;
   int depth = 0;

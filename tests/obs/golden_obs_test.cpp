@@ -1,0 +1,104 @@
+/// Observability-transparency regression suite: attaching the event-loop
+/// profiler (chained in front of the verify digest/invariant observers) and
+/// a metrics registry + timeline to a scenario's simulators must leave every
+/// pinned digest byte-identical. This is the load-bearing guarantee of the
+/// whole obs layer — instrumentation observes, it never perturbs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/timeline.hpp"
+#include "verify/scenarios.hpp"
+
+namespace ll::verify {
+namespace {
+
+TEST(GoldenObservability, ProfilerAttachmentLeavesDigestsIdentical) {
+  for (const auto& scenario : scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    ScenarioOptions plain;  // kGoldenSeed
+    const ScenarioResult baseline = scenario.run(plain);
+
+    // One profiler per engine attachment: scenarios may build several
+    // engines, and a profiler must not straddle two observer chains.
+    std::vector<std::unique_ptr<obs::EventLoopProfiler>> profilers;
+    ScenarioOptions instrumented;
+    instrumented.wrap_observer = [&](des::SimObserver* inner) {
+      profilers.push_back(std::make_unique<obs::EventLoopProfiler>(inner));
+      return profilers.back().get();
+    };
+    const ScenarioResult observed = scenario.run(instrumented);
+
+    EXPECT_EQ(baseline.digest.value(), observed.digest.value())
+        << "profiler attachment perturbed the event stream";
+    EXPECT_EQ(baseline.events, observed.events);
+    EXPECT_EQ(baseline.checks, observed.checks);
+    if (!profilers.empty()) {
+      std::uint64_t fires = 0;
+      for (const auto& p : profilers) fires += p->fires();
+      EXPECT_GT(fires, 0u) << "profiler was attached but saw no events";
+    }
+  }
+}
+
+TEST(GoldenObservability, MetricsAndTimelineLeaveClusterDigestsIdentical) {
+  bool any_cluster = false;
+  for (const auto& scenario : scenarios()) {
+    if (scenario.module != "cluster") continue;
+    any_cluster = true;
+    SCOPED_TRACE(scenario.name);
+    ScenarioOptions plain;
+    const ScenarioResult baseline = scenario.run(plain);
+
+    obs::MetricRegistry registry;
+    obs::Timeline timeline(256);
+    ScenarioOptions instrumented;
+    instrumented.cluster_hook = [&](cluster::ClusterSim& sim) {
+      sim.set_metrics(&registry);
+      sim.set_timeline(&timeline);
+    };
+    const ScenarioResult observed = scenario.run(instrumented);
+
+    EXPECT_EQ(baseline.digest.value(), observed.digest.value())
+        << "metrics/timeline attachment perturbed the event stream";
+    EXPECT_EQ(baseline.events, observed.events);
+    EXPECT_GT(registry.size(), 0u);
+    EXPECT_GT(timeline.total_recorded(), 0u);
+  }
+  EXPECT_TRUE(any_cluster) << "no cluster scenario exercised the hook";
+}
+
+TEST(GoldenObservability, FullInstrumentationStackIsTransparent) {
+  // Profiler + metrics + timeline together, the way `llsim profile` attaches
+  // them — the combination must be as invisible as each piece alone.
+  for (const auto& scenario : scenarios()) {
+    if (scenario.module != "cluster") continue;
+    SCOPED_TRACE(scenario.name);
+    ScenarioOptions plain;
+    const ScenarioResult baseline = scenario.run(plain);
+
+    std::vector<std::unique_ptr<obs::EventLoopProfiler>> profilers;
+    obs::MetricRegistry registry;
+    obs::Timeline timeline(64);
+    ScenarioOptions instrumented;
+    instrumented.wrap_observer = [&](des::SimObserver* inner) {
+      profilers.push_back(std::make_unique<obs::EventLoopProfiler>(inner));
+      return profilers.back().get();
+    };
+    instrumented.cluster_hook = [&](cluster::ClusterSim& sim) {
+      sim.set_metrics(&registry);
+      sim.set_timeline(&timeline);
+    };
+    const ScenarioResult observed = scenario.run(instrumented);
+    EXPECT_EQ(baseline.digest.value(), observed.digest.value());
+    EXPECT_EQ(baseline.events, observed.events);
+  }
+}
+
+}  // namespace
+}  // namespace ll::verify

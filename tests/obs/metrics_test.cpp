@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace ll::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, HoldsLastWrittenValue) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(TimeWeighted, IntegratesPiecewiseConstantValue) {
+  TimeWeighted tw;
+  tw.set(0.0, 2.0);   // value 2 on [0, 10)
+  tw.set(10.0, 6.0);  // value 6 on [10, 20)
+  tw.set(20.0, 0.0);  // value 0 on [20, 40]
+  EXPECT_DOUBLE_EQ(tw.integral(40.0), 2.0 * 10 + 6.0 * 10 + 0.0 * 20);
+  EXPECT_DOUBLE_EQ(tw.mean(40.0), 80.0 / 40.0);
+  EXPECT_DOUBLE_EQ(tw.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(tw.max_value(), 6.0);
+  EXPECT_EQ(tw.updates(), 3u);
+  EXPECT_DOUBLE_EQ(tw.last_value(), 0.0);
+}
+
+TEST(TimeWeighted, TrailingStintExtendsToSnapshotInstant) {
+  TimeWeighted tw;
+  tw.set(5.0, 4.0);
+  // Only one update: the integral is the stint [5, 15] at value 4.
+  EXPECT_DOUBLE_EQ(tw.integral(15.0), 40.0);
+  EXPECT_DOUBLE_EQ(tw.mean(15.0), 4.0);
+}
+
+TEST(TimeWeighted, ZeroElapsedTimeMeansZeroMean) {
+  TimeWeighted tw;
+  EXPECT_DOUBLE_EQ(tw.mean(0.0), 0.0);
+  tw.set(7.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.mean(7.0), 0.0);
+}
+
+TEST(TimeWeighted, BackwardsUpdateThrows) {
+  TimeWeighted tw;
+  tw.set(10.0, 1.0);
+  EXPECT_THROW(tw.set(9.0, 2.0), std::logic_error);
+  EXPECT_THROW(static_cast<void>(tw.integral(5.0)), std::logic_error);
+}
+
+TEST(MetricRegistry, ReRegistrationReturnsSameMetric) {
+  MetricRegistry reg;
+  Counter& a = reg.counter("jobs");
+  Counter& b = reg.counter("jobs");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricRegistry, KindMismatchThrows) {
+  MetricRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.time_weighted("x"), std::logic_error);
+}
+
+TEST(MetricRegistry, SnapshotPreservesRegistrationOrder) {
+  MetricRegistry reg;
+  reg.counter("c").add(2);
+  reg.gauge("g").set(1.5);
+  reg.time_weighted("tw").set(0.0, 4.0);
+  const auto samples = reg.snapshot(10.0);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "c");
+  EXPECT_EQ(samples[0].kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(samples[0].value, 2.0);
+  EXPECT_EQ(samples[1].name, "g");
+  EXPECT_DOUBLE_EQ(samples[1].value, 1.5);
+  EXPECT_EQ(samples[2].name, "tw");
+  EXPECT_DOUBLE_EQ(samples[2].value, 40.0);  // integral over [0, 10]
+  EXPECT_DOUBLE_EQ(samples[2].mean, 4.0);
+  EXPECT_EQ(samples[2].updates, 1u);
+}
+
+TEST(MetricRegistry, JsonRoundTripsThroughParser) {
+  MetricRegistry reg;
+  reg.counter("cluster.jobs").add(7);
+  reg.gauge("cluster.delivered").set(960.5);
+  reg.time_weighted("cluster.queue").set(0.0, 2.0);
+  std::ostringstream out;
+  reg.write_json(100.0, out);
+
+  const auto doc = util::json::parse(out.str());
+  const auto* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->kind(), util::json::Kind::kArray);
+  const auto& arr = metrics->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[0].find("name")->as_string(), "cluster.jobs");
+  EXPECT_EQ(arr[0].find("kind")->as_string(), "counter");
+  EXPECT_DOUBLE_EQ(arr[0].find("value")->as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(arr[1].find("value")->as_number(), 960.5);
+  EXPECT_EQ(arr[2].find("kind")->as_string(), "time_weighted");
+  EXPECT_DOUBLE_EQ(arr[2].find("value")->as_number(), 200.0);
+  EXPECT_DOUBLE_EQ(arr[2].find("mean")->as_number(), 2.0);
+}
+
+TEST(MetricRegistry, CsvHasHeaderAndOneRowPerMetric) {
+  MetricRegistry reg;
+  reg.counter("a").add(1);
+  reg.gauge("b").set(2.0);
+  std::ostringstream out;
+  reg.write_csv(0.0, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name,kind,value,mean,min,max,updates"),
+            std::string::npos);
+  EXPECT_NE(text.find("a,counter,"), std::string::npos);
+  EXPECT_NE(text.find("b,gauge,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ll::obs

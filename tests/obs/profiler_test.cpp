@@ -1,0 +1,191 @@
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "util/json.hpp"
+
+namespace ll::obs {
+namespace {
+
+constexpr std::uint64_t kTickTag = 1;
+constexpr std::uint64_t kWorkTag = 2;
+
+TEST(EventLoopProfiler, CountsPerTagAndAuditsConservation) {
+  des::Simulation sim;
+  EventLoopProfiler prof;
+  prof.name_tag(kTickTag, "tick");
+  prof.name_tag(kWorkTag, "work");
+  sim.set_observer(&prof);
+
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(static_cast<double>(i), [] {}, kTickTag);
+  }
+  const des::EventId doomed = sim.schedule_at(10.0, [] {}, kWorkTag);
+  sim.schedule_at(2.5, [] {}, kWorkTag);
+  sim.cancel(doomed);
+  sim.run();
+
+  const ProfileSnapshot snap = prof.snapshot(sim, /*require_conserved=*/true);
+  EXPECT_TRUE(snap.conserved);
+  EXPECT_EQ(snap.total_fired, 6u);
+  EXPECT_EQ(snap.engine_scheduled, 7u);
+  EXPECT_EQ(snap.engine_cancelled, 1u);
+  EXPECT_EQ(snap.engine_pending, 0u);
+  EXPECT_DOUBLE_EQ(snap.first_fire_time, 0.0);
+  EXPECT_DOUBLE_EQ(snap.last_fire_time, 4.0);
+
+  ASSERT_EQ(snap.tags.size(), 2u);
+  EXPECT_EQ(snap.tags[0].tag, kTickTag);
+  EXPECT_EQ(snap.tags[0].name, "tick");
+  EXPECT_EQ(snap.tags[0].scheduled, 5u);
+  EXPECT_EQ(snap.tags[0].fired, 5u);
+  EXPECT_EQ(snap.tags[0].cancelled, 0u);
+  EXPECT_EQ(snap.tags[1].tag, kWorkTag);
+  EXPECT_EQ(snap.tags[1].scheduled, 2u);
+  EXPECT_EQ(snap.tags[1].fired, 1u);
+  EXPECT_EQ(snap.tags[1].cancelled, 1u);
+}
+
+TEST(EventLoopProfiler, GapStatisticsTrackVirtualTimeDeltas) {
+  des::Simulation sim;
+  EventLoopProfiler prof;
+  sim.set_observer(&prof);
+  // Fires at t = 0, 1, 3, 7: gaps 1, 2, 4 binned to the later event's tag.
+  sim.schedule_at(0.0, [] {}, kTickTag);
+  sim.schedule_at(1.0, [] {}, kTickTag);
+  sim.schedule_at(3.0, [] {}, kTickTag);
+  sim.schedule_at(7.0, [] {}, kTickTag);
+  sim.run();
+
+  const ProfileSnapshot snap = prof.snapshot(sim);
+  ASSERT_EQ(snap.tags.size(), 1u);
+  const TagProfile& tag = snap.tags[0];
+  EXPECT_DOUBLE_EQ(tag.gap_sum, 7.0);
+  EXPECT_DOUBLE_EQ(tag.gap_min, 1.0);
+  EXPECT_DOUBLE_EQ(tag.gap_max, 4.0);
+  EXPECT_DOUBLE_EQ(tag.mean_gap(), 7.0 / 4.0);
+}
+
+TEST(EventLoopProfiler, UnnamedTagsGetSyntheticNames) {
+  des::Simulation sim;
+  EventLoopProfiler prof;
+  sim.set_observer(&prof);
+  sim.schedule_at(0.0, [] {}, 99);
+  sim.run();
+  const ProfileSnapshot snap = prof.snapshot(sim);
+  ASSERT_EQ(snap.tags.size(), 1u);
+  EXPECT_EQ(snap.tags[0].name, "tag99");
+}
+
+TEST(EventLoopProfiler, ForwardsEveryHookToChainedObserver) {
+  // The profiler must be transparent: a downstream observer sees exactly
+  // the schedule/fire/cancel stream it would see attached directly.
+  struct Recorder final : des::SimObserver {
+    std::vector<std::string> events;
+    void on_schedule(double, des::EventId id, std::uint64_t) override {
+      events.push_back("s" + std::to_string(id));
+    }
+    void on_fire(double, des::EventId id, std::uint64_t) override {
+      events.push_back("f" + std::to_string(id));
+    }
+    void on_fire_done(double, des::EventId id, std::uint64_t) override {
+      events.push_back("d" + std::to_string(id));
+    }
+    void on_cancel(des::EventId id, std::uint64_t) override {
+      events.push_back("c" + std::to_string(id));
+    }
+  };
+
+  Recorder direct;
+  {
+    des::Simulation sim;
+    sim.set_observer(&direct);
+    const auto a = sim.schedule_at(1.0, [] {});
+    sim.schedule_at(2.0, [] {});
+    sim.cancel(a);
+    sim.run();
+  }
+
+  Recorder chained;
+  EventLoopProfiler prof(&chained);
+  {
+    des::Simulation sim;
+    sim.set_observer(&prof);
+    const auto a = sim.schedule_at(1.0, [] {});
+    sim.schedule_at(2.0, [] {});
+    sim.cancel(a);
+    sim.run();
+  }
+
+  EXPECT_EQ(direct.events, chained.events);
+  EXPECT_EQ(prof.fires(), 1u);
+}
+
+TEST(EventLoopProfiler, ConservationAuditIsEngineSide) {
+  // The conservation audit checks the *engine's* ledger (scheduled ==
+  // fired + cancelled + pending), independent of what the profiler saw —
+  // so snapshotting against a foreign-but-conserved engine stays ok while
+  // the profiler totals keep reflecting only the engine it observed.
+  des::Simulation observed;
+  EventLoopProfiler prof;
+  observed.set_observer(&prof);
+  observed.schedule_at(1.0, [] {});
+  observed.run();
+
+  des::Simulation foreign;
+  foreign.schedule_at(1.0, [] {});
+  foreign.schedule_at(2.0, [] {});
+  foreign.run();
+
+  // The foreign engine is internally conserved, so conserved stays true —
+  // the audit is engine-side. Verify the flag reflects the engine counters.
+  const ProfileSnapshot ok = prof.snapshot(foreign);
+  EXPECT_TRUE(ok.conserved);
+  EXPECT_EQ(ok.engine_fired, 2u);
+  // But the profiler's own totals reflect only the observed engine.
+  EXPECT_EQ(ok.total_fired, 1u);
+}
+
+TEST(EventLoopProfiler, RenderTableMentionsNamesAndConservation) {
+  des::Simulation sim;
+  EventLoopProfiler prof;
+  prof.name_tag(kTickTag, "tick");
+  sim.set_observer(&prof);
+  sim.schedule_at(0.0, [] {}, kTickTag);
+  sim.run();
+  const std::string table = prof.render_table(sim);
+  EXPECT_NE(table.find("tick"), std::string::npos);
+  EXPECT_NE(table.find("conservation"), std::string::npos);
+  EXPECT_NE(table.find("ok"), std::string::npos);
+}
+
+TEST(EventLoopProfiler, JsonFragmentParsesWithExpectedShape) {
+  des::Simulation sim;
+  EventLoopProfiler prof;
+  prof.name_tag(kTickTag, "tick");
+  sim.set_observer(&prof);
+  sim.schedule_at(0.0, [] {}, kTickTag);
+  sim.schedule_at(1.0, [] {}, kTickTag);
+  sim.run();
+
+  const ProfileSnapshot snap = prof.snapshot(sim);
+  std::ostringstream out;
+  EventLoopProfiler::write_json(snap, out);
+  const auto doc = util::json::parse(out.str());
+  EXPECT_DOUBLE_EQ(doc.find("total_fired")->as_number(), 2.0);
+  const auto* conservation = doc.find("conservation");
+  ASSERT_NE(conservation, nullptr);
+  EXPECT_TRUE(conservation->find("ok")->as_bool());
+  const auto& tags = doc.find("tags")->as_array();
+  ASSERT_EQ(tags.size(), 1u);
+  EXPECT_EQ(tags[0].find("name")->as_string(), "tick");
+  EXPECT_DOUBLE_EQ(tags[0].find("fired")->as_number(), 2.0);
+}
+
+}  // namespace
+}  // namespace ll::obs

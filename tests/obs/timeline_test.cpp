@@ -1,0 +1,78 @@
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace ll::obs {
+namespace {
+
+TEST(Timeline, ZeroCapacityThrows) {
+  EXPECT_THROW(Timeline(0), std::invalid_argument);
+}
+
+TEST(Timeline, RecordsInOrderBelowCapacity) {
+  Timeline tl(4);
+  tl.record(1.0, "job 1", "queued");
+  tl.record(2.0, "job 1", "running", "node 3");
+  EXPECT_EQ(tl.size(), 2u);
+  EXPECT_EQ(tl.dropped(), 0u);
+  const auto recs = tl.records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_DOUBLE_EQ(recs[0].time, 1.0);
+  EXPECT_EQ(recs[0].state, "queued");
+  EXPECT_EQ(recs[1].detail, "node 3");
+}
+
+TEST(Timeline, WrapAroundKeepsNewestAndCountsDropped) {
+  Timeline tl(3);
+  for (int i = 0; i < 7; ++i) {
+    tl.record(static_cast<double>(i), "e", std::to_string(i));
+  }
+  EXPECT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl.capacity(), 3u);
+  EXPECT_EQ(tl.dropped(), 4u);
+  EXPECT_EQ(tl.total_recorded(), 7u);
+  const auto recs = tl.records();
+  ASSERT_EQ(recs.size(), 3u);
+  // Oldest-first: records 4, 5, 6 survive.
+  EXPECT_EQ(recs[0].state, "4");
+  EXPECT_EQ(recs[1].state, "5");
+  EXPECT_EQ(recs[2].state, "6");
+}
+
+TEST(Timeline, TextDumpNotesDroppedRecords) {
+  Timeline tl(2);
+  tl.record(0.5, "node 0", "idle");
+  tl.record(1.5, "node 0", "busy");
+  tl.record(2.5, "node 0", "idle");
+  std::ostringstream out;
+  tl.write_text(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("busy"), std::string::npos);
+  EXPECT_NE(text.find("dropped"), std::string::npos);
+  // The overwritten first record must not appear.
+  EXPECT_EQ(text.find("0.500000"), std::string::npos);
+}
+
+TEST(Timeline, JsonDumpParsesAndCarriesDroppedCount) {
+  Timeline tl(2);
+  tl.record(1.0, "job \"a\"", "queued");  // quote forces escaping
+  tl.record(2.0, "job \"a\"", "running");
+  tl.record(3.0, "job \"a\"", "done");
+  std::ostringstream out;
+  tl.write_json(out);
+  const auto doc = util::json::parse(out.str());
+  EXPECT_DOUBLE_EQ(doc.find("dropped")->as_number(), 1.0);
+  const auto& recs = doc.find("records")->as_array();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].find("entity")->as_string(), "job \"a\"");
+  EXPECT_EQ(recs[0].find("state")->as_string(), "running");
+  EXPECT_EQ(recs[1].find("state")->as_string(), "done");
+}
+
+}  // namespace
+}  // namespace ll::obs

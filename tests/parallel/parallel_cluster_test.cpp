@@ -308,5 +308,65 @@ TEST(HybridCompletion, NeverMuchWorseThanEitherPure) {
   }
 }
 
+TEST(ParallelCluster, ObservabilityAttachmentDoesNotChangeResults) {
+  std::vector<trace::CoarseTrace> pool{constant_trace(0.2)};
+  auto run = [&](bool instrument, obs::MetricRegistry* reg,
+                 obs::Timeline* tl) {
+    auto cfg = base_config(WidthPolicy::Hybrid, 8);
+    ParallelClusterSim sim(cfg, pool, table(), rng::Stream(11));
+    if (instrument) {
+      sim.set_metrics(reg);
+      sim.set_timeline(tl);
+    }
+    sim.submit(small_job(6.4));
+    sim.submit(small_job(3.2));
+    sim.run_until_all_complete();
+    std::vector<double> completions;
+    for (const auto& j : sim.jobs()) completions.push_back(*j.completion);
+    return completions;
+  };
+  const auto plain = run(false, nullptr, nullptr);
+  obs::MetricRegistry reg;
+  obs::Timeline tl(128);
+  const auto instrumented = run(true, &reg, &tl);
+  EXPECT_EQ(plain, instrumented);
+
+  // Metrics agree with the run: 2 submitted, 2 completed, phases fired.
+  // (Snapshot past the run's end: the time-weighted integrals close at the
+  // snapshot instant, which must not precede their last update.)
+  const auto samples = reg.snapshot(1e9);
+  ASSERT_GE(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "parallel.jobs_submitted");
+  EXPECT_DOUBLE_EQ(samples[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(samples[1].value, 2.0);  // jobs_completed
+  EXPECT_GT(samples[2].value, 0.0);         // phases_completed
+
+  // Timeline saw the BSP lifecycle: queued -> running -> phase... -> done.
+  bool queued = false;
+  bool running = false;
+  bool phase = false;
+  bool done = false;
+  for (const auto& r : tl.records()) {
+    if (r.state == "queued") queued = true;
+    if (r.state == "running") running = true;
+    if (r.state == "phase") phase = true;
+    if (r.state == "done") done = true;
+  }
+  EXPECT_TRUE(queued && running && phase && done);
+}
+
+TEST(ParallelCluster, EngineAccessorExposesConservedCounters) {
+  std::vector<trace::CoarseTrace> pool{constant_trace(0.0)};
+  ParallelClusterSim sim(base_config(WidthPolicy::Hybrid, 4), pool, table(),
+                         rng::Stream(12));
+  sim.submit(small_job(3.2));
+  sim.run_until_all_complete();
+  const des::Simulation& engine = sim.engine();
+  EXPECT_GT(engine.events_fired(), 0u);
+  EXPECT_EQ(engine.events_scheduled(),
+            engine.events_fired() + engine.events_cancelled() +
+                engine.pending_count());
+}
+
 }  // namespace
 }  // namespace ll::parallel

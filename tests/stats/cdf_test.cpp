@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "rng/distributions.hpp"
 #include "rng/rng.hpp"
@@ -92,6 +93,16 @@ TEST(EmpiricalCdf, TwoSampleKsLargeForDifferentSources) {
   for (int i = 0; i < 10000; ++i) a.push_back(e1.sample(s));
   for (int i = 0; i < 10000; ++i) b.push_back(e2.sample(s));
   EXPECT_GT(EmpiricalCdf(a).ks_distance(EmpiricalCdf(b)), 0.3);
+}
+
+TEST(EmpiricalCdf, NanQuantileThrows) {
+  // The guard is written negated (!(q > 0 && q <= 1)), so a NaN q — every
+  // comparison false — throws instead of selecting an arbitrary index.
+  EmpiricalCdf cdf({1.0, 2.0, 3.0});
+  EXPECT_THROW((void)(cdf.quantile(std::numeric_limits<double>::quiet_NaN())),
+               std::invalid_argument);
+  EXPECT_THROW((void)(cdf.quantile(0.0)), std::invalid_argument);  // (0,1]
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 3.0);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace ll::stats {
 namespace {
 
@@ -90,6 +92,34 @@ TEST(Histogram, ValueAtHiBoundaryGoesToOverflow) {
   Histogram h(0.0, 1.0, 10);
   h.add(1.0);
   EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, NanSampleThrowsInsteadOfVanishing) {
+  // A NaN sample used to fall through both range comparisons and silently
+  // land in a bin-selection expression with undefined result; now it is
+  // rejected at the door so the total count stays meaningful.
+  Histogram h(0.0, 1.0, 10);
+  EXPECT_THROW(h.add(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, NanQuantileThrows) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.5);
+  // The in-range guard is written negated (!(q >= 0 && q <= 1)) so NaN —
+  // for which every comparison is false — takes the throw path too.
+  EXPECT_THROW((void)(h.quantile(std::numeric_limits<double>::quiet_NaN())),
+               std::invalid_argument);
+}
+
+TEST(Histogram, BoundaryQuantilesAreDefined) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  // q=0 and q=1 are valid and land on the extreme bins, never UB.
+  EXPECT_LE(h.quantile(0.0), h.quantile(1.0));
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(1.0), 10.0);
 }
 
 }  // namespace

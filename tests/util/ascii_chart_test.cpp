@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 namespace ll::util {
 namespace {
 
@@ -104,6 +107,33 @@ TEST(AsciiChart, GlyphsCycleAcrossManySeries) {
   // 7th series reuses the first glyph ('*').
   EXPECT_NE(out.find("* s0"), std::string::npos);
   EXPECT_NE(out.find("* s6"), std::string::npos);
+}
+
+TEST(AsciiChart, NonFinitePointThrowsNamingTheSeries) {
+  // A NaN used to poison the min/max range scan: every comparison against
+  // NaN is false, so the axis limits came out of uninitialised-looking
+  // bounds and the whole chart rendered blank. Now the bad point is
+  // rejected up front with the series name in the message.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const auto& bad :
+       {line("broken", {0, nan}, {1, 2}), line("broken", {0, 1}, {1, nan}),
+        line("broken", {0, inf}, {1, 2}), line("broken", {0, 1}, {1, -inf})}) {
+    try {
+      (void)render_chart({line("good", {0, 1}, {1, 2}), bad});
+      FAIL() << "non-finite point did not throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("broken"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(AsciiChart, NanAxisOptionsStillMeanAuto) {
+  // ChartOptions uses NaN as the "pick the range from the data" sentinel;
+  // the finiteness check applies to data points only.
+  ChartOptions opts;  // y_min / y_max default to the NaN sentinel
+  EXPECT_NO_THROW((void)render_chart({line("a", {0, 1}, {1, 2})}, opts));
 }
 
 }  // namespace

@@ -107,6 +107,59 @@ TEST(Flags, MalformedDoubleThrows) {
                std::invalid_argument);
 }
 
+TEST(Flags, DoubleRejectsTrailingGarbage) {
+  // "5x" used to parse as 5.0 — strtod stops at the 'x' and the remainder
+  // was silently dropped, so a typo like --reps=5x went unnoticed.
+  for (const char* bad : {"--ratio=5x", "--ratio=1.5.2", "--ratio=2e"}) {
+    Flags f("t", "test");
+    f.add_double("ratio", 0.0, "");
+    auto argv = argv_of({bad});
+    EXPECT_THROW(f.parse(static_cast<int>(argv.size()), argv.data()),
+                 std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(Flags, DoubleRejectsOverflowAndNonFinite) {
+  for (const char* bad :
+       {"--ratio=1e999", "--ratio=-1e999", "--ratio=nan", "--ratio=inf",
+        "--ratio=-inf", "--ratio=NaN", "--ratio=INFINITY"}) {
+    Flags f("t", "test");
+    f.add_double("ratio", 0.0, "");
+    auto argv = argv_of({bad});
+    EXPECT_THROW(f.parse(static_cast<int>(argv.size()), argv.data()),
+                 std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(Flags, DoubleRejectsEmptyAndWhitespace) {
+  for (const char* bad : {"--ratio=", "--ratio= 5", "--ratio=5 "}) {
+    Flags f("t", "test");
+    f.add_double("ratio", 0.0, "");
+    auto argv = argv_of({bad});
+    EXPECT_THROW(f.parse(static_cast<int>(argv.size()), argv.data()),
+                 std::invalid_argument)
+        << "'" << bad << "'";
+  }
+}
+
+TEST(Flags, DoubleStillAcceptsScientificAndSubnormal) {
+  Flags flags("t", "test");
+  auto d = flags.add_double("ratio", 0.0, "");
+  auto argv = argv_of({"--ratio=1.5e-3"});
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_DOUBLE_EQ(*d, 1.5e-3);
+  // Finite underflow (ERANGE but a representable denormal) is a value, not
+  // an error.
+  Flags tiny("t", "test");
+  auto td = tiny.add_double("ratio", 1.0, "");
+  auto targv = argv_of({"--ratio=1e-320"});
+  tiny.parse(static_cast<int>(targv.size()), targv.data());
+  EXPECT_GT(*td, 0.0);
+  EXPECT_LT(*td, 1e-300);
+}
+
 TEST(Flags, MalformedBoolThrows) {
   Flags flags("t", "test");
   flags.add_bool("verbose", false, "");

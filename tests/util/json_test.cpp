@@ -1,0 +1,65 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace ll::util::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Value doc = parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_EQ(doc.kind(), Kind::kObject);
+  const auto& arr = doc.find("a")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr[1].as_number(), 2.0);
+  EXPECT_TRUE(arr[2].find("b")->as_bool());
+  EXPECT_EQ(doc.find("c")->as_string(), "x");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  const Value doc = parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& obj = doc.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(Json, DecodesEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\nd\tA")").as_string(), "a\"b\\c\nd\tA");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1.2.3",
+                          "\"unterminated", "{\"a\":1} trailing", "nan"}) {
+    EXPECT_THROW((void)parse(bad), std::runtime_error) << "'" << bad << "'";
+  }
+}
+
+TEST(Json, EscapeRoundTripsThroughParse) {
+  const std::string raw = "quote \" backslash \\ newline \n tab \t";
+  const Value v = parse("\"" + escape(raw) + "\"");
+  EXPECT_EQ(v.as_string(), raw);
+}
+
+TEST(Json, KindNamesAreHumanReadable) {
+  EXPECT_EQ(Value::kind_name(Kind::kObject), "object");
+  EXPECT_EQ(Value::kind_name(Kind::kNumber), "number");
+  EXPECT_EQ(Value::kind_name(Kind::kArray), "array");
+  EXPECT_EQ(Value::kind_name(Kind::kString), "string");
+}
+
+}  // namespace
+}  // namespace ll::util::json

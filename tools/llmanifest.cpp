@@ -1,0 +1,54 @@
+/// \file llmanifest.cpp
+/// Validates a run manifest (written by `llsim ... --metrics-out` or
+/// `llsim profile`) against the checked-in schema. CI runs this after a
+/// smoke sweep so the manifest format only drifts deliberately.
+///
+/// Usage: llmanifest <manifest.json> <schema.json>
+/// Exits 0 and prints "ok" when the manifest satisfies the schema;
+/// exits 1 with a diagnostic otherwise.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/manifest.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string& out, std::string& error) {
+  std::ifstream file(path);
+  if (!file) {
+    error = std::string("cannot open ") + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: llmanifest <manifest.json> <schema.json>\n";
+    return 2;
+  }
+  std::string manifest_text;
+  std::string schema_text;
+  std::string error;
+  if (!read_file(argv[1], manifest_text, error) ||
+      !read_file(argv[2], schema_text, error)) {
+    std::cerr << "llmanifest: " << error << "\n";
+    return 1;
+  }
+  const std::string verdict =
+      ll::obs::validate_manifest(manifest_text, schema_text);
+  if (!verdict.empty()) {
+    std::cerr << "llmanifest: " << argv[1] << ": " << verdict << "\n";
+    return 1;
+  }
+  std::cout << "ok: " << argv[1] << " satisfies " << argv[2] << "\n";
+  return 0;
+}
