@@ -40,6 +40,8 @@ constexpr std::string_view kUsage =
     "  cluster   run sequential foreign jobs under a scheduling policy\n"
     "  parallel  run parallel jobs under a width policy\n"
     "  profile   instrumented cluster run: event-loop profile + metrics\n"
+    "  faults    compile a fault plan, print its timeline, run one faulty "
+    "scenario\n"
     "  bench     run a registered experiment sweep (try: bench --list)\n";
 
 std::vector<const char*> to_argv(const std::vector<std::string>& args) {
@@ -110,6 +112,8 @@ ClusterObsRun run_cluster_instrumented(const cluster::ExperimentConfig& cfg,
   profiler.name_tag(cluster::ClusterSim::kTagCompletion, "completion");
   profiler.name_tag(cluster::ClusterSim::kTagRecheck, "recheck");
   profiler.name_tag(cluster::ClusterSim::kTagMigration, "migration");
+  profiler.name_tag(cluster::ClusterSim::kTagFault, "fault");
+  profiler.name_tag(cluster::ClusterSim::kTagCheckpoint, "checkpoint");
 
   ClusterObsRun result;
   cluster::RunHooks hooks;
@@ -604,6 +608,140 @@ int cmd_profile(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_faults(const std::vector<std::string>& args, std::ostream& out) {
+  util::Flags flags("llsim faults",
+                    "Compile a fault plan, print its pre-drawn timeline, and "
+                    "run one faulty cluster scenario.");
+  auto policy_name = flags.add_string("policy", "LL",
+                                      "LL, LF, IE, PM, or LL-oracle");
+  auto nodes = flags.add_int("nodes", 16, "cluster size");
+  auto jobs = flags.add_int("jobs", 32, "foreign jobs");
+  auto demand = flags.add_double("demand", 600.0, "CPU-seconds per job");
+  auto mtbf = flags.add_double(
+      "mtbf", 1800.0, "per-node mean time between crashes (s, 0 = none)");
+  auto downtime = flags.add_double("downtime", 120.0,
+                                   "mean crash downtime (s)");
+  auto drop = flags.add_double("drop", 0.05,
+                               "migration-link drop probability");
+  auto checkpoint = flags.add_double("checkpoint", 600.0,
+                                     "checkpoint interval (s, 0 = off)");
+  auto storm_every = flags.add_double(
+      "storm-every", 0.0, "mean s between reclamation storms (0 = off)");
+  auto pressure_every = flags.add_double(
+      "pressure-every", 0.0,
+      "mean s between memory-pressure spikes (0 = off)");
+  auto closed = flags.add_double("closed", 0.0,
+                                 "if > 0: closed-system run of this many "
+                                 "seconds (throughput mode)");
+  auto traces_dir = flags.add_string("traces", "", "trace directory (optional)");
+  auto machines = flags.add_int("machines", 16, "synthetic machines if no dir");
+  auto days = flags.add_double("days", 1.0, "synthetic trace days");
+  auto metrics_out = flags.add_string("metrics-out", "",
+                                      "also write a run manifest (JSON)");
+  auto seed = flags.add_uint64("seed", 42, "RNG seed");
+  auto argv = to_argv(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+
+  const auto policy = parse_policy(*policy_name);
+  if (!policy) {
+    throw std::invalid_argument("faults: unknown policy '" + *policy_name +
+                                "' (LL, LF, IE, PM, LL-oracle)");
+  }
+  const auto pool = pool_from_flags(*traces_dir, *machines, *days, *seed + 1);
+
+  cluster::ExperimentConfig cfg;
+  cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
+  cfg.cluster.policy = *policy;
+  cfg.workload =
+      cluster::WorkloadSpec{static_cast<std::size_t>(*jobs), *demand};
+  cfg.seed = *seed;
+  if (*mtbf > 0.0) {
+    cfg.cluster.faults.crash.arrivals = fault::ArrivalProcess::exponential(
+        static_cast<double>(cfg.cluster.node_count) / *mtbf);
+    cfg.cluster.faults.crash.mean_downtime = *downtime;
+  }
+  cfg.cluster.faults.link.drop_probability = *drop;
+  if (*storm_every > 0.0) {
+    cfg.cluster.faults.storm.arrivals =
+        fault::ArrivalProcess::exponential(1.0 / *storm_every);
+  }
+  if (*pressure_every > 0.0) {
+    cfg.cluster.faults.pressure.arrivals =
+        fault::ArrivalProcess::exponential(1.0 / *pressure_every);
+  }
+  cfg.cluster.checkpoint.interval = *checkpoint;
+
+  obs::MetricRegistry registry;
+  std::vector<obs::MetricSample> metrics;
+  cluster::RunHooks hooks;
+  hooks.on_start = [&](cluster::ClusterSim& sim) {
+    if (cfg.cluster.faults.empty()) {
+      out << "fault plan is empty — this is the fault-free baseline run\n\n";
+    } else {
+      out << "compiled fault timeline (seed " << *seed << "):\n";
+      sim.fault_schedule().write_timeline(out);
+      out << "\n";
+    }
+    sim.set_metrics(&registry);
+  };
+  hooks.on_finish = [&](cluster::ClusterSim& sim) {
+    metrics = registry.snapshot(sim.now());
+    sim.set_metrics(nullptr);
+  };
+  const cluster::ClusterReport report =
+      *closed > 0.0
+          ? cluster::run_closed(cfg, *pool, workload::default_burst_table(),
+                                *closed, &hooks)
+          : cluster::run_open(cfg, *pool, workload::default_burst_table(),
+                              nullptr, &hooks);
+
+  util::Table table({"metric", "value"});
+  table.add_row({"policy", std::string(core::to_string(*policy))});
+  table.add_row({"mode", *closed > 0.0
+                             ? util::format("closed (%.0f s)", *closed)
+                             : std::string("open (family)")});
+  if (*closed > 0.0) {
+    table.add_row({"throughput (cpu-s/s)", util::fixed(report.throughput, 2)});
+  } else {
+    table.add_row({"avg job (s)", util::fixed(report.avg_completion, 1)});
+    table.add_row({"family time (s)", util::fixed(report.family_time, 1)});
+  }
+  table.add_row({"crashes", std::to_string(report.crashes)});
+  table.add_row({"restarts (re-queued jobs)", std::to_string(report.restarts)});
+  table.add_row({"checkpoints taken", std::to_string(report.checkpoints)});
+  table.add_row({"work lost (cpu-s)", util::fixed(report.work_lost, 1)});
+  table.add_row({"goodput", util::percent(report.goodput, 2)});
+  table.add_row({"migrations", std::to_string(report.migrations)});
+  table.add_row({"foreground delay", util::percent(report.foreground_delay, 2)});
+  out << table.render();
+
+  if (!metrics_out->empty()) {
+    obs::RunManifest manifest;
+    manifest.tool = "llsim faults";
+    manifest.version = obs::current_git_describe();
+    manifest.seed = *seed;
+    manifest.config = {
+        {"policy", std::string(core::to_string(*policy))},
+        {"nodes", std::to_string(*nodes)},
+        {"jobs", std::to_string(*jobs)},
+        {"demand", util::format("%g", *demand)},
+        {"mtbf", util::format("%g", *mtbf)},
+        {"downtime", util::format("%g", *downtime)},
+        {"drop", util::format("%g", *drop)},
+        {"checkpoint", util::format("%g", *checkpoint)},
+        {"storm_every", util::format("%g", *storm_every)},
+        {"pressure_every", util::format("%g", *pressure_every)},
+        {"closed", util::format("%g", *closed)},
+    };
+    manifest.metrics = std::move(metrics);
+    manifest.goodput = report.goodput;
+    manifest.work_lost = report.work_lost;
+    write_manifest_file(manifest, *metrics_out);
+    out << "\nwrote run manifest to " << *metrics_out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::optional<core::PolicyKind> parse_policy(std::string_view name) {
@@ -638,6 +776,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "cluster") return cmd_cluster(rest, out);
     if (cmd == "parallel") return cmd_parallel(rest, out);
     if (cmd == "profile") return cmd_profile(rest, out);
+    if (cmd == "faults") return cmd_faults(rest, out);
     if (cmd == "bench") return exp::run_bench_cli(rest, out, err);
     err << "llsim: unknown subcommand '" << cmd << "'\n\n" << kUsage;
     return 2;

@@ -24,6 +24,8 @@ constexpr std::uint64_t kTagTick = ClusterSim::kTagTick;
 constexpr std::uint64_t kTagCompletion = ClusterSim::kTagCompletion;
 constexpr std::uint64_t kTagRecheck = ClusterSim::kTagRecheck;
 constexpr std::uint64_t kTagMigration = ClusterSim::kTagMigration;
+constexpr std::uint64_t kTagFault = ClusterSim::kTagFault;
+constexpr std::uint64_t kTagCheckpoint = ClusterSim::kTagCheckpoint;
 
 }  // namespace
 
@@ -41,6 +43,17 @@ struct ClusterSim::Node {
   std::size_t reserved = 0;      // inbound migrations holding a slot
   double mem_factor = 1.0;
   std::optional<node::PagePool> pool;
+
+  // Fault overlays (all inert on fault-free runs). A down node is neither
+  // idle nor a migration target; a storm forces the node non-idle at
+  // forced_util until forced_busy_until; a pressure spike inflates the
+  // owner working set by pressure_kb until pressure_until.
+  bool down = false;
+  double down_until = 0.0;
+  double forced_busy_until = 0.0;
+  double forced_util = 0.0;
+  double pressure_until = 0.0;
+  std::uint32_t pressure_kb = 0;
 
   [[nodiscard]] std::size_t used_slots() const {
     return occupants.size() + reserved;
@@ -66,6 +79,16 @@ struct ClusterSim::Impl {
     int node = -1;
     bool wants_migration = false;
     bool displaced = false;  // in the displaced FIFO
+    // Periodic-checkpoint timer while executing; doubles as the
+    // checkpoint-write finish event while state is Checkpointing.
+    des::EventId checkpoint_event = des::kNoEvent;
+    // In-flight migration bookkeeping: the pending transfer-completion
+    // event and both endpoints, so a crash at either end can abort the
+    // transfer and release the reserved slot.
+    des::EventId mig_event = des::kNoEvent;
+    int mig_source = -1;
+    int mig_target = -1;
+    std::size_t mig_attempts = 0;  // link-drop re-attempts so far
   };
   // Deque: grows from completion callbacks while engine frames still hold
   // references to existing entries (see ClusterSim::jobs()).
@@ -81,7 +104,12 @@ struct ClusterSim::Impl {
   obs::Counter* m_submitted = nullptr;
   obs::Counter* m_completed = nullptr;
   obs::Counter* m_migrations = nullptr;
+  obs::Counter* m_crashes = nullptr;
+  obs::Counter* m_restarts = nullptr;
+  obs::Counter* m_checkpoints = nullptr;
+  obs::Counter* m_aborts = nullptr;
   obs::Gauge* g_delivered = nullptr;
+  obs::Gauge* g_work_lost = nullptr;
   obs::TimeWeighted* tw_queue = nullptr;
   obs::TimeWeighted* tw_occupied = nullptr;
   obs::TimeWeighted* tw_idle = nullptr;
@@ -107,6 +135,12 @@ struct ClusterSim::Impl {
 
   double period = 2.0;
   std::size_t inflight_migrations = 0;
+  // Compiled fault timeline + the lazily-consumed link-drop stream. Both
+  // are only initialized when the config's spec is non-empty, so fault-free
+  // runs fork no streams and schedule no events.
+  fault::FaultSchedule faults;
+  bool faults_active = false;
+  rng::Stream link_stream{0};
   double fg_delay = 0.0;
   double fg_cpu = 0.0;
   double idle_node_time = 0.0;
@@ -198,15 +232,38 @@ struct ClusterSim::Impl {
     n.util = std::clamp(n.trace->samples()[window].cpu, 0.0, 1.0);
     const bool was_idle = n.idle;
     n.idle = (*n.flags)[window];
-    if (was_idle && !n.idle) n.episode_start = now();
-    if (cfg.model_memory && n.pool) {
-      const auto free_kb =
-          std::max<std::int32_t>(0, n.trace->samples()[window].mem_free_kb);
-      const auto used_kb = static_cast<std::uint32_t>(
-          std::max<std::int64_t>(0, cfg.mem_total_kb - free_kb));
-      n.pool->set_local_pages(node::PagePool::kb_to_pages(used_kb));
-      update_memory(n);
+    if (n.down) {
+      // A crashed node donates nothing and hosts nothing until recovery.
+      n.idle = false;
+      n.util = 0.0;
+    } else if (n.forced_busy_until > now() + 1e-12) {
+      // Reclamation storm: the owner is back regardless of the trace. The
+      // overlay ends at the first window boundary past forced_busy_until.
+      n.idle = false;
+      n.util = std::max(n.util, n.forced_util);
     }
+    if (was_idle && !n.idle) n.episode_start = now();
+    update_memory_sample(n, window);
+  }
+
+  /// The memory half of update_sample: local working set from the trace
+  /// (plus any active pressure spike), then the donated-pool split.
+  void update_memory_sample(Node& n, std::size_t window) {
+    if (!cfg.model_memory || !n.pool) return;
+    const auto free_kb =
+        std::max<std::int32_t>(0, n.trace->samples()[window].mem_free_kb);
+    auto used_kb = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(0, cfg.mem_total_kb - free_kb));
+    if (now() < n.pressure_until) used_kb += n.pressure_kb;
+    n.pool->set_local_pages(node::PagePool::kb_to_pages(used_kb));
+    update_memory(n);
+  }
+
+  [[nodiscard]] std::size_t current_window(const Node& n) const {
+    const std::size_t count = n.trace->samples().size();
+    return (n.offset_windows +
+            static_cast<std::size_t>(std::floor(now() / period + 1e-9))) %
+           count;
   }
 
   /// Folds elapsed progress into the job; returns true if it just finished.
@@ -370,13 +427,16 @@ struct ClusterSim::Impl {
         }
         break;
     }
+    // Keep the periodic-checkpoint timer in sync with the new state
+    // (executing states keep one armed, suspended states none).
+    sync_checkpoint(id);
   }
 
   void on_recheck(JobId id) {
     rt[id].recheck_event = des::kNoEvent;
     const JobRecord& job = self.jobs_[id];
     if (job.state == JobState::Done || job.state == JobState::Migrating ||
-        rt[id].node < 0) {
+        job.state == JobState::Checkpointing || rt[id].node < 0) {
       return;
     }
     const auto node_idx = static_cast<std::size_t>(rt[id].node);
@@ -390,7 +450,10 @@ struct ClusterSim::Impl {
   void handle_idle_transition(std::size_t node_idx) {
     const std::vector<JobId> snapshot = nodes[node_idx].occupants;
     for (JobId id : snapshot) {
-      if (self.jobs_[id].state == JobState::Done) continue;
+      const JobState s = self.jobs_[id].state;
+      // A job mid-checkpoint-write keeps writing; finish_checkpoint reads
+      // the node's idle flag and resumes it at the right terms.
+      if (s == JobState::Done || s == JobState::Checkpointing) continue;
       cancel_recheck(id);
       rt[id].wants_migration = false;
       remove_from_displaced(id);
@@ -400,6 +463,7 @@ struct ClusterSim::Impl {
       }
       self.jobs_[id].set_state(JobState::Running, now());
       reschedule_completion(id);
+      sync_checkpoint(id);
     }
     refresh_node_rates(node_idx);
   }
@@ -422,9 +486,10 @@ struct ClusterSim::Impl {
     if (!n.idle) handle_nonidle(id);
     // The newcomer changes every co-occupant's processor share.
     refresh_node_rates(node_idx);
+    sync_checkpoint(id);
   }
 
-  void release_node(JobId id) {
+  void release_node(JobId id, bool charge_owner_penalty = true) {
     JobRuntime& r = rt[id];
     if (r.node < 0) return;
     const auto node_idx = static_cast<std::size_t>(r.node);
@@ -435,7 +500,8 @@ struct ClusterSim::Impl {
       update_memory(n);
       // A guest leaving an active owner's machine forces the owner to
       // re-fault the pages and cache lines the guest displaced (paper §1).
-      if (!n.idle) fg_delay += cfg.owner_restore_penalty;
+      // Crash departures skip the charge: there is no owner to delay.
+      if (!n.idle && charge_owner_penalty) fg_delay += cfg.owner_restore_penalty;
     }
     r.node = -1;
     refresh_node_rates(node_idx);  // survivors inherit the freed share
@@ -449,11 +515,13 @@ struct ClusterSim::Impl {
       return;
     }
     cancel_recheck(id);
+    cancel_checkpoint(id);
     sim.cancel(r.completion_event);
     r.completion_event = des::kNoEvent;
     r.rate = 0.0;
     r.wants_migration = false;
     remove_from_displaced(id);
+    const int source = r.node;
     release_node(id);
 
     Node& target = nodes[target_idx];
@@ -466,15 +534,50 @@ struct ClusterSim::Impl {
       timeline->record(now(), util::format("job %zu", static_cast<std::size_t>(id)), "migrating",
                        util::format("-> node %zu", target_idx));
     }
-    sim.schedule_in(
+    r.mig_source = source;
+    r.mig_target = static_cast<int>(target_idx);
+    r.mig_attempts = 0;
+    r.mig_event = sim.schedule_in(
         migration_cost(job),
         [this, id, target_idx] { finish_migration(id, target_idx); },
         kTagMigration);
   }
 
   void finish_migration(JobId id, std::size_t target_idx) {
-    --inflight_migrations;
+    JobRuntime& r = rt[id];
     Node& target = nodes[target_idx];
+    // Transient link fault? The transfer is re-attempted after a backoff
+    // with the destination slot still reserved; when retries run out the
+    // job fails back to the queue (fail_to_queue releases the slot).
+    if (faults_active && cfg.faults.link.drop_probability > 0.0 &&
+        link_stream.uniform01() < cfg.faults.link.drop_probability) {
+      if (r.mig_attempts < cfg.faults.link.max_retries) {
+        ++r.mig_attempts;
+        ++self.migration_retries_;
+        if (timeline) {
+          timeline->record(now(), util::format("job %zu", static_cast<std::size_t>(id)),
+                           "transfer dropped",
+                           util::format("retry %zu", r.mig_attempts));
+        }
+        r.mig_event = sim.schedule_in(
+            cfg.faults.link.retry_backoff + migration_cost(self.jobs_[id]),
+            [this, id, target_idx] { finish_migration(id, target_idx); },
+            kTagMigration);
+        return;
+      }
+      ++self.migration_aborts_;
+      if (m_aborts) m_aborts->add();
+      fail_to_queue(id);
+      placement();
+      return;
+    }
+    r.mig_event = des::kNoEvent;
+    r.mig_source = r.mig_target = -1;
+    --inflight_migrations;
+    if (target.reserved == 0) {
+      throw std::logic_error(
+          "ClusterSim: migration arrived with no reserved slot");
+    }
     --target.reserved;
     place_job(id, target_idx);
     placement();
@@ -491,6 +594,8 @@ struct ClusterSim::Impl {
     std::optional<std::size_t> best;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       const Node& n = nodes[i];
+      if (n.down) continue;  // dead nodes host nothing (down => non-idle,
+                             // but lingering policies probe non-idle nodes)
       if (n.idle != want_idle) continue;
       if (n.used_slots() >= cfg.max_foreign_per_node) continue;
       if (!best) {
@@ -581,6 +686,7 @@ struct ClusterSim::Impl {
     sim.cancel(r.completion_event);
     r.completion_event = des::kNoEvent;
     cancel_recheck(id);
+    cancel_checkpoint(id);
     r.wants_migration = false;
     remove_from_displaced(id);
     release_node(id);
@@ -610,6 +716,273 @@ struct ClusterSim::Impl {
     }
   }
 
+  // ---- fault injection & checkpointing ----------------------------------
+
+  void schedule_faults() {
+    for (const fault::FaultEvent& ev : faults.events()) {
+      const fault::FaultEvent* e = &ev;  // stable: events_ never mutates
+      sim.schedule_at(ev.time, [this, e] { apply_fault(*e); }, kTagFault);
+    }
+  }
+
+  void apply_fault(const fault::FaultEvent& ev) {
+    switch (ev.kind) {
+      case fault::FaultKind::NodeCrash:
+        crash_node(ev.nodes.front(), ev.duration);
+        break;
+      case fault::FaultKind::Storm:
+        start_storm(ev);
+        break;
+      case fault::FaultKind::Pressure:
+        start_pressure(ev);
+        break;
+    }
+  }
+
+  void crash_node(std::size_t idx, double downtime) {
+    Node& n = nodes[idx];
+    ++self.crashes_;
+    if (m_crashes) m_crashes->add();
+    if (timeline) {
+      timeline->record(now(), util::format("node %zu", idx), "crashed",
+                       util::format("down %.1f s", downtime));
+    }
+    const double until = now() + downtime;
+    if (n.down) {
+      // Overlapping crash: extend the outage; the extra recovery event
+      // scheduled here supersedes the earlier one (recover_node re-checks
+      // down_until and ignores stale wakeups).
+      if (until > n.down_until) {
+        n.down_until = until;
+        sim.schedule_at(until, [this, idx] { recover_node(idx); }, kTagFault);
+      }
+      return;
+    }
+    n.down = true;
+    n.down_until = until;
+    n.idle = false;
+    n.util = 0.0;
+    // Resident foreign jobs die with the node and restart from their last
+    // checkpoint via the queue. Progress is integrated up to the crash
+    // instant first so the rollback accounting is exact.
+    const std::vector<JobId> snapshot = n.occupants;
+    for (JobId id : snapshot) {
+      if (self.jobs_[id].state == JobState::Done) continue;
+      if (integrate(id)) {
+        complete(id);
+        continue;
+      }
+      fail_to_queue(id);
+    }
+    // In-flight migrations touching the dead node (either endpoint) abort:
+    // the image source or destination is gone mid-transfer.
+    for (JobId id = 0; id < self.jobs_.size(); ++id) {
+      JobRuntime& r = rt[id];
+      if (r.mig_event == des::kNoEvent) continue;
+      if (r.mig_target == static_cast<int>(idx) ||
+          r.mig_source == static_cast<int>(idx)) {
+        ++self.migration_aborts_;
+        if (m_aborts) m_aborts->add();
+        fail_to_queue(id);
+      }
+    }
+    sim.schedule_at(n.down_until, [this, idx] { recover_node(idx); },
+                    kTagFault);
+    placement();
+  }
+
+  void recover_node(std::size_t idx) {
+    Node& n = nodes[idx];
+    if (!n.down) return;
+    if (now() + 1e-9 < n.down_until) return;  // superseded by a longer outage
+    n.down = false;
+    update_sample(n);
+    n.episode_start = now();
+    if (timeline) {
+      timeline->record(now(), util::format("node %zu", idx),
+                       n.idle ? "recovered idle" : "recovered busy");
+    }
+    placement();
+  }
+
+  void start_storm(const fault::FaultEvent& ev) {
+    for (std::size_t idx : ev.nodes) {
+      Node& n = nodes[idx];
+      if (n.down) continue;  // already dead: nothing to reclaim
+      n.forced_busy_until = std::max(n.forced_busy_until, now() + ev.duration);
+      n.forced_util = std::max(n.forced_util, cfg.faults.storm.utilization);
+      const bool was_idle = n.idle;
+      n.idle = false;
+      n.util = std::max(n.util, n.forced_util);
+      if (was_idle) {
+        n.episode_start = now();
+        if (timeline) {
+          timeline->record(now(), util::format("node %zu", idx), "storm",
+                           util::format("util %.2f", n.util));
+        }
+        // Exactly the owner-returned path of tick(): every occupant faces
+        // the policy at once — the storm's point is simultaneous eviction
+        // pressure across the membership set.
+        const std::vector<JobId> snapshot = n.occupants;
+        for (JobId id : snapshot) {
+          const JobState s = self.jobs_[id].state;
+          if (s == JobState::Done || s == JobState::Checkpointing) continue;
+          if (integrate(id)) {
+            complete(id);
+          } else {
+            handle_nonidle(id);
+          }
+        }
+      }
+      refresh_node_rates(idx);
+    }
+    placement();
+  }
+
+  void start_pressure(const fault::FaultEvent& ev) {
+    for (std::size_t idx : ev.nodes) {
+      Node& n = nodes[idx];
+      if (n.down || !cfg.model_memory || !n.pool) continue;
+      n.pressure_until = std::max(n.pressure_until, now() + ev.duration);
+      n.pressure_kb = std::max(n.pressure_kb, cfg.faults.pressure.extra_kb);
+      if (timeline) {
+        timeline->record(now(), util::format("node %zu", idx), "mem pressure",
+                         util::format("+%u KB", n.pressure_kb));
+      }
+      // Re-split the page pool under the spike without re-reading the
+      // owner-activity half of the window; the spike decays at the first
+      // window boundary past pressure_until.
+      update_memory_sample(n, current_window(n));
+      refresh_node_rates(idx);
+    }
+  }
+
+  /// Tears a job out of wherever it is (node residence, in-flight
+  /// migration, checkpoint write) and returns it to the dispatch queue,
+  /// rolling progress back to its last checkpoint. Shared by crash victims
+  /// and migrations whose retries ran out.
+  void fail_to_queue(JobId id) {
+    JobRuntime& r = rt[id];
+    JobRecord& job = self.jobs_[id];
+    sim.cancel(r.completion_event);
+    r.completion_event = des::kNoEvent;
+    cancel_recheck(id);
+    cancel_checkpoint(id);
+    r.rate = 0.0;
+    r.wants_migration = false;
+    remove_from_displaced(id);
+    if (r.mig_event != des::kNoEvent) {
+      sim.cancel(r.mig_event);  // no-op when the event is mid-fire
+      r.mig_event = des::kNoEvent;
+      --inflight_migrations;
+      Node& target = nodes[static_cast<std::size_t>(r.mig_target)];
+      if (target.reserved == 0) {
+        throw std::logic_error(
+            "ClusterSim: aborting a migration with no reserved slot");
+      }
+      --target.reserved;
+      r.mig_source = r.mig_target = -1;
+    }
+    release_node(id, /*charge_owner_penalty=*/false);
+    const double progress = job.cpu_demand - job.remaining;
+    const double lost = std::max(0.0, progress - job.checkpointed);
+    if (lost > 0.0) {
+      job.remaining += lost;
+      self.delivered_cpu_ -= lost;
+      self.work_lost_ += lost;
+      if (g_work_lost) g_work_lost->set(self.work_lost_);
+      if (g_delivered) g_delivered->set(self.delivered_cpu_);
+    }
+    ++job.restarts;
+    ++self.restarts_;
+    if (m_restarts) m_restarts->add();
+    job.set_state(JobState::Queued, now());
+    r.last_update = now();
+    queue.push_back(id);
+    if (timeline) {
+      timeline->record(now(), util::format("job %zu", static_cast<std::size_t>(id)),
+                       "requeued", util::format("lost %.2f s", lost));
+    }
+  }
+
+  void cancel_checkpoint(JobId id) {
+    sim.cancel(rt[id].checkpoint_event);
+    rt[id].checkpoint_event = des::kNoEvent;
+  }
+
+  /// Keeps the periodic-checkpoint timer consistent with the job's state:
+  /// one pending timer while executing, none otherwise. With checkpointing
+  /// disabled this never schedules anything — a compiled-in-but-unused
+  /// checkpoint layer costs fault-free runs nothing (pinned by goldens and
+  /// bench/micro_fault).
+  void sync_checkpoint(JobId id) {
+    if (!cfg.checkpoint.enabled()) return;
+    JobRuntime& r = rt[id];
+    const JobState s = self.jobs_[id].state;
+    const bool executing = s == JobState::Running || s == JobState::Lingering;
+    if (executing) {
+      if (r.checkpoint_event == des::kNoEvent) {
+        r.checkpoint_event = sim.schedule_in(
+            cfg.checkpoint.interval, [this, id] { on_checkpoint(id); },
+            kTagCheckpoint);
+      }
+    } else if (s != JobState::Checkpointing) {
+      // While Checkpointing, checkpoint_event is the write-finish event.
+      cancel_checkpoint(id);
+    }
+  }
+
+  void on_checkpoint(JobId id) {
+    JobRuntime& r = rt[id];
+    r.checkpoint_event = des::kNoEvent;
+    JobRecord& job = self.jobs_[id];
+    if (job.state != JobState::Running && job.state != JobState::Lingering) {
+      return;
+    }
+    if (integrate(id)) {
+      complete(id);
+      return;
+    }
+    sim.cancel(r.completion_event);
+    r.completion_event = des::kNoEvent;
+    cancel_recheck(id);  // a recheck mid-write would misread the state
+    r.rate = 0.0;
+    const auto node_idx = static_cast<std::size_t>(r.node);
+    job.set_state(JobState::Checkpointing, now());
+    if (timeline) {
+      timeline->record(now(), util::format("job %zu", static_cast<std::size_t>(id)),
+                       "checkpointing");
+    }
+    refresh_node_rates(node_idx);  // the writer stops sharing the CPU
+    r.checkpoint_event = sim.schedule_in(
+        cfg.checkpoint.cost(job.bytes), [this, id] { finish_checkpoint(id); },
+        kTagCheckpoint);
+  }
+
+  void finish_checkpoint(JobId id) {
+    JobRuntime& r = rt[id];
+    r.checkpoint_event = des::kNoEvent;
+    JobRecord& job = self.jobs_[id];
+    // A crash mid-write already re-queued the job (and the write is void).
+    if (job.state != JobState::Checkpointing) return;
+    job.checkpointed = job.cpu_demand - job.remaining;
+    ++job.checkpoints;
+    ++self.checkpoints_;
+    if (m_checkpoints) m_checkpoints->add();
+    r.last_update = now();
+    const auto node_idx = static_cast<std::size_t>(r.node);
+    if (nodes[node_idx].idle) {
+      job.set_state(JobState::Running, now());
+      reschedule_completion(id);
+      sync_checkpoint(id);
+    } else {
+      handle_nonidle(id);  // re-arms the timer via its sync_checkpoint
+      if (job.state == JobState::Done) return;
+    }
+    refresh_node_rates(node_idx);
+    placement();
+  }
+
   void tick() {
     tick_scheduled = false;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -625,7 +998,8 @@ struct ClusterSim::Impl {
         // Owner returned mid-run: consult the policy for every occupant.
         const std::vector<JobId> snapshot = n.occupants;
         for (JobId id : snapshot) {
-          if (self.jobs_[id].state == JobState::Done) continue;
+          const JobState s = self.jobs_[id].state;
+          if (s == JobState::Done || s == JobState::Checkpointing) continue;
           if (integrate(id)) {
             complete(id);
           } else {
@@ -661,6 +1035,21 @@ ClusterSim::ClusterSim(ClusterConfig config,
   if (im.cfg.max_foreign_per_node == 0) {
     throw std::invalid_argument("ClusterSim: max_foreign_per_node must be > 0");
   }
+  if (!(im.cfg.policy_params.pause_time >= 0.0)) {
+    throw std::invalid_argument("ClusterSim: pause_time must be >= 0");
+  }
+  if (!(im.cfg.policy_params.linger_scale >= 0.0)) {
+    throw std::invalid_argument("ClusterSim: linger_scale must be >= 0");
+  }
+  if (!(im.cfg.migration.bandwidth_bps > 0.0)) {
+    throw std::invalid_argument(
+        "ClusterSim: migration bandwidth must be > 0");
+  }
+  if (!(im.cfg.context_switch >= 0.0)) {
+    throw std::invalid_argument("ClusterSim: context_switch must be >= 0");
+  }
+  im.cfg.checkpoint.validate();
+  im.cfg.faults.validate();
   im.period = pool.front().period();
   for (const auto& t : pool) {
     if (t.empty()) throw std::invalid_argument("ClusterSim: empty trace in pool");
@@ -720,6 +1109,19 @@ ClusterSim::ClusterSim(ClusterConfig config,
   im.account_window();
   im.tick_scheduled = true;
   im.sim.schedule_at(im.period, [this] { impl_->tick(); }, kTagTick);
+
+  // Fault timeline last, and only for non-empty specs: an empty spec forks
+  // no streams and schedules no events, keeping fault-free runs bit-for-bit
+  // identical to pre-fault builds (the goldens pin this). Forking is a pure
+  // function of (seed, label), so even a non-empty spec cannot perturb the
+  // node-setup draws above.
+  im.faults_active = !im.cfg.faults.empty();
+  if (im.faults_active) {
+    im.faults = fault::FaultSchedule::compile(im.cfg.faults, im.cfg.node_count,
+                                              stream.fork("faults"));
+    im.link_stream = stream.fork("fault-link");
+    im.schedule_faults();
+  }
 }
 
 ClusterSim::~ClusterSim() = default;
@@ -797,14 +1199,20 @@ void ClusterSim::set_metrics(obs::MetricRegistry* registry) {
   Impl& im = *impl_;
   if (!registry) {
     im.m_submitted = im.m_completed = im.m_migrations = nullptr;
-    im.g_delivered = nullptr;
+    im.m_crashes = im.m_restarts = im.m_checkpoints = im.m_aborts = nullptr;
+    im.g_delivered = im.g_work_lost = nullptr;
     im.tw_queue = im.tw_occupied = im.tw_idle = nullptr;
     return;
   }
   im.m_submitted = &registry->counter("cluster.jobs_submitted");
   im.m_completed = &registry->counter("cluster.jobs_completed");
   im.m_migrations = &registry->counter("cluster.migrations");
+  im.m_crashes = &registry->counter("fault.crashes");
+  im.m_restarts = &registry->counter("fault.restarts");
+  im.m_checkpoints = &registry->counter("fault.checkpoints");
+  im.m_aborts = &registry->counter("fault.migration_aborts");
   im.g_delivered = &registry->gauge("cluster.delivered_cpu_seconds");
+  im.g_work_lost = &registry->gauge("fault.work_lost_cpu_seconds");
   im.tw_queue = &registry->time_weighted("cluster.queue_length");
   im.tw_occupied = &registry->time_weighted("cluster.occupied_nodes");
   im.tw_idle = &registry->time_weighted("cluster.idle_nodes");
@@ -827,12 +1235,21 @@ std::vector<ClusterSim::NodeSnapshot> ClusterSim::node_snapshots() const {
   for (const Node& n : impl_->nodes) {
     NodeSnapshot s;
     s.idle = n.idle;
+    s.down = n.down;
     s.utilization = n.util;
     s.reserved = n.reserved;
     s.occupants = n.occupants;
     out.push_back(std::move(s));
   }
   return out;
+}
+
+std::size_t ClusterSim::inflight_migrations() const {
+  return impl_->inflight_migrations;
+}
+
+const fault::FaultSchedule& ClusterSim::fault_schedule() const {
+  return impl_->faults;
 }
 
 double ClusterSim::foreground_delay_ratio() const {

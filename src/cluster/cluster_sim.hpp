@@ -36,6 +36,8 @@
 #include "core/policy.hpp"
 #include "cluster/job.hpp"
 #include "des/simulation.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/fault_spec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "node/effective_rate.hpp"
@@ -82,6 +84,15 @@ struct ClusterConfig {
   /// paper's methodology). Tests disable this to pin node i to pool[i % n]
   /// at offset 0 for exact, pattern-driven scenarios.
   bool randomize_placement = true;
+  /// Fault-injection plan (node crashes, migration-link drops, reclamation
+  /// storms, memory-pressure spikes). The default (empty) spec compiles no
+  /// schedule, forks no rng streams and schedules no events, so fault-free
+  /// runs are bit-for-bit identical to builds without the fault layer —
+  /// pinned by the golden-digest suite.
+  fault::FaultSpec faults;
+  /// Checkpoint/restart model for foreign jobs; interval 0 disables it
+  /// (crashes then lose a job's full progress).
+  fault::CheckpointConfig checkpoint;
 };
 
 class ClusterSim {
@@ -124,6 +135,38 @@ class ClusterSim {
 
   [[nodiscard]] std::size_t migrations_started() const { return migrations_; }
 
+  /// CPU-seconds computed and then lost to crashes / failed migrations
+  /// (progress past the victim's last checkpoint). delivered_cpu() never
+  /// includes lost work, so goodput = delivered / (delivered + lost).
+  [[nodiscard]] double work_lost() const { return work_lost_; }
+
+  /// Crash/abort re-queues across all jobs.
+  [[nodiscard]] std::size_t restarts() const { return restarts_; }
+
+  /// Node-crash events applied so far.
+  [[nodiscard]] std::size_t crashes() const { return crashes_; }
+
+  /// In-flight migrations aborted (dead endpoint or retries exhausted).
+  [[nodiscard]] std::size_t migration_aborts() const {
+    return migration_aborts_;
+  }
+
+  /// Migration transfers re-attempted after a link drop.
+  [[nodiscard]] std::size_t migration_retries() const {
+    return migration_retries_;
+  }
+
+  /// Checkpoints completed across all jobs.
+  [[nodiscard]] std::size_t checkpoints_taken() const { return checkpoints_; }
+
+  /// Migrations currently in flight; at any quiescent point it equals the
+  /// sum of reserved slots across nodes (verify/check_cluster_occupancy).
+  [[nodiscard]] std::size_t inflight_migrations() const;
+
+  /// The compiled fault timeline this run executes (empty when the config's
+  /// spec is empty). `llsim faults` prints it before running.
+  [[nodiscard]] const fault::FaultSchedule& fault_schedule() const;
+
   /// Fraction of node-time in the idle state (diagnostic).
   [[nodiscard]] double observed_idle_fraction() const;
 
@@ -161,6 +204,7 @@ class ClusterSim {
   /// quiescent point (between run_* calls) the legality rules hold exactly.
   struct NodeSnapshot {
     bool idle = true;              ///< recruitment-rule idle flag, this window
+    bool down = false;             ///< crashed and not yet recovered
     double utilization = 0.0;      ///< owner CPU this window
     std::size_t reserved = 0;      ///< inbound migrations holding a slot
     std::vector<JobId> occupants;  ///< resident foreign jobs
@@ -173,6 +217,8 @@ class ClusterSim {
   static constexpr std::uint64_t kTagCompletion = 2;
   static constexpr std::uint64_t kTagRecheck = 3;
   static constexpr std::uint64_t kTagMigration = 4;
+  static constexpr std::uint64_t kTagFault = 5;
+  static constexpr std::uint64_t kTagCheckpoint = 6;
 
  private:
   struct Node;
@@ -183,6 +229,12 @@ class ClusterSim {
   std::size_t active_jobs_ = 0;
   double delivered_cpu_ = 0.0;
   std::size_t migrations_ = 0;
+  double work_lost_ = 0.0;
+  std::size_t restarts_ = 0;
+  std::size_t crashes_ = 0;
+  std::size_t migration_aborts_ = 0;
+  std::size_t migration_retries_ = 0;
+  std::size_t checkpoints_ = 0;
   double idle_util_ = 0.05;
 };
 

@@ -25,7 +25,17 @@ void fill_state_breakdown(ClusterReport& report,
     report.avg_lingering += job.time_in(JobState::Lingering) / n;
     report.avg_paused += job.time_in(JobState::Paused) / n;
     report.avg_migrating += job.time_in(JobState::Migrating) / n;
+    report.avg_checkpointing += job.time_in(JobState::Checkpointing) / n;
   }
+}
+
+void fill_fault_metrics(ClusterReport& report, const ClusterSim& sim) {
+  report.work_lost = sim.work_lost();
+  report.restarts = sim.restarts();
+  report.crashes = sim.crashes();
+  report.checkpoints = sim.checkpoints_taken();
+  const double total = sim.delivered_cpu() + sim.work_lost();
+  report.goodput = total > 0.0 ? sim.delivered_cpu() / total : 1.0;
 }
 
 }  // namespace
@@ -74,6 +84,7 @@ ClusterReport run_open(const ExperimentConfig& config,
   report.completed = sim.jobs().size();
   report.observed_idle_fraction = sim.observed_idle_fraction();
   report.wall_time = sim.now();
+  fill_fault_metrics(report, sim);
   if (jobs_out) *jobs_out = sim.jobs();
   return report;
 }
@@ -111,6 +122,7 @@ ClusterReport run_closed(const ExperimentConfig& config,
   report.migrations = sim.migrations_started();
   report.observed_idle_fraction = sim.observed_idle_fraction();
   report.wall_time = sim.now();
+  fill_fault_metrics(report, sim);
   return report;
 }
 

@@ -52,11 +52,20 @@ struct ClusterReport {
   double avg_paused = 0.0;
   double avg_migrating = 0.0;
 
+  double avg_checkpointing = 0.0;
+
   double foreground_delay = 0.0;  // paper: < 0.5%
   std::size_t migrations = 0;
   std::size_t completed = 0;
   double observed_idle_fraction = 0.0;
   double wall_time = 0.0;  // virtual seconds simulated
+
+  // Fault/checkpoint metrics (all identity values on fault-free runs).
+  double goodput = 1.0;     // delivered / (delivered + work_lost)
+  double work_lost = 0.0;   // CPU-seconds computed then rolled back
+  std::size_t restarts = 0;
+  std::size_t crashes = 0;
+  std::size_t checkpoints = 0;
 };
 
 struct ExperimentConfig {

@@ -18,6 +18,8 @@ std::string_view to_string(JobState state) {
       return "migrating";
     case JobState::Done:
       return "done";
+    case JobState::Checkpointing:
+      return "checkpointing";
   }
   throw std::logic_error("to_string: unknown JobState");
 }

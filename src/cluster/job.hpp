@@ -24,8 +24,12 @@ enum class JobState : std::uint8_t {
   Paused,     ///< suspended in place (PM grace period / awaiting a target)
   Migrating,  ///< suspended while its image moves between nodes
   Done,
+  /// Suspended while writing a checkpoint image (fault::CheckpointConfig).
+  /// Appended after Done: the verification digests fold the numeric state
+  /// values, so existing states must keep their values forever.
+  Checkpointing,
 };
-inline constexpr std::size_t kJobStateCount = 6;
+inline constexpr std::size_t kJobStateCount = 7;
 
 [[nodiscard]] std::string_view to_string(JobState state);
 
@@ -43,6 +47,12 @@ struct JobRecord {
 
   std::optional<double> first_start;  // first dispatch onto a node
   std::optional<double> completion;   // finish time
+
+  /// CPU-seconds of progress preserved by the last completed checkpoint —
+  /// a crash rolls `remaining` back to cpu_demand - checkpointed.
+  double checkpointed = 0.0;
+  std::uint32_t checkpoints = 0;  ///< checkpoints completed
+  std::uint32_t restarts = 0;     ///< crash/abort re-queues suffered
 
   /// One entry per state transition (time and the state entered). Jobs see a
   /// handful of transitions over their lifetime, so the log is cheap; it

@@ -41,6 +41,21 @@ RunResult cluster_cell(const cluster::ExperimentConfig& config,
   return r;
 }
 
+RunResult fault_cell(const cluster::ExperimentConfig& config,
+                     const TracePoolCache::PoolPtr& pool,
+                     const workload::BurstTable& table,
+                     double closed_duration) {
+  RunResult r = open_metrics(cluster::run_open(config, *pool, table));
+  const auto closed = cluster::run_closed(config, *pool, table, closed_duration);
+  r.set("throughput", closed.throughput);
+  r.set("goodput", closed.goodput);
+  r.set("work_lost", closed.work_lost);
+  r.set("restarts", static_cast<double>(closed.restarts));
+  r.set("crashes", static_cast<double>(closed.crashes));
+  r.set("checkpoints", static_cast<double>(closed.checkpoints));
+  return r;
+}
+
 RunResult parallel_cell(const ParallelCellSpec& spec,
                         const TracePoolCache::PoolPtr& pool,
                         const workload::BurstTable& table,

@@ -31,6 +31,16 @@ namespace ll::exp {
                                      const workload::BurstTable& table,
                                      double closed_duration = 3600.0);
 
+/// cluster_cell plus the fault/checkpoint robustness metrics (goodput,
+/// work_lost, restarts, crashes, checkpoints — closed-run values, as the
+/// throughput is). With an empty FaultSpec the shared metrics are
+/// bitwise-identical to cluster_cell's: same runs, same seeds, and the
+/// fault columns collapse to their identity values.
+[[nodiscard]] RunResult fault_cell(const cluster::ExperimentConfig& config,
+                                   const TracePoolCache::PoolPtr& pool,
+                                   const workload::BurstTable& table,
+                                   double closed_duration = 3600.0);
+
 struct ParallelCellSpec {
   parallel::ParallelClusterConfig cluster;
   parallel::ParallelJobSpec job;

@@ -19,6 +19,7 @@ BenchRegistry& BenchRegistry::instance() {
     register_cluster_benches(*r);
     register_parallel_benches(*r);
     register_ablation_benches(*r);
+    register_fault_benches(*r);
     return r;
   }();
   return *registry;

@@ -1,0 +1,24 @@
+#include "fault/checkpoint.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ll::fault {
+
+double CheckpointConfig::cost(std::uint64_t bytes) const {
+  return fixed_cost + static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+}
+
+void CheckpointConfig::validate() const {
+  if (!(std::isfinite(interval) && interval >= 0.0)) {
+    throw std::invalid_argument("CheckpointConfig: interval must be >= 0");
+  }
+  if (!(std::isfinite(fixed_cost) && fixed_cost >= 0.0)) {
+    throw std::invalid_argument("CheckpointConfig: fixed_cost must be >= 0");
+  }
+  if (!(std::isfinite(bandwidth_bps) && bandwidth_bps > 0.0)) {
+    throw std::invalid_argument("CheckpointConfig: bandwidth must be > 0");
+  }
+}
+
+}  // namespace ll::fault

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Checkpoint/restart cost model for foreign jobs.
+///
+/// A crash loses everything a job computed since its last checkpoint (all
+/// of it in the no-checkpoint mode). Periodic checkpoints bound that loss at
+/// the price of a write pause: fixed per-checkpoint latency plus image-size
+/// over bandwidth — deliberately the same shape as
+/// core::MigrationCostModel, because a checkpoint is a migration whose
+/// destination is stable storage.
+
+#include <cstdint>
+
+namespace ll::fault {
+
+struct CheckpointConfig {
+  /// Seconds of execution between checkpoints; 0 disables checkpointing
+  /// entirely (no events, no cost, crashes lose full progress).
+  double interval = 0.0;
+  /// Fixed per-checkpoint latency (quiesce + metadata), seconds.
+  double fixed_cost = 0.3;
+  /// Checkpoint write bandwidth, bits per second.
+  double bandwidth_bps = 3e6;
+
+  [[nodiscard]] bool enabled() const { return interval > 0.0; }
+
+  /// Seconds one checkpoint of a `bytes`-sized image takes.
+  [[nodiscard]] double cost(std::uint64_t bytes) const;
+
+  /// Throws std::invalid_argument on nonsensical parameters.
+  void validate() const;
+};
+
+}  // namespace ll::fault

@@ -17,7 +17,15 @@ void write_manifest_json(const RunManifest& manifest, std::ostream& out) {
     out << "\n    \"" << util::json::escape(manifest.config[i].first)
         << "\": \"" << util::json::escape(manifest.config[i].second) << "\"";
   }
-  out << (manifest.config.empty() ? "}" : "\n  }") << ",\n  \"metrics\": ";
+  out << (manifest.config.empty() ? "}" : "\n  }");
+  if (manifest.goodput) {
+    out << ",\n  \"goodput\": " << util::format("%.17g", *manifest.goodput);
+  }
+  if (manifest.work_lost) {
+    out << ",\n  \"work_lost\": "
+        << util::format("%.17g", *manifest.work_lost);
+  }
+  out << ",\n  \"metrics\": ";
   write_samples_json(manifest.metrics, out);
   if (manifest.profile) {
     out << ",\n  \"profile\": ";
@@ -79,6 +87,24 @@ std::string validate_manifest(std::string_view manifest_text,
       return "manifest key '" + key + "' has kind '" +
              std::string(Value::kind_name(got->kind())) + "', schema wants '" +
              std::string(want_kind) + "'";
+    }
+  }
+  if (const Value* optional = schema.find("optional")) {
+    if (optional->kind() != Kind::kObject) {
+      return "schema \"optional\" is not an object";
+    }
+    for (const auto& [key, want] : optional->as_object()) {
+      if (want.kind() != Kind::kString) {
+        return "schema \"optional\" value for '" + key + "' is not a string";
+      }
+      const Value* got = manifest.find(key);
+      if (!got) continue;
+      const std::string_view want_kind = want.as_string();
+      if (Value::kind_name(got->kind()) != want_kind) {
+        return "manifest key '" + key + "' has kind '" +
+               std::string(Value::kind_name(got->kind())) +
+               "', schema wants '" + std::string(want_kind) + "'";
+      }
     }
   }
   return {};

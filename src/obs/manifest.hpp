@@ -30,6 +30,10 @@ struct RunManifest {
   std::vector<std::pair<std::string, std::string>> config;
   std::vector<MetricSample> metrics;
   std::optional<ProfileSnapshot> profile;
+  /// Fault-robustness summary, set by the tools that run fault plans
+  /// (`llsim faults`, the fault benches); absent on fault-free tools.
+  std::optional<double> goodput;    ///< delivered / (delivered + work_lost)
+  std::optional<double> work_lost;  ///< CPU-seconds computed then rolled back
 };
 
 /// Serializes the manifest as a single JSON object:
@@ -44,7 +48,9 @@ void write_manifest_json(const RunManifest& manifest, std::ostream& out);
 /// Validates a parsed manifest document against the checked-in schema
 /// shape used by docs/manifest.schema.json: the schema's "required" object
 /// maps key -> expected kind name ("string"/"number"/"array"/"object").
-/// Returns an empty string on success, else a human-readable error.
+/// An "optional" object (same shape) kind-checks keys that are allowed to
+/// be absent — profile, goodput, work_lost. Returns an empty string on
+/// success, else a human-readable error.
 [[nodiscard]] std::string validate_manifest(std::string_view manifest_text,
                                             std::string_view schema_text);
 

@@ -61,6 +61,12 @@ struct ParallelClusterSim::Impl {
     const std::vector<bool>* flags = nullptr;
     std::size_t offset_windows = 0;
     int job = -1;  // assigned parallel job, -1 when free
+    // Fault overlays (inert on fault-free runs). A down node keeps its job
+    // assignment — the process restarts in place at recovery.
+    bool down = false;
+    double down_until = 0.0;
+    double forced_busy_until = 0.0;  // reclamation storm
+    double forced_util = 0.0;
   };
   std::vector<NodeState> nodes;
   std::vector<std::vector<bool>> flag_cache;
@@ -70,6 +76,8 @@ struct ParallelClusterSim::Impl {
     std::vector<std::size_t> assigned;
     double remaining = 0.0;
     rng::Stream stream{0};
+    des::EventId phase_event = des::kNoEvent;  // pending barrier completion
+    bool stalled = false;  // a member node is (or was) down mid-phase
   };
   // Deque: grows from completion callbacks while engine frames still hold
   // references to existing entries.
@@ -120,10 +128,15 @@ struct ParallelClusterSim::Impl {
   }
 
   [[nodiscard]] double util_of(const NodeState& n) const {
-    return std::clamp(n.trace->samples()[window_of(n)].cpu, 0.0, kMaxUtil);
+    double u = std::clamp(n.trace->samples()[window_of(n)].cpu, 0.0, kMaxUtil);
+    if (n.forced_busy_until > now() + 1e-12) {
+      u = std::clamp(std::max(u, n.forced_util), 0.0, kMaxUtil);
+    }
+    return u;
   }
 
   [[nodiscard]] bool idle_now(const NodeState& n) const {
+    if (n.down || n.forced_busy_until > now() + 1e-12) return false;
     return (*n.flags)[window_of(n)];
   }
 
@@ -133,7 +146,7 @@ struct ParallelClusterSim::Impl {
     std::vector<std::size_t> idle;
     std::vector<std::size_t> busy;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
-      if (nodes[i].job >= 0) continue;
+      if (nodes[i].job >= 0 || nodes[i].down) continue;
       (idle_now(nodes[i]) ? idle : busy).push_back(i);
     }
     auto by_util = [this](std::size_t a, std::size_t b) {
@@ -273,10 +286,11 @@ struct ParallelClusterSim::Impl {
         sample_phase_duration(bsp, g, utils, sampler, *table, r.stream);
 
     const double work_done = work_per_phase * fraction;
-    sim.schedule_in(
+    r.phase_event = sim.schedule_in(
         duration,
         [this, id, work_done] {
           JobRuntime& job_rt = rt[id];
+          job_rt.phase_event = des::kNoEvent;
           job_rt.remaining -= work_done;
           self.delivered_work_ += work_done;
           if (m_phases) m_phases->add();
@@ -304,6 +318,117 @@ struct ParallelClusterSim::Impl {
     note_transition(id, "done");
     if (on_complete) on_complete(job);
     try_dispatch();
+  }
+
+  // ---- fault injection ----------------------------------------------------
+
+  fault::FaultSchedule faults;
+
+  void schedule_faults() {
+    for (const fault::FaultEvent& ev : faults.events()) {
+      const fault::FaultEvent* e = &ev;  // stable: events_ never mutates
+      sim.schedule_at(ev.time, [this, e] { apply_fault(*e); },
+                      ParallelClusterSim::kTagFault);
+    }
+  }
+
+  void apply_fault(const fault::FaultEvent& ev) {
+    switch (ev.kind) {
+      case fault::FaultKind::NodeCrash:
+        crash_node(ev.nodes.front(), ev.duration);
+        break;
+      case fault::FaultKind::Storm:
+        start_storm(ev);
+        break;
+      case fault::FaultKind::Pressure:
+        break;  // no paging model here (see ParallelClusterConfig::faults)
+    }
+  }
+
+  [[nodiscard]] bool all_members_up(const JobRuntime& r) const {
+    for (std::size_t node : r.assigned) {
+      if (nodes[node].down) return false;
+    }
+    return true;
+  }
+
+  void crash_node(std::size_t idx, double downtime) {
+    NodeState& n = nodes[idx];
+    ++self.crashes_;
+    const double until = now() + downtime;
+    if (n.down) {
+      if (until > n.down_until) {
+        n.down_until = until;
+        sim.schedule_at(until, [this, idx] { recover_node(idx); },
+                        ParallelClusterSim::kTagFault);
+      }
+      return;
+    }
+    n.down = true;
+    n.down_until = until;
+    if (timeline) {
+      timeline->record(now(), util::format("node %zu", idx), "crashed",
+                       util::format("down %.1f s", downtime));
+    }
+    // The hosted process dies mid-phase: the barrier can never complete, so
+    // the whole phase aborts and every member of the job stalls until the
+    // node is back (work is only credited at phase completion, so the
+    // aborted phase is lost in full — barrier-granularity checkpointing).
+    if (n.job >= 0) {
+      const auto id = static_cast<std::uint32_t>(n.job);
+      JobRuntime& r = rt[id];
+      if (r.phase_event != des::kNoEvent) {
+        sim.cancel(r.phase_event);
+        r.phase_event = des::kNoEvent;
+        ++self.jobs_[id].restarts;
+        ++self.restarts_;
+        note_transition(id, "stalled", util::format("node %zu down", idx));
+      }
+      r.stalled = true;
+    }
+    sim.schedule_at(n.down_until, [this, idx] { recover_node(idx); },
+                    ParallelClusterSim::kTagFault);
+  }
+
+  void recover_node(std::size_t idx) {
+    NodeState& n = nodes[idx];
+    if (!n.down) return;
+    if (now() + 1e-9 < n.down_until) return;  // superseded by a longer outage
+    n.down = false;
+    if (timeline) {
+      timeline->record(now(), util::format("node %zu", idx), "recovered");
+    }
+    if (n.job >= 0) {
+      const auto id = static_cast<std::uint32_t>(n.job);
+      JobRuntime& r = rt[id];
+      if (r.stalled && all_members_up(r)) {
+        // Last member back: restart the aborted phase after the process
+        // reload delay. The callback re-checks — another member may crash
+        // during the delay.
+        sim.schedule_in(
+            cfg.crash_restart_delay,
+            [this, id] {
+              JobRuntime& job_rt = rt[id];
+              if (!job_rt.stalled || !all_members_up(job_rt)) return;
+              job_rt.stalled = false;
+              note_transition(id, "restarted");
+              schedule_phase(id);
+            },
+            ParallelClusterSim::kTagFault);
+      }
+    }
+    try_dispatch();  // a recovered free node may unblock the queue head
+  }
+
+  void start_storm(const fault::FaultEvent& ev) {
+    for (std::size_t idx : ev.nodes) {
+      NodeState& n = nodes[idx];
+      if (n.down) continue;
+      n.forced_busy_until = std::max(n.forced_busy_until, now() + ev.duration);
+      n.forced_util = std::max(n.forced_util, cfg.faults.storm.utilization);
+    }
+    // Running phases sampled their stretch at phase start; the storm slows
+    // the phases that *start* inside it, same as any owner return.
   }
 
   /// While jobs wait, re-attempt dispatch every trace window — the set of
@@ -351,6 +476,12 @@ ParallelClusterSim::ParallelClusterSim(ParallelClusterConfig config,
     im.flag_cache.push_back(trace::idle_flags(t, im.cfg.recruitment));
   }
 
+  if (!(im.cfg.crash_restart_delay >= 0.0)) {
+    throw std::invalid_argument(
+        "ParallelClusterSim: crash_restart_delay must be >= 0");
+  }
+  im.cfg.faults.validate();
+
   im.job_streams = stream.fork("jobs");
   rng::Stream setup = stream.fork("node-setup");
   im.nodes.resize(im.cfg.node_count);
@@ -364,6 +495,14 @@ ParallelClusterSim::ParallelClusterSim(ParallelClusterConfig config,
     n.offset_windows = im.cfg.randomize_placement
                            ? setup.uniform_index(n.trace->samples().size())
                            : 0;
+  }
+
+  // Empty spec: no schedule compiled, no stream forked, no events — the
+  // fault layer is invisible to fault-free runs (golden-pinned).
+  if (!im.cfg.faults.empty()) {
+    im.faults = fault::FaultSchedule::compile(im.cfg.faults, im.cfg.node_count,
+                                              stream.fork("faults"));
+    im.schedule_faults();
   }
 }
 

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "des/simulation.hpp"
+#include "fault/fault_spec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "parallel/bsp.hpp"
@@ -68,6 +69,17 @@ struct ParallelClusterConfig {
   /// As in ClusterSim: random (trace, offset) per node, or node i -> pool[i]
   /// at offset 0 for deterministic tests.
   bool randomize_placement = true;
+  /// Fault plan. The BSP simulator honours node crashes and reclamation
+  /// storms; link and memory-pressure faults are ClusterSim concepts (there
+  /// is no migration or paging model here) and are ignored. A crash stalls
+  /// the whole barrier-synchronized phase: the job's processes wait, and
+  /// the aborted phase re-runs once every member node is back up (work is
+  /// only credited at phase completion — barrier-granularity
+  /// checkpointing). Empty spec => no streams forked, no events scheduled.
+  fault::FaultSpec faults;
+  /// Process restart latency after the last crashed member node recovers
+  /// (image reload before the aborted phase re-runs).
+  double crash_restart_delay = 5.0;
 };
 
 struct ParallelJobRecord {
@@ -78,6 +90,7 @@ struct ParallelJobRecord {
   std::optional<double> completion;
   std::size_t width = 0;             // processes granted at dispatch
   std::size_t idle_at_dispatch = 0;  // idle nodes among those granted
+  std::uint32_t restarts = 0;        // phases aborted by member-node crashes
 
   [[nodiscard]] double turnaround() const;
   [[nodiscard]] double queue_wait() const;
@@ -113,6 +126,13 @@ class ParallelClusterSim {
   /// Parallel CPU-work completed so far (proc-seconds).
   [[nodiscard]] double delivered_work() const { return delivered_work_; }
 
+  /// Node-crash events applied so far.
+  [[nodiscard]] std::size_t crashes() const { return crashes_; }
+
+  /// Barrier phases aborted by a member-node crash (each re-runs in full
+  /// after recovery).
+  [[nodiscard]] std::size_t restarts() const { return restarts_; }
+
   /// Attaches a metrics registry (nullptr detaches): parallel.* counters
   /// (jobs, phases) plus queue-length and busy-node accumulators over
   /// virtual time. Observational only — never changes simulated behavior.
@@ -136,6 +156,7 @@ class ParallelClusterSim {
   /// Observer tags used by the internal engine's events.
   static constexpr std::uint64_t kTagPhase = 1;
   static constexpr std::uint64_t kTagRetry = 2;
+  static constexpr std::uint64_t kTagFault = 3;
 
  private:
   struct Impl;
@@ -143,6 +164,8 @@ class ParallelClusterSim {
   std::deque<ParallelJobRecord> jobs_;
   std::size_t active_jobs_ = 0;
   double delivered_work_ = 0.0;
+  std::size_t crashes_ = 0;
+  std::size_t restarts_ = 0;
 };
 
 }  // namespace ll::parallel

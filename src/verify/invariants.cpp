@@ -100,15 +100,21 @@ bool legal_job_transition(cluster::JobState from, cluster::JobState to) {
     case S::Queued:
       return to == S::Running || to == S::Lingering;
     case S::Running:
-      return to == S::Lingering || to == S::Paused || to == S::Done;
+      return to == S::Lingering || to == S::Paused || to == S::Done ||
+             to == S::Checkpointing || to == S::Queued;
     case S::Lingering:
       return to == S::Running || to == S::Paused || to == S::Migrating ||
-             to == S::Done;
+             to == S::Done || to == S::Checkpointing || to == S::Queued;
     case S::Paused:
       return to == S::Running || to == S::Lingering || to == S::Migrating ||
-             to == S::Done;
+             to == S::Done || to == S::Queued;
     case S::Migrating:
-      return to == S::Running || to == S::Lingering;
+      return to == S::Running || to == S::Lingering || to == S::Queued;
+    case S::Checkpointing:
+      // Integration happens before the write starts, so a checkpoint never
+      // completes the job; a crash mid-write re-queues it.
+      return to == S::Running || to == S::Lingering || to == S::Paused ||
+             to == S::Queued;
     case S::Done:
       return false;
   }
@@ -203,8 +209,16 @@ void check_cluster_occupancy(const cluster::ClusterSim& sim,
   const std::size_t max_slots = sim.config().max_foreign_per_node;
 
   std::unordered_map<cluster::JobId, std::size_t> residence;
+  std::size_t reserved_total = 0;
   for (std::size_t i = 0; i < snapshots.size(); ++i) {
     const auto& node = snapshots[i];
+    reserved_total += node.reserved;
+    registry.check_lazy(!node.down || node.occupants.empty(),
+                        "cluster.down-node-empty", [&] {
+                          return "down node " + std::to_string(i) + " hosts " +
+                                 std::to_string(node.occupants.size()) +
+                                 " occupants";
+                        });
     registry.check_lazy(node.occupants.size() + node.reserved <= max_slots,
                         "cluster.slot-cap", [&] {
                           return "node " + std::to_string(i) + " holds " +
@@ -223,7 +237,8 @@ void check_cluster_occupancy(const cluster::ClusterSim& sim,
       if (id >= jobs.size()) continue;
       const S s = jobs[id].state;
       registry.check_lazy(
-          s == S::Running || s == S::Lingering || s == S::Paused,
+          s == S::Running || s == S::Lingering || s == S::Paused ||
+              s == S::Checkpointing,
           "cluster.occupant-state", [&] {
             return "node " + std::to_string(i) + " hosts job " +
                    std::to_string(id) + " in state " +
@@ -231,6 +246,7 @@ void check_cluster_occupancy(const cluster::ClusterSim& sim,
           });
       // Occupancy legality against the owner: a guest Running at full rate
       // only when the owner is away; Lingering/Paused only when present.
+      // Checkpointing writes proceed under either owner state.
       if (s == S::Running) {
         registry.check_lazy(node.idle, "cluster.running-implies-owner-away",
                             [&] {
@@ -249,11 +265,20 @@ void check_cluster_occupancy(const cluster::ClusterSim& sim,
     }
   }
 
+  registry.check_lazy(reserved_total == sim.inflight_migrations(),
+                      "cluster.reservations-match-inflight", [&] {
+                        return "reserved slots sum to " +
+                               std::to_string(reserved_total) + " but " +
+                               std::to_string(sim.inflight_migrations()) +
+                               " migrations are in flight";
+                      });
+
   for (const auto& job : jobs) {
     const auto it = residence.find(job.id);
     const std::size_t count = it == residence.end() ? 0 : it->second;
     const S s = job.state;
-    const bool resident = s == S::Running || s == S::Lingering || s == S::Paused;
+    const bool resident = s == S::Running || s == S::Lingering ||
+                          s == S::Paused || s == S::Checkpointing;
     registry.check_lazy(count == (resident ? 1u : 0u),
                         "cluster.one-node-per-job", [&] {
                           return "job " + std::to_string(job.id) + " (" +

@@ -131,12 +131,17 @@ class SimInvariantObserver final : public des::SimObserver {
 
 /// Legality of one JobState transition, per the lifecycle the cluster
 /// simulator implements (see cluster/cluster_sim.cpp):
-///   Queued    -> Running | Lingering
-///   Running   -> Lingering | Paused | Done
-///   Lingering -> Running | Paused | Migrating | Done
-///   Paused    -> Running | Lingering | Migrating | Done
-///   Migrating -> Running | Lingering
-///   Done      -> (terminal)
+///   Queued        -> Running | Lingering
+///   Running       -> Lingering | Paused | Done | Checkpointing | Queued
+///   Lingering     -> Running | Paused | Migrating | Done | Checkpointing
+///                    | Queued
+///   Paused        -> Running | Lingering | Migrating | Done | Queued
+///   Migrating     -> Running | Lingering | Queued
+///   Checkpointing -> Running | Lingering | Paused | Queued
+///   Done          -> (terminal)
+/// The -> Queued edges are crash re-queues (fault injection); a checkpoint
+/// write never completes the job (integration happens before the write
+/// starts), so Checkpointing -> Done is illegal.
 [[nodiscard]] bool legal_job_transition(cluster::JobState from,
                                         cluster::JobState to);
 
@@ -149,10 +154,13 @@ void check_job_record(const cluster::JobRecord& job,
 
 /// Occupancy legality across a cluster at a quiescent point:
 ///  * occupants + reserved slots never exceed max_foreign_per_node;
-///  * every occupant is Running, Lingering, or Paused;
+///  * every occupant is Running, Lingering, Paused, or Checkpointing;
 ///  * Running guests only on idle (owner-away) nodes, Lingering/Paused
-///    guests only on non-idle nodes;
-///  * no job occupies two nodes; Queued/Migrating/Done jobs occupy none.
+///    guests only on non-idle nodes (Checkpointing writes proceed under
+///    either owner state);
+///  * down (crashed) nodes host no occupants;
+///  * no job occupies two nodes; Queued/Migrating/Done jobs occupy none;
+///  * the reserved slots across all nodes sum to the in-flight migrations.
 void check_cluster_occupancy(const cluster::ClusterSim& sim,
                              InvariantRegistry& registry);
 

@@ -207,10 +207,11 @@ ScenarioResult node_trace(const ScenarioOptions& options) {
 
 // ---- cluster --------------------------------------------------------------
 
-ScenarioResult cluster_run(const ScenarioOptions& options,
-                           std::string_view name, core::PolicyKind policy,
-                           std::size_t nodes, std::size_t jobs, double demand,
-                           bool closed) {
+ScenarioResult cluster_run(
+    const ScenarioOptions& options, std::string_view name,
+    core::PolicyKind policy, std::size_t nodes, std::size_t jobs,
+    double demand, bool closed,
+    const std::function<void(cluster::ClusterConfig&)>& configure = {}) {
   Harness h(options);
   rng::Stream stream = scenario_stream(options, name);
   const auto pool = small_pool(stream.fork("pool"), nodes, 2.0);
@@ -219,6 +220,7 @@ ScenarioResult cluster_run(const ScenarioOptions& options,
   cfg.node_count = nodes;
   cfg.policy = policy;
   cfg.job_bytes = 1ull << 20;
+  if (configure) configure(cfg);
   cluster::ClusterSim sim(cfg, pool, workload::default_burst_table(),
                           stream.fork("sim"));
 
@@ -244,6 +246,15 @@ ScenarioResult cluster_run(const ScenarioOptions& options,
   check_cluster(sim, h.registry);
   h.digest = digest.digest();
   fold_cluster(h.digest, sim);
+  if (!cfg.faults.empty() || cfg.checkpoint.enabled()) {
+    // Fault scenarios additionally pin the rollback accounting; fault-free
+    // scenarios fold nothing extra, keeping their digests byte-identical to
+    // the pre-fault suite.
+    h.digest.add_double(sim.work_lost());
+    h.digest.add_u64(sim.restarts());
+    h.digest.add_u64(sim.crashes());
+    h.digest.add_u64(sim.checkpoints_taken());
+  }
   return h.finish(digest.events());
 }
 
@@ -421,6 +432,44 @@ const std::vector<Scenario>& scenarios() {
                    return cluster_run(o, "cluster-closed-pm",
                                       core::PolicyKind::PauseAndMigrate, 4, 5,
                                       30.0, /*closed=*/true);
+                 }});
+    v.push_back({"fault-crash-migration", "fault",
+                 "crashes + link drops during eviction migrations, with "
+                 "checkpointing",
+                 [](const ScenarioOptions& o) {
+                   return cluster_run(
+                       o, "fault-crash-migration",
+                       core::PolicyKind::ImmediateEviction, 4, 8, 40.0,
+                       /*closed=*/false, [](cluster::ClusterConfig& cfg) {
+                         cfg.faults.crash.arrivals =
+                             fault::ArrivalProcess::exponential(1.0 / 400.0);
+                         cfg.faults.crash.mean_downtime = 60.0;
+                         cfg.faults.link.drop_probability = 0.3;
+                         cfg.faults.link.max_retries = 2;
+                         cfg.faults.link.retry_backoff = 5.0;
+                         cfg.checkpoint.interval = 120.0;
+                       });
+                 }});
+    v.push_back({"fault-storm-pm", "fault",
+                 "reclamation storms + memory pressure under pause-and-"
+                 "migrate, closed system",
+                 [](const ScenarioOptions& o) {
+                   return cluster_run(
+                       o, "fault-storm-pm", core::PolicyKind::PauseAndMigrate,
+                       4, 5, 30.0,
+                       /*closed=*/true, [](cluster::ClusterConfig& cfg) {
+                         cfg.faults.storm.arrivals =
+                             fault::ArrivalProcess::fixed(
+                                 {300.0, 900.0, 1500.0});
+                         cfg.faults.storm.node_fraction = 0.5;
+                         cfg.faults.storm.duration = 200.0;
+                         cfg.faults.storm.utilization = 0.95;
+                         cfg.faults.pressure.arrivals =
+                             fault::ArrivalProcess::fixed({600.0});
+                         cfg.faults.pressure.duration = 400.0;
+                         cfg.faults.pressure.extra_kb = 16384;
+                         cfg.checkpoint.interval = 300.0;
+                       });
                  }});
     v.push_back({"parallel-bsp", "parallel",
                  "barrier-synchronized BSP job under owner contention",

@@ -290,6 +290,61 @@ TEST_F(CliTest, BenchThreadCountInvariance) {
   EXPECT_EQ(one.out, run(with_jobs("16")).out);
 }
 
+TEST_F(CliTest, FaultsPrintsTimelineAndGoodput) {
+  const CliResult r =
+      run({"faults", "--policy=LL", "--nodes=4", "--jobs=6", "--demand=120",
+           "--mtbf=600", "--downtime=60", "--checkpoint=120", "--machines=2",
+           "--days=0.2", "--seed=5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("compiled fault timeline"), std::string::npos);
+  EXPECT_NE(r.out.find("crash"), std::string::npos);
+  EXPECT_NE(r.out.find("goodput"), std::string::npos);
+  EXPECT_NE(r.out.find("work lost"), std::string::npos);
+}
+
+TEST_F(CliTest, FaultsEmptyPlanIsBaseline) {
+  const CliResult r =
+      run({"faults", "--policy=LL", "--nodes=4", "--jobs=4", "--demand=60",
+           "--mtbf=0", "--drop=0", "--checkpoint=0", "--machines=2",
+           "--days=0.2", "--seed=5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("fault plan is empty"), std::string::npos);
+  // Fault-free: identity metrics.
+  EXPECT_NE(r.out.find("goodput"), std::string::npos);
+  EXPECT_NE(r.out.find("100.00%"), std::string::npos);
+}
+
+TEST_F(CliTest, FaultsWritesManifestWithGoodput) {
+  const CliResult r =
+      run({"faults", "--policy=IE", "--nodes=4", "--jobs=4", "--demand=60",
+           "--mtbf=300", "--machines=2", "--days=0.2", "--seed=6",
+           "--metrics-out=" + path("faults.json")});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream in(path("faults.json"));
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  EXPECT_NE(json.find("\"tool\": \"llsim faults\""), std::string::npos);
+  EXPECT_NE(json.find("\"goodput\""), std::string::npos);
+  EXPECT_NE(json.find("\"work_lost\""), std::string::npos);
+  EXPECT_NE(json.find("fault.crashes"), std::string::npos);
+}
+
+TEST_F(CliTest, FaultsDeterministicAcrossInvocations) {
+  const std::vector<std::string> args = {
+      "faults",      "--policy=LL",  "--nodes=4",  "--jobs=6",
+      "--demand=90", "--mtbf=400",   "--drop=0.2", "--checkpoint=60",
+      "--machines=2", "--days=0.2",  "--seed=9"};
+  EXPECT_EQ(run(args).out, run(args).out);
+}
+
+TEST_F(CliTest, FaultsRejectsUnknownPolicy) {
+  const CliResult r = run({"faults", "--policy=condor"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown policy"), std::string::npos);
+}
+
 TEST_F(CliTest, DeterministicAcrossInvocations) {
   const std::vector<std::string> args = {
       "cluster", "--policy=LL",     "--nodes=8",  "--jobs=8",

@@ -4,8 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "cluster/cluster_sim.hpp"
 #include "common/scenario_builders.hpp"
+#include "verify/digest.hpp"
+#include "verify/invariants.hpp"
 #include "workload/burst_table.hpp"
 
 namespace ll::cluster {
@@ -128,6 +133,100 @@ TEST(ClusterEdge, ZeroRestorePenaltyByDefault) {
   EXPECT_DOUBLE_EQ(cfg.owner_restore_penalty, 0.0);
   EXPECT_EQ(cfg.max_foreign_per_node, 1u);
   EXPECT_EQ(cfg.max_concurrent_migrations, 0u);
+}
+
+TEST(ClusterEdge, MigrationCapUnlimitedAndSizeMaxAreIdentical) {
+  // 0 means "unlimited"; a cap of SIZE_MAX can never bind either. The two
+  // runs must be event-for-event identical, not merely similar.
+  std::vector<trace::CoarseTrace> pool;
+  for (int i = 0; i < 3; ++i) {
+    pool.push_back(pattern_trace(".." + std::string(400, 'B')));
+  }
+  for (int i = 0; i < 3; ++i) {
+    pool.push_back(pattern_trace(std::string(402, '.')));
+  }
+  auto run_with = [&](std::size_t cap, verify::DigestObserver& digest) {
+    auto cfg = base_config(core::PolicyKind::ImmediateEviction, 6);
+    cfg.max_concurrent_migrations = cap;
+    ClusterSim sim(cfg, pool, table(), rng::Stream(1));
+    sim.set_sim_observer(&digest);
+    for (int i = 0; i < 3; ++i) sim.submit(120.0);
+    sim.run_until_all_complete();
+    sim.set_sim_observer(nullptr);
+    return sim.migrations_started();
+  };
+  verify::DigestObserver unlimited;
+  verify::DigestObserver size_max;
+  EXPECT_EQ(run_with(0, unlimited),
+            run_with(std::numeric_limits<std::size_t>::max(), size_max));
+  EXPECT_EQ(unlimited.digest().value(), size_max.digest().value());
+  EXPECT_EQ(unlimited.events(), size_max.events());
+  EXPECT_GT(unlimited.events(), 0u);
+}
+
+TEST(ClusterEdge, ConstructorRejectsNonsensicalConfigs) {
+  std::vector<trace::CoarseTrace> pool{pattern_trace(std::string(10, '.'))};
+  const auto build = [&](const ClusterConfig& cfg) {
+    ClusterSim sim(cfg, pool, table(), rng::Stream(1));
+  };
+
+  auto negative_pause = base_config(core::PolicyKind::PauseAndMigrate, 1);
+  negative_pause.policy_params.pause_time = -1.0;
+  EXPECT_THROW(build(negative_pause), std::invalid_argument);
+
+  auto negative_linger = base_config(core::PolicyKind::LingerLonger, 1);
+  negative_linger.policy_params.linger_scale = -0.5;
+  EXPECT_THROW(build(negative_linger), std::invalid_argument);
+
+  auto zero_bandwidth = base_config(core::PolicyKind::LingerLonger, 1);
+  zero_bandwidth.migration.bandwidth_bps = 0.0;
+  EXPECT_THROW(build(zero_bandwidth), std::invalid_argument);
+
+  auto negative_switch = base_config(core::PolicyKind::LingerLonger, 1);
+  negative_switch.context_switch = -1e-6;
+  EXPECT_THROW(build(negative_switch), std::invalid_argument);
+
+  auto bad_faults = base_config(core::PolicyKind::LingerLonger, 1);
+  bad_faults.faults.link.drop_probability = 1.5;
+  EXPECT_THROW(build(bad_faults), std::invalid_argument);
+
+  auto bad_checkpoint = base_config(core::PolicyKind::LingerLonger, 1);
+  bad_checkpoint.checkpoint.interval = -10.0;
+  EXPECT_THROW(build(bad_checkpoint), std::invalid_argument);
+
+  EXPECT_NO_THROW(build(base_config(core::PolicyKind::LingerLonger, 1)));
+}
+
+TEST(ClusterEdge, AbortedMigrationReleasesReservedSlot) {
+  // The destination crashes mid-transfer: the in-flight migration must
+  // abort, release its reserved slot, and re-queue the job — leaving the
+  // reservation ledger balanced (reserved slots == in-flight migrations).
+  std::vector<trace::CoarseTrace> pool{
+      pattern_trace(".." + std::string(400, 'B')),
+      pattern_trace("BB" + std::string(400, '.'))};
+  auto cfg = base_config(core::PolicyKind::ImmediateEviction, 2);
+  // Owner returns at t=4 -> migration starts; destination dies at t=5,
+  // mid-way through the ~3.4 s transfer, and recovers 20 s later.
+  cfg.faults.crash.arrivals = fault::ArrivalProcess::fixed({5.0});
+  cfg.faults.crash.exponential_downtime = false;
+  cfg.faults.crash.mean_downtime = 20.0;
+
+  ClusterSim sim(cfg, pool, table(), rng::Stream(2));
+  sim.submit(30.0);
+  sim.run_until_all_complete();
+
+  EXPECT_EQ(sim.migration_aborts(), 1u);
+  EXPECT_EQ(sim.inflight_migrations(), 0u);
+  for (const auto& node : sim.node_snapshots()) {
+    EXPECT_EQ(node.reserved, 0u);
+  }
+  EXPECT_EQ(sim.jobs().front().state, JobState::Done);
+  EXPECT_GE(sim.jobs().front().restarts, 1u);
+
+  verify::InvariantRegistry registry(verify::Mode::kAssert);
+  verify::check_cluster_occupancy(sim, registry);
+  for (const auto& job : sim.jobs()) verify::check_job_record(job, registry);
+  EXPECT_EQ(registry.violations(), 0u);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@ TEST(JobState, Names) {
   EXPECT_EQ(to_string(JobState::Paused), "paused");
   EXPECT_EQ(to_string(JobState::Migrating), "migrating");
   EXPECT_EQ(to_string(JobState::Done), "done");
+  EXPECT_EQ(to_string(JobState::Checkpointing), "checkpointing");
 }
 
 JobRecord fresh_job() {

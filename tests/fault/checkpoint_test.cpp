@@ -1,0 +1,47 @@
+#include "fault/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ll::fault {
+namespace {
+
+TEST(CheckpointConfig, DisabledByDefault) {
+  const CheckpointConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  CheckpointConfig on;
+  on.interval = 600.0;
+  EXPECT_TRUE(on.enabled());
+}
+
+TEST(CheckpointConfig, CostIsFixedPlusTransfer) {
+  CheckpointConfig cfg;
+  cfg.fixed_cost = 0.5;
+  cfg.bandwidth_bps = 8e6;  // one byte per microsecond
+  EXPECT_DOUBLE_EQ(cfg.cost(0), 0.5);
+  EXPECT_DOUBLE_EQ(cfg.cost(1'000'000), 0.5 + 1.0);
+  // Larger images cost strictly more.
+  EXPECT_GT(cfg.cost(8ull << 20), cfg.cost(1ull << 20));
+}
+
+TEST(CheckpointConfig, ValidateRejectsNonsense) {
+  CheckpointConfig negative_interval;
+  negative_interval.interval = -1.0;
+  EXPECT_THROW(negative_interval.validate(), std::invalid_argument);
+
+  CheckpointConfig negative_fixed;
+  negative_fixed.fixed_cost = -0.1;
+  EXPECT_THROW(negative_fixed.validate(), std::invalid_argument);
+
+  CheckpointConfig zero_bandwidth;
+  zero_bandwidth.bandwidth_bps = 0.0;
+  EXPECT_THROW(zero_bandwidth.validate(), std::invalid_argument);
+
+  CheckpointConfig ok;
+  ok.interval = 120.0;
+  EXPECT_NO_THROW(ok.validate());
+}
+
+}  // namespace
+}  // namespace ll::fault

@@ -92,6 +92,51 @@ TEST(Manifest, KindMismatchFailsValidation) {
   EXPECT_NE(error.find("number"), std::string::npos) << error;
 }
 
+TEST(Manifest, GoodputFieldsWrittenWhenSet) {
+  RunManifest m = sample_manifest();
+  m.goodput = 0.875;
+  m.work_lost = 42.5;
+  const auto doc = util::json::parse(render(m));
+  EXPECT_DOUBLE_EQ(doc.find("goodput")->as_number(), 0.875);
+  EXPECT_DOUBLE_EQ(doc.find("work_lost")->as_number(), 42.5);
+  // Absent when unset (fault-free tools keep their old shape).
+  const auto plain = util::json::parse(render(sample_manifest()));
+  EXPECT_EQ(plain.find("goodput"), nullptr);
+  EXPECT_EQ(plain.find("work_lost"), nullptr);
+}
+
+TEST(Manifest, OptionalSchemaKeysCheckedOnlyWhenPresent) {
+  constexpr std::string_view schema = R"({
+    "required": {
+      "tool": "string",
+      "version": "string",
+      "seed": "number",
+      "config": "object",
+      "metrics": "array"
+    },
+    "optional": {
+      "goodput": "number",
+      "work_lost": "number"
+    }
+  })";
+  // Absent optional keys: valid.
+  EXPECT_EQ(validate_manifest(render(sample_manifest()), schema), "");
+  // Present with the right kind: valid.
+  RunManifest m = sample_manifest();
+  m.goodput = 0.9;
+  m.work_lost = 1.0;
+  EXPECT_EQ(validate_manifest(render(m), schema), "");
+  // Present with the wrong kind: rejected.
+  std::string text = render(m);
+  const auto pos = text.find("\"goodput\": ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto value_end = text.find_first_of(",\n", pos);
+  ASSERT_NE(value_end, std::string::npos);
+  text.replace(pos, value_end - pos, "\"goodput\": \"high\"");
+  const std::string error = validate_manifest(text, schema);
+  EXPECT_NE(error.find("goodput"), std::string::npos) << error;
+}
+
 TEST(Manifest, MalformedSchemaReportsError) {
   EXPECT_NE(validate_manifest(render(sample_manifest()), R"({"nope": 1})"),
             "");

@@ -139,12 +139,21 @@ TEST(JobStateMachine, TransitionTableMatchesLifecycle) {
   EXPECT_TRUE(legal_job_transition(S::Paused, S::Migrating));
   EXPECT_TRUE(legal_job_transition(S::Migrating, S::Running));
   EXPECT_TRUE(legal_job_transition(S::Migrating, S::Lingering));
+  // Crash edges: a node failure re-queues whatever was resident.
+  EXPECT_TRUE(legal_job_transition(S::Running, S::Queued));
+  EXPECT_TRUE(legal_job_transition(S::Migrating, S::Queued));
+  EXPECT_TRUE(legal_job_transition(S::Checkpointing, S::Queued));
+  // Checkpoint writes interleave with normal execution.
+  EXPECT_TRUE(legal_job_transition(S::Running, S::Checkpointing));
+  EXPECT_TRUE(legal_job_transition(S::Checkpointing, S::Running));
 
   EXPECT_FALSE(legal_job_transition(S::Queued, S::Paused));
   EXPECT_FALSE(legal_job_transition(S::Queued, S::Done));
-  EXPECT_FALSE(legal_job_transition(S::Running, S::Queued));
   EXPECT_FALSE(legal_job_transition(S::Migrating, S::Done));
   EXPECT_FALSE(legal_job_transition(S::Migrating, S::Paused));
+  // Integration happens before the write starts, so a checkpoint never
+  // completes the job directly.
+  EXPECT_FALSE(legal_job_transition(S::Checkpointing, S::Done));
   // Done is terminal.
   EXPECT_FALSE(legal_job_transition(S::Done, S::Running));
   EXPECT_FALSE(legal_job_transition(S::Done, S::Queued));
