@@ -32,17 +32,31 @@ SweepResult run_sweep(const ExperimentSpec& spec,
     }
   }
 
+  util::TaskRunner::Stats before;
+  util::TaskRunner::Stats after;
   if (options.runner) {
+    before = options.runner->stats();
     options.runner->run(std::move(tasks));
+    after = options.runner->stats();
   } else {
     util::TaskRunner runner(options.jobs);
     runner.run(std::move(tasks));
+    after = runner.stats();
   }
 
   if (options.metrics) {
     options.metrics->counter("exp.sweeps").add();
     options.metrics->counter("exp.cells").add(spec.cells.size());
     options.metrics->counter("exp.replications").add(spec.cells.size() * reps);
+    // Scheduler telemetry from the work-stealing runner. Deltas are racy
+    // when the runner is shared across concurrent sweeps — counters only,
+    // never part of any digested result.
+    options.metrics->counter("exp.runner.tasks").add(after.executed -
+                                                     before.executed);
+    options.metrics->counter("exp.runner.steals").add(after.stolen -
+                                                      before.stolen);
+    options.metrics->counter("exp.runner.suspensions")
+        .add(after.suspensions - before.suspensions);
   }
 
   SweepResult sweep;

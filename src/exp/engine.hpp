@@ -28,8 +28,10 @@ struct EngineOptions {
   /// util::TaskRunner::shared() to share one pool across sweeps.
   util::TaskRunner* runner = nullptr;
   /// Optional engine accounting: run_sweep bumps exp.sweeps / exp.cells /
-  /// exp.replications counters after the batch drains (the registry is
-  /// single-threaded by contract, so updates never race with cell tasks).
+  /// exp.replications plus the work-stealing scheduler's
+  /// exp.runner.{tasks,steals,suspensions} deltas after the batch drains
+  /// (the registry is single-threaded by contract, so updates never race
+  /// with cell tasks).
   obs::MetricRegistry* metrics = nullptr;
 };
 

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file ring_deque.hpp
+/// Fixed-capacity lock-free work-stealing deque (Chase–Lev), the scheduling
+/// substrate of util::TaskRunner.
+///
+/// Ownership protocol — the correctness of the algorithm depends on it:
+///   - exactly ONE thread (the owner) may call push_bottom() / pop_bottom();
+///   - ANY number of other threads (thieves) may call steal_top()
+///     concurrently with each other and with the owner.
+/// The owner works LIFO (pop_bottom returns the most recently pushed
+/// element — cache-hot work stays with the producer); thieves work FIFO
+/// (steal_top takes the oldest element — the end the owner touches least,
+/// minimizing contention).
+///
+/// The buffer is a power-of-two ring indexed by two monotonic 64-bit
+/// cursors, `top_` (steal end) and `bottom_` (owner end); the occupied
+/// region is [top_, bottom_). Capacity is fixed: push_bottom() returns
+/// false when the ring is full instead of growing, which keeps the hot
+/// path allocation-free and the memory bound explicit — TaskRunner sizes
+/// each deque for its batch share up front.
+///
+/// Memory ordering (the §10 DESIGN.md argument, in short):
+///   - push_bottom publishes the element with a release store of `bottom_`;
+///     a thief acquire-loads `bottom_` before reading the cell, so the
+///     element write happens-before the read.
+///   - pop_bottom's reservation (`bottom_ = b-1`) uses a seq_cst store and
+///     the subsequent `top_` load is seq_cst: the owner and any thief both
+///     pass through the single total order of seq_cst operations, so at
+///     most one of them can believe it took the last element without
+///     synchronizing on `top_`'s CAS.
+///   - the last-element race (one element, owner and thief both reaching
+///     for it) is arbitrated by a seq_cst compare-exchange on `top_`;
+///     exactly one contender wins.
+/// Standalone fences are deliberately avoided (TSan does not model them);
+/// every shared access is an atomic operation, so the TSan preset verifies
+/// this file as written, not an approximation of it.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+
+namespace ll::util {
+
+template <typename T>
+class RingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RingDeque elements are copied through atomic cells");
+
+ public:
+  /// Rounds `min_capacity` up to a power of two (at least 2).
+  explicit RingDeque(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    buffer_ = std::make_unique<std::atomic<T>[]>(cap);
+  }
+
+  RingDeque(const RingDeque&) = delete;
+  RingDeque& operator=(const RingDeque&) = delete;
+  RingDeque(RingDeque&&) = delete;
+  RingDeque& operator=(RingDeque&&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Owner only. False when the ring is full (never overwrites).
+  [[nodiscard]] bool push_bottom(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(capacity())) return false;
+    buffer_[static_cast<std::size_t>(b) & mask_].store(
+        value, std::memory_order_relaxed);
+    // Release: the element store above happens-before any thief that
+    // acquire-loads this new bottom.
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only: LIFO. Empty deque (or a lost last-element race) returns
+  /// nullopt.
+  [[nodiscard]] std::optional<T> pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // Seq_cst store + seq_cst load below form the store-load ordering the
+    // classic algorithm gets from a full fence: every thief either sees
+    // the reservation (and backs off `b`) or its top increment is seen
+    // here — never neither.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // already empty: undo the reservation
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T value = buffer_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: arbitrate with concurrent thieves via top_'s CAS.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      if (!won) return std::nullopt;  // a thief took it first
+    }
+    return value;
+  }
+
+  /// Any thread: FIFO. Nullopt on empty, and also on a lost race with the
+  /// owner or another thief — callers treat both as "nothing stolen" and
+  /// retry or move on (some other thread made progress with the element).
+  [[nodiscard]] std::optional<T> steal_top() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    // Read the cell BEFORE claiming it: once the CAS succeeds the owner may
+    // reuse the slot, so a post-CAS read could see a later element.
+    T value = buffer_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  /// Approximate (racy) size — monitoring/victim selection only.
+  [[nodiscard]] std::size_t size_relaxed() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty_relaxed() const { return size_relaxed() == 0; }
+
+ private:
+  std::size_t mask_ = 1;
+  std::unique_ptr<std::atomic<T>[]> buffer_;
+  // Separate cache lines: thieves hammer top_, the owner hammers bottom_.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace ll::util

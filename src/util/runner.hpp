@@ -1,24 +1,38 @@
 #pragma once
 
 /// \file runner.hpp
-/// Bounded work-stealing task runner — the execution substrate of the
+/// Lock-free work-stealing task runner — the execution substrate of the
 /// experiment engine (src/exp) and of cluster::replicate.
 ///
 /// A TaskRunner owns a fixed set of worker threads. run() executes a batch
 /// of independent tasks to completion with the *calling thread
 /// participating as a worker*, so a runner with `threads == 1` spawns no
 /// background threads at all and a process never holds more than
-/// `threads - 1` pool threads regardless of how many batches it runs —
-/// replacing the thread-per-replication std::async pattern whose thread
-/// count grew with the replication count.
+/// `threads - 1` pool threads regardless of how many batches it runs.
 ///
-/// Scheduling is work-stealing: the batch's task indices are dealt
-/// round-robin into one deque per worker; each worker drains its own deque
-/// from the front and, when empty, steals from the back of the others.
-/// Determinism contract: tasks must write to disjoint, pre-allocated result
-/// slots and must not read shared mutable state — then the batch's combined
-/// result is bit-identical for every thread count, because scheduling only
-/// changes *when* a task runs, never *what* it computes.
+/// Scheduling is work-stealing over per-worker fixed-capacity lock-free
+/// ring deques (util/ring_deque.hpp, Chase–Lev): the batch's task indices
+/// are dealt round-robin into one deque per worker; each worker drains its
+/// own deque LIFO (cache-hot work stays local) and, when empty, steals FIFO
+/// from the others. There is no mutex anywhere on the per-task path — pop,
+/// steal, completion accounting and sleep/wake are all atomics. Idle
+/// workers escalate `_mm_pause` relax loops into `std::this_thread::yield`
+/// and finally suspend on C++20 `std::atomic::wait`; publishing a batch
+/// wakes exactly one sleeping thief, and each thief that acquires work
+/// wakes the next (global actives/thieves counters drive the cascade), so
+/// idle workers cost no CPU while wake-up latency stays one hop.
+///
+/// Determinism contract (unchanged from the mutex-era runner): tasks must
+/// write to disjoint, pre-allocated result slots and must not read shared
+/// mutable state — then the batch's combined result is bit-identical for
+/// every thread count, because scheduling only changes *when* a task runs,
+/// never *what* it computes.
+///
+/// Edge cases, pinned by tests:
+///   - run({}) is a no-op: no publication, no wake-up, returns immediately.
+///   - threads > tasks: the surplus workers find nothing to steal and
+///     suspend on atomic::wait — they do not spin (bench/micro_steal.cpp
+///     asserts the process CPU-time bound).
 ///
 /// Exception safety: a throwing task never deadlocks or leaks the batch.
 /// Remaining tasks still run; after the batch drains, run() rethrows the
@@ -34,6 +48,14 @@ namespace ll::util {
 
 class TaskRunner {
  public:
+  /// Scheduler counters, process-lifetime cumulative for this runner.
+  /// Monitoring only — values are racy snapshots of relaxed atomics.
+  struct Stats {
+    std::uint64_t executed = 0;     ///< tasks run to completion
+    std::uint64_t stolen = 0;       ///< tasks acquired via steal_top
+    std::uint64_t suspensions = 0;  ///< worker atomic::wait suspensions
+  };
+
   /// `threads == 0` selects std::thread::hardware_concurrency(). The caller
   /// counts as one worker, so `threads - 1` background threads are started.
   explicit TaskRunner(std::size_t threads = 0);
@@ -43,12 +65,16 @@ class TaskRunner {
 
   /// Runs every task to completion, then returns (or rethrows the
   /// lowest-index task exception). Reentrant: a task may itself call run()
-  /// on the same runner — the inner batch is drained by the calling worker,
-  /// so nesting cannot deadlock.
+  /// on the same runner — the inner batch is drained by the calling worker
+  /// (with the pool stealing from it), so nesting cannot deadlock. Safe to
+  /// call concurrently from multiple external threads.
   void run(std::vector<std::function<void()>> tasks);
 
   /// Worker count including the participating caller.
   [[nodiscard]] std::size_t thread_count() const;
+
+  /// Cumulative scheduler counters (see Stats).
+  [[nodiscard]] Stats stats() const;
 
   /// Background threads ever started by any TaskRunner in this process —
   /// the probe bench/micro_runner.cpp uses to verify the N+constant bound.

@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <functional>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "util/runner.hpp"
 #include "verify/scenarios.hpp"
 
 #ifndef LL_GOLDEN_DIR
@@ -78,6 +81,35 @@ TEST(GoldenScenarios, InvariantsHoldInAssertMode) {
     ScenarioResult result;
     EXPECT_NO_THROW(result = scenario.run(options));
     EXPECT_GT(result.checks, 0u) << "scenario executed zero invariant checks";
+  }
+}
+
+TEST(GoldenScenarios, DigestsMatchGoldensThroughTheWorkStealingRunner) {
+  // The pinned scenarios executed as a batch on the lock-free TaskRunner —
+  // concurrent scheduling (steals, suspensions, schedule jitter included)
+  // must not move a single digest off the committed goldens. Each task
+  // writes to its own pre-allocated slot, per the runner's determinism
+  // contract.
+  const auto& all = scenarios();
+  std::vector<ScenarioResult> results(all.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    tasks.push_back([&all, &results, i] {
+      ScenarioOptions options;  // kGoldenSeed, kCount
+      results[i] = all[i].run(options);
+    });
+  }
+  ll::util::TaskRunner runner(4);
+  runner.run(std::move(tasks));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    SCOPED_TRACE(all[i].name);
+    const GoldenEntry golden = read_golden(all[i].name);
+    EXPECT_EQ(results[i].digest.value(), golden.digest)
+        << "digest drift under the work-stealing runner: got "
+        << results[i].digest.hex();
+    EXPECT_EQ(results[i].events, golden.events);
+    EXPECT_EQ(results[i].violations, 0u);
   }
 }
 

@@ -21,14 +21,23 @@
 ///   llverify --list
 ///   llverify --golden tests/golden
 ///   llverify --write-golden tests/golden
+///   llverify --all --golden tests/golden --jobs 4
+///
+/// --jobs N runs the scenario checks as a batch on the lock-free
+/// work-stealing TaskRunner (util/runner.hpp) instead of sequentially —
+/// each scenario writes its outcome to a disjoint slot, so the report and
+/// the verdict are byte-identical to --jobs 1. CI uses this to prove the
+/// pinned goldens hold when driven through the concurrent runner itself.
 
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "util/flags.hpp"
+#include "util/runner.hpp"
 #include "verify/scenarios.hpp"
 
 namespace {
@@ -186,6 +195,10 @@ int main(int argc, char** argv) {
       "write-golden", "",
       "regenerate golden digests into this directory (intentional "
       "behavior changes only)");
+  auto jobs = flags.add_int(
+      "jobs", 1,
+      "run scenario checks on the work-stealing runner with this many "
+      "workers (0 = hardware concurrency); output is identical to --jobs 1");
 
   try {
     flags.parse(argc, argv);
@@ -225,9 +238,33 @@ int main(int argc, char** argv) {
   const std::string golden_dir = updating ? *write : *golden;
 
   std::size_t failures = 0;
-  for (const Scenario* s : selected) {
-    if (!check_scenario(*s, *seed, golden_dir, updating, std::cout).ok) {
-      ++failures;
+  if (*jobs == 1 || updating || selected.size() < 2) {
+    // Sequential path (and always for golden regeneration — file writes
+    // stay ordered and easy to reason about).
+    for (const Scenario* s : selected) {
+      if (!check_scenario(*s, *seed, golden_dir, updating, std::cout).ok) {
+        ++failures;
+      }
+    }
+  } else {
+    // One task per scenario on the work-stealing runner; each writes its
+    // outcome and report text to a disjoint slot, printed afterwards in
+    // registration order — byte-identical to the sequential path.
+    std::vector<CheckOutcome> outcomes(selected.size());
+    std::vector<std::ostringstream> reports(selected.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      tasks.push_back([&, i] {
+        outcomes[i] = check_scenario(*selected[i], *seed, golden_dir,
+                                     /*update_golden=*/false, reports[i]);
+      });
+    }
+    ll::util::TaskRunner runner(static_cast<std::size_t>(*jobs));
+    runner.run(std::move(tasks));
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      std::cout << reports[i].str();
+      if (!outcomes[i].ok) ++failures;
     }
   }
 
