@@ -1,5 +1,6 @@
 #include "cli/driver.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -11,6 +12,8 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/timeline.hpp"
+#include "obs/tracer.hpp"
+#include "verify/scenarios.hpp"
 #include "exp/engine.hpp"
 #include "exp/pool_cache.hpp"
 #include "exp/registry.hpp"
@@ -40,9 +43,12 @@ constexpr std::string_view kUsage =
     "  cluster   run sequential foreign jobs under a scheduling policy\n"
     "  parallel  run parallel jobs under a width policy\n"
     "  profile   instrumented cluster run: event-loop profile + metrics\n"
+    "  trace     flight-recorder capture: Chrome trace-event JSON "
+    "(Perfetto)\n"
     "  faults    compile a fault plan, print its timeline, run one faulty "
     "scenario\n"
-    "  bench     run a registered experiment sweep (try: bench --list)\n";
+    "  bench     run a registered experiment sweep (try: bench --list), or\n"
+    "            the perf-trajectory probes (bench --report)\n";
 
 std::vector<const char*> to_argv(const std::vector<std::string>& args) {
   std::vector<const char*> argv{"llsim"};
@@ -557,9 +563,14 @@ int cmd_profile(const std::vector<std::string>& args, std::ostream& out) {
   if (*timeline_cap > 0) {
     timeline.emplace(static_cast<std::size_t>(*timeline_cap));
   }
+  const auto wall_start = std::chrono::steady_clock::now();
   ClusterObsRun run = run_cluster_instrumented(
       cfg, *pool, workload::default_burst_table(), *closed,
       timeline ? &*timeline : nullptr);
+  const double run_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   obs::RunManifest manifest;
   manifest.tool = "llsim profile";
@@ -574,6 +585,12 @@ int cmd_profile(const std::vector<std::string>& args, std::ostream& out) {
   };
   manifest.metrics = run.metrics;
   manifest.profile = run.profile;
+  if (timeline) {
+    obs::TraceStats trace_stats;
+    trace_stats.timeline_recorded = timeline->total_recorded();
+    trace_stats.timeline_dropped = timeline->dropped();
+    manifest.trace = trace_stats;
+  }
   if (!metrics_out->empty()) {
     write_manifest_file(manifest, *metrics_out);
   }
@@ -588,6 +605,27 @@ int cmd_profile(const std::vector<std::string>& args, std::ostream& out) {
                         : std::string(", open"))
       << "):\n"
       << run.profile_table << "\n";
+  // Wall-clock bracket of the whole run vs the callback share the profiler
+  // attributed — the difference is engine/queue overhead plus setup.
+  util::Table wall_table({"wall clock", "value"});
+  wall_table.add_row({"run total (ms)", util::format("%.2f", run_wall * 1e3)});
+  wall_table.add_row({"event callbacks (ms)",
+                      util::format("%.2f", run.profile.total_wall_seconds *
+                                               1e3)});
+  wall_table.add_row(
+      {"callback share",
+       util::percent(run_wall > 0.0
+                         ? run.profile.total_wall_seconds / run_wall
+                         : 0.0,
+                     1)});
+  wall_table.add_row(
+      {"events per wall second",
+       util::format("%.0f",
+                    run_wall > 0.0
+                        ? static_cast<double>(run.profile.total_fired) /
+                              run_wall
+                        : 0.0)});
+  out << wall_table.render() << "\n";
   util::Table metrics_table({"metric", "kind", "value", "mean"});
   for (const obs::MetricSample& s : run.metrics) {
     metrics_table.add_row(
@@ -604,6 +642,171 @@ int cmd_profile(const std::vector<std::string>& args, std::ostream& out) {
   }
   if (!metrics_out->empty()) {
     out << "\nwrote run manifest to " << *metrics_out << "\n";
+  }
+  return 0;
+}
+
+int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
+  util::Flags flags(
+      "llsim trace",
+      "Capture a flight-recorder trace as Chrome trace-event JSON "
+      "(loadable in Perfetto / chrome://tracing; summarize with lltrace). "
+      "With --scenario, traces one pinned verify scenario and reports its "
+      "digest; otherwise runs an instrumented cluster sweep covering all "
+      "four instrumented layers (DES fires, runner, cluster, exp cells).");
+  auto scenario = flags.add_string(
+      "scenario", "", "pinned verify scenario to trace (llverify --list)");
+  auto out_path = flags.add_string("out", "",
+                                   "trace JSON output path (required)");
+  auto ring = flags.add_int("ring", 1 << 16,
+                            "per-thread ring capacity in records "
+                            "(flight recorder: oldest overwritten)");
+  auto policy_name = flags.add_string("policy", "LL",
+                                      "LL, LF, IE, PM, or LL-oracle");
+  auto nodes = flags.add_int("nodes", 16, "cluster size (sweep mode)");
+  auto jobs = flags.add_int("jobs", 32, "foreign jobs (sweep mode)");
+  auto demand = flags.add_double("demand", 600.0, "CPU-seconds per job");
+  auto machines = flags.add_int("machines", 16, "synthetic trace machines");
+  auto days = flags.add_double("days", 1.0, "synthetic trace days");
+  auto reps = flags.add_int("reps", 2, "replications (sweep mode)");
+  auto workers = flags.add_int("workers", 2,
+                               "worker threads (0 = hardware concurrency)");
+  auto seed = flags.add_uint64("seed", 42, "RNG seed (sweep mode)");
+  auto metrics_out = flags.add_string(
+      "metrics-out", "", "also write a run manifest with trace accounting");
+  auto argv = to_argv(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  if (out_path->empty()) {
+    throw std::invalid_argument("trace: --out is required\n" + flags.usage());
+  }
+  if (*ring < 2) {
+    throw std::invalid_argument("trace: --ring must be >= 2");
+  }
+
+  obs::Tracer tracer(static_cast<std::size_t>(*ring));
+  std::vector<std::pair<std::string, std::string>> config;
+
+  if (!scenario->empty()) {
+    // Scenario mode: the pinned verify scenario with the tracer's observer
+    // chained in front of the digest/invariant chain — the digest printed
+    // here must equal the committed golden (tracing is observational only).
+    const verify::Scenario* sc = verify::find_scenario(*scenario);
+    if (!sc) {
+      throw std::invalid_argument("trace: unknown scenario '" + *scenario +
+                                  "' (see llverify --list)");
+    }
+    verify::ScenarioOptions options;
+    std::vector<std::unique_ptr<obs::TracingObserver>> observers;
+    options.wrap_observer = [&](des::SimObserver* inner) {
+      observers.push_back(
+          std::make_unique<obs::TracingObserver>(&tracer, inner));
+      return observers.back().get();
+    };
+    options.cluster_hook = [&](cluster::ClusterSim& sim) {
+      sim.set_tracer(&tracer);
+    };
+    const verify::ScenarioResult result = sc->run(options);
+    config = {{"scenario", *scenario},
+              {"ring", std::to_string(*ring)}};
+    out << "scenario " << sc->name << ": digest " << result.digest.hex()
+        << ", " << result.events << " events, " << result.checks
+        << " invariant checks\n";
+  } else {
+    // Sweep mode: a one-cell cluster sweep on the experiment engine with
+    // every instrumented layer attached — per-tag fire spans chained after
+    // the event-loop profiler, cluster virtual-time spans, per-cell spans,
+    // and the work-stealing runner's batch/steal/suspend spans.
+    const auto policy = parse_policy(*policy_name);
+    if (!policy) {
+      throw std::invalid_argument("trace: unknown policy '" + *policy_name +
+                                  "' (LL, LF, IE, PM, LL-oracle)");
+    }
+    const auto pool = pool_from_flags("", *machines, *days, *seed + 1);
+    const workload::BurstTable& table = workload::default_burst_table();
+
+    cluster::ExperimentConfig cfg;
+    cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
+    cfg.cluster.policy = *policy;
+    cfg.workload =
+        cluster::WorkloadSpec{static_cast<std::size_t>(*jobs), *demand};
+
+    exp::ExperimentSpec spec;
+    spec.name = "trace";
+    spec.seed = *seed;
+    spec.replications = static_cast<std::size_t>(*reps);
+    spec.axes = {"policy"};
+    spec.add_cell(
+        {{"policy", std::string(core::to_string(*policy))}},
+        [cfg, pool, &table, &tracer](std::uint64_t s) mutable {
+          cfg.seed = s;
+          // Per-replication observer chain, thread-confined to this task:
+          // tracer spans in front, profiler behind (per the obs layering),
+          // both detached before the simulator dies.
+          obs::EventLoopProfiler profiler;
+          obs::TracingObserver observer(&tracer, &profiler);
+          const auto name_tags = [&](auto& target) {
+            target.name_tag(cluster::ClusterSim::kTagTick, "tick");
+            target.name_tag(cluster::ClusterSim::kTagCompletion, "completion");
+            target.name_tag(cluster::ClusterSim::kTagRecheck, "recheck");
+            target.name_tag(cluster::ClusterSim::kTagMigration, "migration");
+            target.name_tag(cluster::ClusterSim::kTagFault, "fault");
+            target.name_tag(cluster::ClusterSim::kTagCheckpoint, "checkpoint");
+          };
+          name_tags(profiler);
+          name_tags(observer);
+          cluster::RunHooks hooks;
+          hooks.on_start = [&](cluster::ClusterSim& sim) {
+            sim.set_tracer(&tracer);
+            sim.set_sim_observer(&observer);
+          };
+          hooks.on_finish = [&](cluster::ClusterSim& sim) {
+            sim.set_sim_observer(nullptr);
+            sim.set_tracer(nullptr);
+          };
+          return exp::open_metrics(
+              cluster::run_open(cfg, *pool, table, nullptr, &hooks));
+        });
+    exp::EngineOptions options;
+    options.jobs = static_cast<std::size_t>(*workers);
+    options.tracer = &tracer;
+    // run_sweep destroys its local runner before returning, so the tracer
+    // is quiescent here and safe to export.
+    (void)exp::run_sweep(spec, options);
+    config = {
+        {"policy", std::string(core::to_string(*policy))},
+        {"nodes", std::to_string(*nodes)},
+        {"jobs", std::to_string(*jobs)},
+        {"reps", std::to_string(*reps)},
+        {"workers", std::to_string(*workers)},
+        {"ring", std::to_string(*ring)},
+        {"master_seed", std::to_string(*seed)},
+    };
+  }
+
+  const obs::Tracer::Snapshot snap = tracer.snapshot();
+  {
+    std::ofstream file(*out_path);
+    if (!file) {
+      throw std::runtime_error("cannot open " + *out_path + " for writing");
+    }
+    obs::Tracer::write_chrome_json(snap, file);
+  }
+  out << "wrote " << (snap.recorded - snap.dropped) << " of " << snap.recorded
+      << " records (" << snap.dropped << " dropped, " << snap.threads
+      << " thread ring(s)) to " << *out_path << "\n";
+
+  if (!metrics_out->empty()) {
+    obs::RunManifest manifest;
+    manifest.tool = "llsim trace";
+    manifest.version = obs::current_git_describe();
+    manifest.seed = scenario->empty() ? *seed : verify::kGoldenSeed;
+    manifest.config = std::move(config);
+    obs::TraceStats trace_stats;
+    trace_stats.tracer_recorded = snap.recorded;
+    trace_stats.tracer_dropped = snap.dropped;
+    manifest.trace = trace_stats;
+    write_manifest_file(manifest, *metrics_out);
+    out << "wrote run manifest to " << *metrics_out << "\n";
   }
   return 0;
 }
@@ -776,6 +979,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "cluster") return cmd_cluster(rest, out);
     if (cmd == "parallel") return cmd_parallel(rest, out);
     if (cmd == "profile") return cmd_profile(rest, out);
+    if (cmd == "trace") return cmd_trace(rest, out);
     if (cmd == "faults") return cmd_faults(rest, out);
     if (cmd == "bench") return exp::run_bench_cli(rest, out, err);
     err << "llsim: unknown subcommand '" << cmd << "'\n\n" << kUsage;

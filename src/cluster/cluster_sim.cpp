@@ -50,6 +50,7 @@ struct ClusterSim::Node {
   // owner working set by pressure_kb until pressure_until.
   bool down = false;
   double down_until = 0.0;
+  double down_since = 0.0;  // crash instant of the current outage (tracer)
   double forced_busy_until = 0.0;
   double forced_util = 0.0;
   double pressure_until = 0.0;
@@ -89,6 +90,10 @@ struct ClusterSim::Impl {
     int mig_source = -1;
     int mig_target = -1;
     std::size_t mig_attempts = 0;  // link-drop re-attempts so far
+    // Virtual-time span starts for the tracer (valid while the matching
+    // state is in flight; harmless stale values otherwise).
+    double mig_start = 0.0;
+    double ckpt_start = 0.0;
   };
   // Deque: grows from completion callbacks while engine frames still hold
   // references to existing entries (see ClusterSim::jobs()).
@@ -113,6 +118,21 @@ struct ClusterSim::Impl {
   obs::TimeWeighted* tw_queue = nullptr;
   obs::TimeWeighted* tw_occupied = nullptr;
   obs::TimeWeighted* tw_idle = nullptr;
+
+  // Flight-recorder tracer (nullptr = detached) with its labels interned
+  // once at attach time so the emit sites pay only the null check.
+  obs::Tracer* tracer = nullptr;
+  struct TraceLabels {
+    std::uint32_t migration = 0;
+    std::uint32_t mig_retry = 0;
+    std::uint32_t mig_abort = 0;
+    std::uint32_t requeue = 0;
+    std::uint32_t crash = 0;
+    std::uint32_t outage = 0;
+    std::uint32_t storm = 0;
+    std::uint32_t pressure = 0;
+    std::uint32_t checkpoint = 0;
+  } tl;
 
   /// Folds the current queue length / node occupancy into the time-weighted
   /// accumulators. Called wherever those quantities may have changed.
@@ -537,6 +557,7 @@ struct ClusterSim::Impl {
     r.mig_source = source;
     r.mig_target = static_cast<int>(target_idx);
     r.mig_attempts = 0;
+    r.mig_start = now();
     r.mig_event = sim.schedule_in(
         migration_cost(job),
         [this, id, target_idx] { finish_migration(id, target_idx); },
@@ -559,6 +580,7 @@ struct ClusterSim::Impl {
                            "transfer dropped",
                            util::format("retry %zu", r.mig_attempts));
         }
+        if (tracer) tracer->instant(tl.mig_retry, now(), id);
         r.mig_event = sim.schedule_in(
             cfg.faults.link.retry_backoff + migration_cost(self.jobs_[id]),
             [this, id, target_idx] { finish_migration(id, target_idx); },
@@ -567,6 +589,7 @@ struct ClusterSim::Impl {
       }
       ++self.migration_aborts_;
       if (m_aborts) m_aborts->add();
+      if (tracer) tracer->virtual_span(tl.mig_abort, r.mig_start, now(), id);
       fail_to_queue(id);
       placement();
       return;
@@ -579,6 +602,7 @@ struct ClusterSim::Impl {
           "ClusterSim: migration arrived with no reserved slot");
     }
     --target.reserved;
+    if (tracer) tracer->virtual_span(tl.migration, r.mig_start, now(), id);
     place_job(id, target_idx);
     placement();
   }
@@ -747,6 +771,7 @@ struct ClusterSim::Impl {
       timeline->record(now(), util::format("node %zu", idx), "crashed",
                        util::format("down %.1f s", downtime));
     }
+    if (tracer) tracer->instant(tl.crash, now(), idx);
     const double until = now() + downtime;
     if (n.down) {
       // Overlapping crash: extend the outage; the extra recovery event
@@ -760,6 +785,7 @@ struct ClusterSim::Impl {
     }
     n.down = true;
     n.down_until = until;
+    n.down_since = now();
     n.idle = false;
     n.util = 0.0;
     // Resident foreign jobs die with the node and restart from their last
@@ -783,6 +809,7 @@ struct ClusterSim::Impl {
           r.mig_source == static_cast<int>(idx)) {
         ++self.migration_aborts_;
         if (m_aborts) m_aborts->add();
+        if (tracer) tracer->virtual_span(tl.mig_abort, r.mig_start, now(), id);
         fail_to_queue(id);
       }
     }
@@ -796,6 +823,7 @@ struct ClusterSim::Impl {
     if (!n.down) return;
     if (now() + 1e-9 < n.down_until) return;  // superseded by a longer outage
     n.down = false;
+    if (tracer) tracer->virtual_span(tl.outage, n.down_since, now(), idx);
     update_sample(n);
     n.episode_start = now();
     if (timeline) {
@@ -820,6 +848,7 @@ struct ClusterSim::Impl {
           timeline->record(now(), util::format("node %zu", idx), "storm",
                            util::format("util %.2f", n.util));
         }
+        if (tracer) tracer->instant(tl.storm, now(), idx);
         // Exactly the owner-returned path of tick(): every occupant faces
         // the policy at once — the storm's point is simultaneous eviction
         // pressure across the membership set.
@@ -849,6 +878,7 @@ struct ClusterSim::Impl {
         timeline->record(now(), util::format("node %zu", idx), "mem pressure",
                          util::format("+%u KB", n.pressure_kb));
       }
+      if (tracer) tracer->instant(tl.pressure, now(), idx);
       // Re-split the page pool under the spike without re-reading the
       // owner-activity half of the window; the spike decays at the first
       // window boundary past pressure_until.
@@ -903,6 +933,7 @@ struct ClusterSim::Impl {
       timeline->record(now(), util::format("job %zu", static_cast<std::size_t>(id)),
                        "requeued", util::format("lost %.2f s", lost));
     }
+    if (tracer) tracer->instant(tl.requeue, now(), id);
   }
 
   void cancel_checkpoint(JobId id) {
@@ -949,6 +980,7 @@ struct ClusterSim::Impl {
     r.rate = 0.0;
     const auto node_idx = static_cast<std::size_t>(r.node);
     job.set_state(JobState::Checkpointing, now());
+    r.ckpt_start = now();
     if (timeline) {
       timeline->record(now(), util::format("job %zu", static_cast<std::size_t>(id)),
                        "checkpointing");
@@ -969,6 +1001,7 @@ struct ClusterSim::Impl {
     ++job.checkpoints;
     ++self.checkpoints_;
     if (m_checkpoints) m_checkpoints->add();
+    if (tracer) tracer->virtual_span(tl.checkpoint, r.ckpt_start, now(), id);
     r.last_update = now();
     const auto node_idx = static_cast<std::size_t>(r.node);
     if (nodes[node_idx].idle) {
@@ -1221,6 +1254,21 @@ void ClusterSim::set_metrics(obs::MetricRegistry* registry) {
 
 void ClusterSim::set_timeline(obs::Timeline* timeline) {
   impl_->timeline = timeline;
+}
+
+void ClusterSim::set_tracer(obs::Tracer* tracer) {
+  Impl& im = *impl_;
+  im.tracer = tracer;
+  if (!tracer) return;
+  im.tl.migration = tracer->label("cluster.migration");
+  im.tl.mig_retry = tracer->label("cluster.migration.retry");
+  im.tl.mig_abort = tracer->label("cluster.migration.abort");
+  im.tl.requeue = tracer->label("cluster.requeue");
+  im.tl.crash = tracer->label("fault.crash");
+  im.tl.outage = tracer->label("fault.outage");
+  im.tl.storm = tracer->label("fault.storm");
+  im.tl.pressure = tracer->label("fault.pressure");
+  im.tl.checkpoint = tracer->label("cluster.checkpoint");
 }
 
 des::SimObserver* ClusterSim::set_sim_observer(des::SimObserver* observer) {

@@ -40,6 +40,7 @@
 #include "fault/fault_spec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
+#include "obs/tracer.hpp"
 #include "node/effective_rate.hpp"
 #include "node/memory_model.hpp"
 #include "rng/rng.hpp"
@@ -188,6 +189,13 @@ class ClusterSim {
   /// state transitions and node idle/busy flips. Same observational-only
   /// contract as set_metrics.
   void set_timeline(obs::Timeline* timeline);
+
+  /// Attaches a flight-recorder tracer (nullptr detaches) emitting
+  /// virtual-time spans for migrations, checkpoint writes, and node
+  /// outages, plus instants for crashes, storms, pressure spikes, link
+  /// retries, and requeues. Same observational-only contract as
+  /// set_metrics; the tracer must outlive its registration.
+  void set_tracer(obs::Tracer* tracer);
 
   /// Attaches an observer to the internal event engine (nullptr detaches;
   /// returns the previous observer). The verification layer uses this to

@@ -13,9 +13,11 @@
 ///
 /// An optional SimObserver receives schedule/fire/cancel notifications —
 /// the verification layer (src/verify/) uses this to stream state digests
-/// and invariant checks without touching the hot path. When no observer is
-/// registered the hooks cost a single never-taken branch on a pointer the
-/// engine already has in cache.
+/// and invariant checks without touching the hot path, and the
+/// observability layer chains the event-loop profiler (src/obs/profiler.hpp)
+/// and the flight-recorder tracer (src/obs/tracer.hpp) through the same
+/// slot. When no observer is registered the hooks cost a single never-taken
+/// branch on a pointer the engine already has in cache.
 
 #if defined(__FAST_MATH__)
 #error "des/simulation relies on strict IEEE comparisons (event ordering, NaN rejection); build without -ffast-math"

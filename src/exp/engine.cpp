@@ -21,14 +21,38 @@ SweepResult run_sweep(const ExperimentSpec& spec,
   // run concurrently, and a by-value capture the callable mutates (the
   // common `[cfg](seed) mutable { cfg.seed = seed; ... }` idiom) would
   // otherwise be shared mutable state racing across replications.
+  // Per-cell span labels, interned up front so the task hot path pays two
+  // clock reads and one ring push per replication and nothing else.
+  std::vector<std::uint32_t> cell_labels;
+  if (options.tracer) {
+    cell_labels.reserve(spec.cells.size());
+    for (const CellSpec& cell : spec.cells) {
+      std::string name = "cell:";
+      for (std::size_t i = 0; i < cell.labels.size(); ++i) {
+        if (i != 0) name += '/';
+        name += cell.labels[i].second;
+      }
+      cell_labels.push_back(options.tracer->label(name));
+    }
+  }
+
   std::vector<std::function<void()>> tasks;
   tasks.reserve(spec.cells.size() * reps);
   for (std::size_t c = 0; c < spec.cells.size(); ++c) {
     for (std::size_t r = 0; r < reps; ++r) {
       const std::uint64_t seed = replication_seed(spec.seed, c, r);
-      tasks.push_back([run = spec.cells[c].run, &slots, c, r, seed] {
-        slots[c][r] = run(seed);
-      });
+      if (options.tracer) {
+        tasks.push_back([run = spec.cells[c].run, &slots, c, r, seed,
+                         tracer = options.tracer, label = cell_labels[c]] {
+          const std::uint64_t t0 = tracer->now_ns();
+          slots[c][r] = run(seed);
+          tracer->wall_span(label, t0, 0.0, r);
+        });
+      } else {
+        tasks.push_back([run = spec.cells[c].run, &slots, c, r, seed] {
+          slots[c][r] = run(seed);
+        });
+      }
     }
   }
 
@@ -39,7 +63,13 @@ SweepResult run_sweep(const ExperimentSpec& spec,
     options.runner->run(std::move(tasks));
     after = options.runner->stats();
   } else {
+    // Adapter before runner: pool workers can invoke the observer until
+    // the runner destructor joins them, so the adapter must be destroyed
+    // after the runner. That same join is what makes the tracer quiescent
+    // (exportable) as soon as run_sweep returns.
+    obs::RunnerTraceAdapter adapter(options.tracer);
     util::TaskRunner runner(options.jobs);
+    if (options.tracer) runner.set_observer(&adapter);
     runner.run(std::move(tasks));
     after = runner.stats();
   }

@@ -16,6 +16,7 @@
 
 #include "exp/spec.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "util/runner.hpp"
 
 namespace ll::exp {
@@ -33,6 +34,14 @@ struct EngineOptions {
   /// (the registry is single-threaded by contract, so updates never race
   /// with cell tasks).
   obs::MetricRegistry* metrics = nullptr;
+  /// Optional flight recorder: every (cell × replication) task is wrapped
+  /// in a "cell:<axis values>" wall span (arg = replication index), and —
+  /// when the engine owns the runner (no external `runner`) — a
+  /// RunnerTraceAdapter records batch/steal/suspend spans, detached before
+  /// the local runner is destroyed so the tracer is quiescent and
+  /// exportable as soon as run_sweep returns. For an external runner the
+  /// caller owns the adapter lifetime.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Runs the sweep. Cell functions execute concurrently; results, summaries

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file perf_report.hpp
+/// Perf-trajectory harness behind `llsim bench --report`: a fixed set of
+/// timed probes over the repo's hot paths (runner dispatch, uneven-batch
+/// stealing, instrumented DES loop, a fig07-shaped sweep) serialized as a
+/// schema-validated JSON report (docs/bench_report.schema.json). The
+/// committed BENCH_cpp.json at the repo root is the baseline; CI
+/// regenerates the report and diffs wall times against it with a generous
+/// tolerance, so the performance trajectory of the simulator is tracked in
+/// the repo history instead of anecdotes.
+///
+/// Probes are deterministic in *work* (same seed → same task graph) but not
+/// in wall time; comparisons are therefore ratio-with-tolerance, never
+/// equality, and the default tolerance is wide enough to absorb
+/// machine-to-machine variance while still catching order-of-magnitude
+/// regressions (a lost fast path, an accidental O(n^2)).
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ll::exp {
+
+/// One timed probe: wall seconds, logical items processed (tasks, events,
+/// replications — the probe's own unit), and the work-stealing runner's
+/// counter deltas where a runner is involved (zero otherwise).
+struct PerfEntry {
+  std::string name;
+  double wall_s = 0.0;
+  std::uint64_t items = 0;
+  double items_per_s = 0.0;
+  std::uint64_t runner_tasks = 0;
+  std::uint64_t runner_steals = 0;
+  std::uint64_t runner_suspensions = 0;
+};
+
+struct PerfReport {
+  std::uint64_t seed = 42;
+  std::size_t workers = 0;  ///< resolved worker count (never 0)
+  double scale = 1.0;       ///< probe-size multiplier (tests shrink it)
+  std::vector<PerfEntry> entries;
+};
+
+/// Runs all probes. `workers == 0` selects hardware concurrency; `scale`
+/// multiplies every probe's problem size (>= some small floor each).
+[[nodiscard]] PerfReport run_perf_report(std::uint64_t seed,
+                                         std::size_t workers, double scale);
+
+/// Serializes the report in the shape docs/bench_report.schema.json pins:
+/// {tool, version, seed, config:{workers, scale}, entries:[...]}.
+void write_perf_report_json(const PerfReport& report, std::ostream& out);
+
+/// Compares `current` against a baseline report (JSON text). Fails — with
+/// a per-entry diagnostic table on `out` — when an entry present in both
+/// got slower than `tolerance` x the baseline wall time, or when either
+/// side has an entry the other lacks. Faster is never a failure. Returns 0
+/// on pass, 1 on breach, 2 on an unparseable baseline.
+[[nodiscard]] int check_perf_report(const PerfReport& current,
+                                    const std::string& baseline_json,
+                                    double tolerance, std::ostream& out);
+
+/// `llsim bench --report` entry: runs the probes, writes --out
+/// (default BENCH_cpp.json), and optionally diffs against --check=FILE
+/// with --tolerance. Returns the check's exit code (0 when no --check).
+int run_perf_report_cli(const std::vector<std::string>& args,
+                        std::ostream& out, std::ostream& err);
+
+}  // namespace ll::exp

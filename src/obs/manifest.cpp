@@ -25,6 +25,13 @@ void write_manifest_json(const RunManifest& manifest, std::ostream& out) {
     out << ",\n  \"work_lost\": "
         << util::format("%.17g", *manifest.work_lost);
   }
+  if (manifest.trace) {
+    const TraceStats& t = *manifest.trace;
+    out << ",\n  \"trace\": {\"timeline_recorded\": " << t.timeline_recorded
+        << ", \"timeline_dropped\": " << t.timeline_dropped
+        << ", \"tracer_recorded\": " << t.tracer_recorded
+        << ", \"tracer_dropped\": " << t.tracer_dropped << "}";
+  }
   out << ",\n  \"metrics\": ";
   write_samples_json(manifest.metrics, out);
   if (manifest.profile) {

@@ -22,6 +22,16 @@
 
 namespace ll::obs {
 
+/// Ring-buffer accounting for the run's observability captures. Non-zero
+/// drop counts mean the timeline/trace data is a truncated suffix — the
+/// manifest surfaces that so truncation is never silent.
+struct TraceStats {
+  std::uint64_t timeline_recorded = 0;
+  std::uint64_t timeline_dropped = 0;
+  std::uint64_t tracer_recorded = 0;
+  std::uint64_t tracer_dropped = 0;
+};
+
 struct RunManifest {
   std::string tool;         ///< "llsim cluster", "llsim bench", ...
   std::string version;      ///< git describe (or "unknown")
@@ -34,6 +44,9 @@ struct RunManifest {
   /// (`llsim faults`, the fault benches); absent on fault-free tools.
   std::optional<double> goodput;    ///< delivered / (delivered + work_lost)
   std::optional<double> work_lost;  ///< CPU-seconds computed then rolled back
+  /// Observability-capture accounting ("trace" object), set by tools that
+  /// attach a Timeline and/or Tracer; absent otherwise.
+  std::optional<TraceStats> trace;
 };
 
 /// Serializes the manifest as a single JSON object:

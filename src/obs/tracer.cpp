@@ -1,0 +1,331 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/json.hpp"
+
+namespace ll::obs {
+
+namespace {
+
+std::uint64_t steady_abs_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// One per recording thread, owned by the tracer so it outlives the thread.
+/// Single-producer: only the registering thread writes. `head` counts every
+/// record ever pushed; slot (head % cap) is overwritten on wrap, which is
+/// the flight-recorder drop policy. The release store pairs with the
+/// acquire load in snapshot(), but a concurrent snapshot is only *safe*,
+/// not exact — the export contract requires quiescent producers.
+struct Tracer::Ring {
+  explicit Ring(std::size_t capacity, std::uint32_t tid_in)
+      : cap(capacity < 2 ? 2 : capacity), slots(cap), tid(tid_in) {}
+
+  void push(const TraceRecord& rec) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    slots[h % cap] = rec;
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  const std::size_t cap;
+  std::vector<TraceRecord> slots;
+  std::atomic<std::uint64_t> head{0};
+  const std::uint32_t tid;
+};
+
+struct Tracer::Impl {
+  std::size_t ring_capacity;
+  std::uint64_t id;                      ///< globally unique (see ring())
+  std::uint64_t epoch_abs_ns;            ///< steady_clock ns at construction
+
+  mutable std::mutex ring_mu;            ///< guards ring registration only
+  mutable std::deque<Ring> rings;        ///< deque: stable addresses
+
+  std::mutex label_mu;
+  std::vector<std::string> labels;
+  std::unordered_map<std::string, std::uint32_t> label_ids;
+};
+
+Tracer::Tracer(std::size_t ring_capacity) : impl_(std::make_unique<Impl>()) {
+  static std::atomic<std::uint64_t> next_id{1};
+  impl_->ring_capacity = ring_capacity;
+  impl_->id = next_id.fetch_add(1, std::memory_order_relaxed);
+  impl_->epoch_abs_ns = steady_abs_ns();
+}
+
+Tracer::~Tracer() = default;
+
+Tracer::Ring& Tracer::ring() const {
+  // One-entry thread-local cache keyed by the tracer's globally unique id:
+  // a stale entry from a destroyed tracer can never match a live one, even
+  // if the Impl address is reused.
+  struct Cache {
+    std::uint64_t tracer_id = 0;
+    Ring* ring = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.tracer_id == impl_->id) return *cache.ring;
+  std::lock_guard lock(impl_->ring_mu);
+  impl_->rings.emplace_back(impl_->ring_capacity,
+                            static_cast<std::uint32_t>(impl_->rings.size()));
+  cache = {impl_->id, &impl_->rings.back()};
+  return *cache.ring;
+}
+
+std::uint32_t Tracer::label(std::string_view name) {
+  std::lock_guard lock(impl_->label_mu);
+  std::string key(name);
+  if (auto it = impl_->label_ids.find(key); it != impl_->label_ids.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(impl_->labels.size());
+  impl_->labels.push_back(key);
+  impl_->label_ids.emplace(std::move(key), id);
+  return id;
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return steady_abs_ns() - impl_->epoch_abs_ns;
+}
+
+std::uint64_t Tracer::rel_ns(std::uint64_t abs_steady_ns) const {
+  return abs_steady_ns > impl_->epoch_abs_ns
+             ? abs_steady_ns - impl_->epoch_abs_ns
+             : 0;
+}
+
+void Tracer::instant(std::uint32_t label, double vtime, std::uint64_t arg) {
+  TraceRecord rec;
+  rec.t0_ns = rec.t1_ns = now_ns();
+  rec.v0 = rec.v1 = vtime;
+  rec.arg = arg;
+  rec.label = label;
+  rec.kind = TraceKind::kInstant;
+  ring().push(rec);
+}
+
+void Tracer::wall_span(std::uint32_t label, std::uint64_t t0_ns, double vtime,
+                       std::uint64_t arg) {
+  wall_span_at(label, t0_ns, now_ns(), vtime, arg);
+}
+
+void Tracer::wall_span_at(std::uint32_t label, std::uint64_t t0_ns,
+                          std::uint64_t t1_ns, double vtime,
+                          std::uint64_t arg) {
+  TraceRecord rec;
+  rec.t0_ns = t0_ns;
+  rec.t1_ns = t1_ns < t0_ns ? t0_ns : t1_ns;
+  rec.v0 = rec.v1 = vtime;
+  rec.arg = arg;
+  rec.label = label;
+  rec.kind = TraceKind::kWallSpan;
+  ring().push(rec);
+}
+
+void Tracer::virtual_span(std::uint32_t label, double v0, double v1,
+                          std::uint64_t arg) {
+  TraceRecord rec;
+  rec.t0_ns = rec.t1_ns = now_ns();
+  rec.v0 = v0;
+  rec.v1 = v1 < v0 ? v0 : v1;
+  rec.arg = arg;
+  rec.label = label;
+  rec.kind = TraceKind::kVirtualSpan;
+  ring().push(rec);
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard lock(impl_->ring_mu);
+  std::uint64_t total = 0;
+  for (const Ring& r : impl_->rings) {
+    total += r.head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(impl_->ring_mu);
+  std::uint64_t total = 0;
+  for (const Ring& r : impl_->rings) {
+    const std::uint64_t head = r.head.load(std::memory_order_acquire);
+    if (head > r.cap) total += head - r.cap;
+  }
+  return total;
+}
+
+Tracer::Snapshot Tracer::snapshot() const {
+  Snapshot snap;
+  {
+    std::lock_guard lock(impl_->label_mu);
+    snap.labels = impl_->labels;
+  }
+  std::lock_guard lock(impl_->ring_mu);
+  snap.threads = static_cast<std::uint32_t>(impl_->rings.size());
+  for (const Ring& r : impl_->rings) {
+    const std::uint64_t head = r.head.load(std::memory_order_acquire);
+    const std::uint64_t kept = head < r.cap ? head : r.cap;
+    snap.recorded += head;
+    snap.dropped += head - kept;
+    // Oldest surviving record first; slot order is (head - kept) .. head-1.
+    for (std::uint64_t i = head - kept; i < head; ++i) {
+      snap.records.push_back({r.slots[i % r.cap], r.tid});
+    }
+  }
+  std::stable_sort(snap.records.begin(), snap.records.end(),
+                   [](const Snapshot::Entry& a, const Snapshot::Entry& b) {
+                     if (a.rec.t0_ns != b.rec.t0_ns) {
+                       return a.rec.t0_ns < b.rec.t0_ns;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return snap;
+}
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  write_chrome_json(snapshot(), out);
+}
+
+void Tracer::write_chrome_json(const Snapshot& snap, std::ostream& out) {
+  const auto us = [](std::uint64_t ns) {
+    return static_cast<double>(ns) / 1000.0;
+  };
+  const auto name_of = [&snap](std::uint32_t label) -> std::string {
+    if (label < snap.labels.size()) return snap.labels[label];
+    return "label" + std::to_string(label);
+  };
+  out << "{\"traceEvents\":[\n";
+  // Track metadata: pid 1 carries host wall-clock spans (one tid per
+  // recording thread), pid 2 carries virtual-sim-time spans (1 virtual
+  // second rendered as 1 trace microsecond — Perfetto has no native unit
+  // for simulated seconds).
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"wall clock\"}},\n";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+         "\"args\":{\"name\":\"virtual time\"}}";
+  for (std::uint32_t t = 0; t < snap.threads; ++t) {
+    out << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+        << ",\"args\":{\"name\":\"ring " << t << "\"}}";
+  }
+  char buf[64];
+  const auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return std::string(buf);
+  };
+  const auto vnum = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  for (const Snapshot::Entry& e : snap.records) {
+    const TraceRecord& r = e.rec;
+    out << ",\n{\"name\":\"" << util::json::escape(name_of(r.label)) << "\",";
+    switch (r.kind) {
+      case TraceKind::kWallSpan:
+        out << "\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+            << ",\"ts\":" << num(us(r.t0_ns))
+            << ",\"dur\":" << num(us(r.t1_ns - r.t0_ns));
+        break;
+      case TraceKind::kInstant:
+        out << "\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << e.tid
+            << ",\"ts\":" << num(us(r.t0_ns));
+        break;
+      case TraceKind::kVirtualSpan:
+        out << "\"ph\":\"X\",\"pid\":2,\"tid\":0,\"ts\":" << vnum(r.v0)
+            << ",\"dur\":" << vnum(r.v1 - r.v0);
+        break;
+    }
+    out << ",\"args\":{\"vt\":" << vnum(r.v0) << ",\"arg\":" << r.arg << "}}";
+  }
+  out << "\n]}\n";
+}
+
+// ---------------------------------------------------------------------------
+// TracingObserver
+
+void TracingObserver::name_tag(std::uint64_t tag, std::string_view name) {
+  if (!tracer_) return;
+  if (tag_labels_.size() <= tag) {
+    if (tag > 4096) return;  // tags are small dense ints; ignore outliers
+    tag_labels_.resize(tag + 1, UINT32_MAX);
+  }
+  tag_labels_[tag] = tracer_->label("fire:" + std::string(name));
+}
+
+std::uint32_t TracingObserver::label_for(std::uint64_t tag) {
+  if (tag < tag_labels_.size() && tag_labels_[tag] != UINT32_MAX) {
+    return tag_labels_[tag];
+  }
+  const std::uint32_t id =
+      tracer_->label("fire:tag" + std::to_string(tag));
+  if (tag <= 4096) {
+    if (tag_labels_.size() <= tag) tag_labels_.resize(tag + 1, UINT32_MAX);
+    tag_labels_[tag] = id;
+  }
+  return id;
+}
+
+void TracingObserver::on_schedule(double when, des::EventId id,
+                                  std::uint64_t tag) {
+  if (next_) next_->on_schedule(when, id, tag);
+}
+
+void TracingObserver::on_fire(double time, des::EventId id,
+                              std::uint64_t tag) {
+  if (tracer_) fire_start_ns_ = tracer_->now_ns();
+  if (next_) next_->on_fire(time, id, tag);
+}
+
+void TracingObserver::on_fire_done(double time, des::EventId id,
+                                   std::uint64_t tag) {
+  if (next_) next_->on_fire_done(time, id, tag);
+  if (tracer_) {
+    tracer_->wall_span(label_for(tag), fire_start_ns_, time, id);
+  }
+}
+
+void TracingObserver::on_cancel(des::EventId id, std::uint64_t tag) {
+  if (next_) next_->on_cancel(id, tag);
+}
+
+// ---------------------------------------------------------------------------
+// RunnerTraceAdapter
+
+RunnerTraceAdapter::RunnerTraceAdapter(Tracer* tracer) : tracer_(tracer) {
+  if (tracer_) {
+    lbl_batch_ = tracer_->label("runner.batch");
+    lbl_steal_ = tracer_->label("runner.steal");
+    lbl_suspend_ = tracer_->label("runner.suspend");
+  }
+}
+
+void RunnerTraceAdapter::on_batch(std::size_t tasks, std::uint64_t t0_ns,
+                                  std::uint64_t t1_ns) {
+  if (!tracer_) return;
+  tracer_->wall_span_at(lbl_batch_, tracer_->rel_ns(t0_ns),
+                        tracer_->rel_ns(t1_ns), 0.0, tasks);
+}
+
+void RunnerTraceAdapter::on_steal(std::size_t slot) {
+  if (!tracer_) return;
+  tracer_->instant(lbl_steal_, 0.0, slot);
+}
+
+void RunnerTraceAdapter::on_suspend(std::size_t slot, std::uint64_t t0_ns,
+                                    std::uint64_t t1_ns) {
+  if (!tracer_) return;
+  tracer_->wall_span_at(lbl_suspend_, tracer_->rel_ns(t0_ns),
+                        tracer_->rel_ns(t1_ns), 0.0, slot);
+}
+
+}  // namespace ll::obs

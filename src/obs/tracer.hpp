@@ -1,0 +1,187 @@
+#pragma once
+
+/// \file tracer.hpp
+/// Flight-recorder span tracer: fixed-size binary records in lock-free
+/// per-thread ring buffers. The per-tag counters of EventLoopProfiler say
+/// *how many*; the tracer says *when* and *how long* — the profile-driven
+/// input for the 100k-node scaling work (ROADMAP item 2).
+///
+/// Design contract, in the spirit of the rest of src/obs/:
+///  * Observational only. Every instrumentation site is guarded by a null
+///    pointer check, so the disabled path costs one never-taken branch and
+///    cannot perturb digests (tests/obs/golden_obs_test.cpp pins this with
+///    tracing *enabled* too — recording must be side-effect free).
+///  * Never blocks the hot path. Each thread writes to its own ring; when
+///    a ring wraps, the oldest records are overwritten and counted as
+///    dropped — a flight recorder keeps the tail, not the head.
+///  * Dual clocks. Every record carries virtual sim time and a wall-clock
+///    timestamp (steady_clock ns relative to the tracer's construction),
+///    so one trace answers both "what did the simulated cluster do" and
+///    "where did the host CPU go".
+///
+/// Export contract: snapshot()/write_chrome_json() may only be called when
+/// producers are quiescent — after the simulation returned and any
+/// TaskRunner whose observer feeds this tracer has been destroyed or
+/// detached. Rings are owned by the tracer (not the threads), so records
+/// written by already-joined threads remain readable.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "util/runner.hpp"
+
+namespace ll::obs {
+
+/// What a TraceRecord's fields mean. kWallSpan uses [t0_ns, t1_ns] with v0
+/// the virtual time at entry; kVirtualSpan uses [v0, v1] with t0_ns the
+/// wall stamp at emission; kInstant stamps both clocks at one point.
+enum class TraceKind : std::uint32_t { kInstant = 0, kWallSpan = 1, kVirtualSpan = 2 };
+
+/// One fixed-size binary record (48 bytes). `label` indexes the tracer's
+/// intern table; `arg` is a caller payload (job id, node index, task count).
+struct TraceRecord {
+  std::uint64_t t0_ns = 0;
+  std::uint64_t t1_ns = 0;
+  double v0 = 0.0;
+  double v1 = 0.0;
+  std::uint64_t arg = 0;
+  std::uint32_t label = 0;
+  TraceKind kind = TraceKind::kInstant;
+};
+static_assert(sizeof(TraceRecord) == 48, "records are fixed-size binary");
+
+class Tracer {
+ public:
+  /// `ring_capacity` is per thread, in records (rounded up to >= 2).
+  explicit Tracer(std::size_t ring_capacity = 1 << 16);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Interns `name`, returning a stable id for record(). Cold path (mutex);
+  /// call once per site and cache the id. Interning the same name twice
+  /// returns the same id.
+  [[nodiscard]] std::uint32_t label(std::string_view name);
+
+  /// Nanoseconds since tracer construction (steady_clock).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Converts an absolute steady_clock timestamp (ns since the clock's
+  /// epoch, as util::RunnerObserver reports) to tracer-relative ns,
+  /// clamping pre-construction stamps to 0.
+  [[nodiscard]] std::uint64_t rel_ns(std::uint64_t abs_steady_ns) const;
+
+  /// Point event at virtual time `vtime`, wall-stamped now.
+  void instant(std::uint32_t label, double vtime, std::uint64_t arg = 0);
+
+  /// Wall span that started at `t0_ns` (a prior now_ns() value) and ends
+  /// now. `vtime` is the virtual time at entry.
+  void wall_span(std::uint32_t label, std::uint64_t t0_ns, double vtime,
+                 std::uint64_t arg = 0);
+
+  /// Wall span with both endpoints supplied (now_ns()-relative).
+  void wall_span_at(std::uint32_t label, std::uint64_t t0_ns,
+                    std::uint64_t t1_ns, double vtime, std::uint64_t arg = 0);
+
+  /// Virtual-time span [v0, v1], wall-stamped at emission.
+  void virtual_span(std::uint32_t label, double v0, double v1,
+                    std::uint64_t arg = 0);
+
+  /// Totals across all rings: records ever written / overwritten-and-lost.
+  /// Exact only when producers are quiescent (see file comment).
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// A merged, export-ready view of every ring.
+  struct Snapshot {
+    struct Entry {
+      TraceRecord rec;
+      std::uint32_t tid = 0;  ///< sequential ring index (registration order)
+    };
+    std::vector<Entry> records;      ///< sorted by (t0_ns, tid)
+    std::vector<std::string> labels; ///< index == label id
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+    std::uint32_t threads = 0;
+  };
+
+  /// Merges all rings. Quiescent-only (see file comment).
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}, ts/dur in
+  /// microseconds), loadable in Perfetto / chrome://tracing. Two process
+  /// tracks: pid 1 "wall clock" (kWallSpan as ph "X", kInstant as ph "i",
+  /// one tid per recording thread), pid 2 "virtual time" (kVirtualSpan as
+  /// ph "X" with virtual seconds mapped to trace microseconds). Quiescent-
+  /// only, like snapshot().
+  void write_chrome_json(std::ostream& out) const;
+  static void write_chrome_json(const Snapshot& snap, std::ostream& out);
+
+ private:
+  struct Ring;
+  struct Impl;
+
+  Ring& ring() const;
+
+  std::unique_ptr<Impl> impl_;
+};
+
+/// SimObserver that records one wall span per fired event, labelled by tag
+/// ("fire:<name>" after name_tag, else "fire:tag<k>"). Chain it *in front*
+/// of the verify/profile observers via `next`: every hook forwards, so
+/// digests and profiles are unperturbed. With a null tracer it degrades to
+/// a pure forwarder.
+class TracingObserver final : public des::SimObserver {
+ public:
+  explicit TracingObserver(Tracer* tracer, des::SimObserver* next = nullptr)
+      : tracer_(tracer), next_(next) {}
+
+  /// Human label for a tag, mirroring EventLoopProfiler::name_tag.
+  void name_tag(std::uint64_t tag, std::string_view name);
+
+  void on_schedule(double when, des::EventId id, std::uint64_t tag) override;
+  void on_fire(double time, des::EventId id, std::uint64_t tag) override;
+  void on_fire_done(double time, des::EventId id, std::uint64_t tag) override;
+  void on_cancel(des::EventId id, std::uint64_t tag) override;
+
+ private:
+  [[nodiscard]] std::uint32_t label_for(std::uint64_t tag);
+
+  Tracer* tracer_;
+  des::SimObserver* next_;
+  // Lazily interned "fire:<tag>" labels; tags are small dense ints in
+  // practice (ClusterSim pins 1..6).
+  std::vector<std::uint32_t> tag_labels_;
+  std::uint64_t fire_start_ns_ = 0;
+};
+
+/// Bridges util::TaskRunner's observer hooks (which cannot see obs:: —
+/// util is the bottom layer) into tracer records: "runner.batch" wall
+/// spans with the task count as arg, "runner.steal" instants, and
+/// "runner.suspend" wall spans covering futex waits. Detach from the
+/// runner (or destroy the runner) before exporting the tracer.
+class RunnerTraceAdapter final : public util::RunnerObserver {
+ public:
+  explicit RunnerTraceAdapter(Tracer* tracer);
+
+  void on_batch(std::size_t tasks, std::uint64_t t0_ns,
+                std::uint64_t t1_ns) override;
+  void on_steal(std::size_t slot) override;
+  void on_suspend(std::size_t slot, std::uint64_t t0_ns,
+                  std::uint64_t t1_ns) override;
+
+ private:
+  Tracer* tracer_;
+  std::uint32_t lbl_batch_ = 0;
+  std::uint32_t lbl_steal_ = 0;
+  std::uint32_t lbl_suspend_ = 0;
+};
+
+}  // namespace ll::obs

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <exception>
@@ -27,6 +28,14 @@ inline void cpu_relax() noexcept {
 #else
   std::this_thread::yield();
 #endif
+}
+
+/// Absolute steady_clock ns — the RunnerObserver timestamp base.
+inline std::uint64_t observer_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -183,6 +192,9 @@ struct TaskRunner::Impl {
           if (victim == slot) continue;
           if (auto idx = b->queues[victim].steal_top()) {
             stats_stolen.fetch_add(1, std::memory_order_relaxed);
+            if (RunnerObserver* o = observer.load(std::memory_order_acquire)) {
+              o->on_steal(slot);
+            }
             found = b;
             index = *idx;
           }
@@ -235,7 +247,13 @@ struct TaskRunner::Impl {
         continue;
       }
       stats_suspensions.fetch_add(1, std::memory_order_relaxed);
-      epoch.wait(ep, std::memory_order_acquire);
+      if (RunnerObserver* o = observer.load(std::memory_order_acquire)) {
+        const std::uint64_t t0 = observer_now_ns();
+        epoch.wait(ep, std::memory_order_acquire);
+        o->on_suspend(slot, t0, observer_now_ns());
+      } else {
+        epoch.wait(ep, std::memory_order_acquire);
+      }
       spins = 0;
       yields = 0;
     }
@@ -257,6 +275,74 @@ struct TaskRunner::Impl {
   alignas(64) std::atomic<std::uint64_t> stats_executed{0};
   std::atomic<std::uint64_t> stats_stolen{0};
   std::atomic<std::uint64_t> stats_suspensions{0};
+  // Attached scheduler observer (nullptr = detached). Release store in
+  // set_observer pairs with the acquire loads at the call sites.
+  std::atomic<RunnerObserver*> observer{nullptr};
+
+  /// The scheduling core of TaskRunner::run() (the public wrapper adds the
+  /// observer's batch bracket).
+  void run_batch(std::vector<std::function<void()>>& tasks) {
+    if (slots == 1 || tasks.size() == 1) {
+      // Nothing to parallelize: skip publication entirely. Scheduling-only
+      // change, so results are identical to the pooled path by contract.
+      run_inline(tasks);
+      return;
+    }
+
+    Batch batch;
+    batch.tasks = &tasks;
+    batch.errors.resize(tasks.size());
+    batch.unfinished.store(tasks.size(), std::memory_order_relaxed);
+    // Deal indices round-robin, one fixed-capacity deque per worker slot.
+    // All pushes happen before publication, so capacity == the dealt share
+    // and push_bottom can never hit a full ring.
+    const std::size_t share = (tasks.size() + slots - 1) / slots;
+    for (std::size_t s = 0; s < slots; ++s) batch.queues.emplace_back(share);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      (void)batch.queues[i % slots].push_bottom(i);
+    }
+
+    const std::size_t claimed = claim_slot(&batch);
+    if (claimed == kNoSlot) {
+      run_inline(tasks);
+      return;
+    }
+    wake_one();
+
+    // The caller is worker 0: drain the own deque LIFO, then steal the
+    // other slots FIFO. A failed full pass means every remaining task is
+    // in flight on a pool worker — fall through to the completion wait.
+    for (;;) {
+      if (auto idx = batch.queues[0].pop_bottom()) {
+        execute(batch, *idx);
+        continue;
+      }
+      std::optional<std::size_t> idx;
+      for (std::size_t v = 1; v < slots && !idx; ++v) {
+        idx = batch.queues[v].steal_top();
+      }
+      if (!idx) break;
+      stats_stolen.fetch_add(1, std::memory_order_relaxed);
+      if (RunnerObserver* o = observer.load(std::memory_order_acquire)) {
+        o->on_steal(0);
+      }
+      execute(batch, *idx);
+    }
+    std::size_t left = batch.unfinished.load(std::memory_order_acquire);
+    while (left != 0) {
+      batch.unfinished.wait(left, std::memory_order_acquire);
+      left = batch.unfinished.load(std::memory_order_acquire);
+    }
+
+    // Unpublish, then wait out any worker still scanning this batch before
+    // the stack frame that owns it unwinds.
+    batch_slots[claimed].store(nullptr, std::memory_order_seq_cst);
+    drain_hazards(&batch);
+
+    for (const std::exception_ptr& error : batch.errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
 };
 
 TaskRunner::TaskRunner(std::size_t threads)
@@ -285,64 +371,26 @@ TaskRunner& TaskRunner::shared() {
 
 void TaskRunner::run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;  // documented no-op: no publication, no wake
-  Impl& impl = *impl_;
-  if (impl.slots == 1 || tasks.size() == 1) {
-    // Nothing to parallelize: skip publication entirely. Scheduling-only
-    // change, so results are identical to the pooled path by contract.
-    impl.run_inline(tasks);
+  RunnerObserver* obs = impl_->observer.load(std::memory_order_acquire);
+  if (!obs) {
+    impl_->run_batch(tasks);
     return;
   }
-
-  Impl::Batch batch;
-  batch.tasks = &tasks;
-  batch.errors.resize(tasks.size());
-  batch.unfinished.store(tasks.size(), std::memory_order_relaxed);
-  // Deal indices round-robin, one fixed-capacity deque per worker slot.
-  // All pushes happen before publication, so capacity == the dealt share
-  // and push_bottom can never hit a full ring.
-  const std::size_t share = (tasks.size() + impl.slots - 1) / impl.slots;
-  for (std::size_t s = 0; s < impl.slots; ++s) batch.queues.emplace_back(share);
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    (void)batch.queues[i % impl.slots].push_bottom(i);
+  // Batch bracket: the observer hears about the batch (task count + wall
+  // interval) even when a task throws — the span is real work either way.
+  const std::size_t count = tasks.size();
+  const std::uint64_t t0 = observer_now_ns();
+  try {
+    impl_->run_batch(tasks);
+  } catch (...) {
+    obs->on_batch(count, t0, observer_now_ns());
+    throw;
   }
+  obs->on_batch(count, t0, observer_now_ns());
+}
 
-  const std::size_t claimed = impl.claim_slot(&batch);
-  if (claimed == Impl::kNoSlot) {
-    impl.run_inline(tasks);
-    return;
-  }
-  impl.wake_one();
-
-  // The caller is worker 0: drain the own deque LIFO, then steal the other
-  // slots FIFO. A failed full pass means every remaining task is in flight
-  // on a pool worker — fall through to the completion wait.
-  for (;;) {
-    if (auto idx = batch.queues[0].pop_bottom()) {
-      impl.execute(batch, *idx);
-      continue;
-    }
-    std::optional<std::size_t> idx;
-    for (std::size_t v = 1; v < impl.slots && !idx; ++v) {
-      idx = batch.queues[v].steal_top();
-    }
-    if (!idx) break;
-    impl.stats_stolen.fetch_add(1, std::memory_order_relaxed);
-    impl.execute(batch, *idx);
-  }
-  std::size_t left = batch.unfinished.load(std::memory_order_acquire);
-  while (left != 0) {
-    batch.unfinished.wait(left, std::memory_order_acquire);
-    left = batch.unfinished.load(std::memory_order_acquire);
-  }
-
-  // Unpublish, then wait out any worker still scanning this batch before
-  // the stack frame that owns it unwinds.
-  impl.batch_slots[claimed].store(nullptr, std::memory_order_seq_cst);
-  impl.drain_hazards(&batch);
-
-  for (const std::exception_ptr& error : batch.errors) {
-    if (error) std::rethrow_exception(error);
-  }
+RunnerObserver* TaskRunner::set_observer(RunnerObserver* observer) {
+  return impl_->observer.exchange(observer, std::memory_order_acq_rel);
 }
 
 }  // namespace ll::util

@@ -46,6 +46,34 @@
 
 namespace ll::util {
 
+/// Passive observer of scheduler activity, the hook behind the tracer's
+/// runner spans (obs::RunnerTraceAdapter — util is the bottom layer and
+/// cannot see obs::, so the interface lives here). Timestamps are absolute
+/// steady_clock nanoseconds (time_since_epoch), convertible by the
+/// consumer to whatever base it uses.
+///
+/// Contract: callbacks fire on arbitrary threads (pool workers and every
+/// run() caller) and must be thread-safe, cheap, and non-blocking. Every
+/// call site is null-guarded, so a detached runner pays only a relaxed
+/// atomic load; the timestamp reads happen only when an observer is
+/// attached. The observer must outlive its attachment — detach with
+/// set_observer(nullptr) (or destroy the runner) before destroying it,
+/// and before reading any state the callbacks write from other threads.
+class RunnerObserver {
+ public:
+  virtual ~RunnerObserver() = default;
+  /// One run() batch completed (including inline fallbacks): `tasks` tasks
+  /// over wall interval [t0_ns, t1_ns]. Fires on the calling thread, after
+  /// every task finished (also when the batch rethrows).
+  virtual void on_batch(std::size_t tasks, std::uint64_t t0_ns,
+                        std::uint64_t t1_ns) = 0;
+  /// A task was acquired via steal_top by worker `slot` (0 = a caller).
+  virtual void on_steal(std::size_t slot) = 0;
+  /// Pool worker `slot` suspended on atomic::wait for [t0_ns, t1_ns].
+  virtual void on_suspend(std::size_t slot, std::uint64_t t0_ns,
+                          std::uint64_t t1_ns) = 0;
+};
+
 class TaskRunner {
  public:
   /// Scheduler counters, process-lifetime cumulative for this runner.
@@ -75,6 +103,10 @@ class TaskRunner {
 
   /// Cumulative scheduler counters (see Stats).
   [[nodiscard]] Stats stats() const;
+
+  /// Attaches a scheduler observer (nullptr detaches). Returns the
+  /// previous observer. See RunnerObserver for the threading contract.
+  RunnerObserver* set_observer(RunnerObserver* observer);
 
   /// Background threads ever started by any TaskRunner in this process —
   /// the probe bench/micro_runner.cpp uses to verify the N+constant bound.

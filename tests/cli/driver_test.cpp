@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "trace/trace_io.hpp"
+#include "util/json.hpp"
 #include "workload/fine_generator.hpp"
 #include "workload/table_io.hpp"
 
@@ -343,6 +344,114 @@ TEST_F(CliTest, FaultsRejectsUnknownPolicy) {
   const CliResult r = run({"faults", "--policy=condor"});
   EXPECT_EQ(r.code, 1);
   EXPECT_NE(r.err.find("unknown policy"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceScenarioWritesValidChromeJson) {
+  const std::string trace_path = path("scenario.json");
+  const CliResult r =
+      run({"trace", "--scenario=cluster-open-ll", "--out=" + trace_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("digest"), std::string::npos);
+  EXPECT_NE(r.out.find("wrote"), std::string::npos);
+
+  std::ifstream file(trace_path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto doc = util::json::parse(buffer.str());
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind(), util::json::Kind::kArray);
+  EXPECT_GT(events->as_array().size(), 3u);  // metadata + fire spans
+}
+
+TEST_F(CliTest, TraceSweepCoversAllInstrumentedLayers) {
+  const std::string trace_path = path("sweep.json");
+  const std::string manifest_path = path("manifest.json");
+  const CliResult r = run({"trace", "--policy=LL", "--nodes=8", "--jobs=8",
+                           "--demand=60", "--machines=4", "--days=0.2",
+                           "--reps=2", "--workers=2", "--seed=11",
+                           "--out=" + trace_path,
+                           "--metrics-out=" + manifest_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  std::ifstream file(trace_path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+  // DES fire spans, engine cell spans, and runner batch spans all present.
+  EXPECT_NE(text.find("fire:"), std::string::npos);
+  EXPECT_NE(text.find("cell:"), std::string::npos);
+  EXPECT_NE(text.find("runner.batch"), std::string::npos);
+
+  std::ifstream mf(manifest_path);
+  ASSERT_TRUE(mf.good());
+  std::stringstream mbuf;
+  mbuf << mf.rdbuf();
+  const auto doc = util::json::parse(mbuf.str());
+  const auto* trace = doc.find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_GT(trace->find("tracer_recorded")->as_number(), 0.0);
+}
+
+TEST_F(CliTest, TraceRequiresOut) {
+  const CliResult r = run({"trace", "--scenario=cluster-open-ll"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, BenchReportWritesSchemaShapedJson) {
+  const std::string report_path = path("bench.json");
+  const CliResult r = run({"bench", "--report", "--out=" + report_path,
+                           "--report-scale=0.02", "--workers=2"});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  std::ifstream file(report_path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto doc = util::json::parse(buffer.str());
+  EXPECT_EQ(doc.find("tool")->as_string(), "llsim bench --report");
+  ASSERT_EQ(doc.find("version")->kind(), util::json::Kind::kString);
+  ASSERT_EQ(doc.find("seed")->kind(), util::json::Kind::kNumber);
+  ASSERT_EQ(doc.find("config")->kind(), util::json::Kind::kObject);
+  const auto* entries = doc.find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->kind(), util::json::Kind::kArray);
+  ASSERT_EQ(entries->as_array().size(), 4u);
+  std::vector<std::string> names;
+  for (const auto& e : entries->as_array()) {
+    names.push_back(e.find("name")->as_string());
+    EXPECT_GE(e.find("wall_s")->as_number(), 0.0);
+    EXPECT_GT(e.find("items")->as_number(), 0.0);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"micro_steal", "micro_obs",
+                                             "micro_runner", "fig07"}));
+}
+
+TEST_F(CliTest, BenchReportCheckPassesAgainstItself) {
+  const std::string baseline = path("baseline.json");
+  ASSERT_EQ(run({"bench", "--report", "--out=" + baseline,
+                 "--report-scale=0.02", "--workers=2"})
+                .code,
+            0);
+  const CliResult r =
+      run({"bench", "--report", "--out=" + path("again.json"),
+           "--report-scale=0.02", "--workers=2", "--check=" + baseline,
+           "--tolerance=1000"});
+  ASSERT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("perf-report check: ok"), std::string::npos);
+}
+
+TEST_F(CliTest, ProfileReportsWallClockTotals) {
+  const CliResult r =
+      run({"profile", "--policy=LL", "--nodes=4", "--jobs=6", "--demand=60",
+           "--machines=2", "--days=0.2", "--seed=5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("run total (ms)"), std::string::npos);
+  EXPECT_NE(r.out.find("event callbacks (ms)"), std::string::npos);
+  EXPECT_NE(r.out.find("callback share"), std::string::npos);
 }
 
 TEST_F(CliTest, DeterministicAcrossInvocations) {

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/timeline.hpp"
+#include "obs/tracer.hpp"
 #include "verify/scenarios.hpp"
 
 namespace ll::verify {
@@ -97,6 +98,42 @@ TEST(GoldenObservability, FullInstrumentationStackIsTransparent) {
     const ScenarioResult observed = scenario.run(instrumented);
     EXPECT_EQ(baseline.digest.value(), observed.digest.value());
     EXPECT_EQ(baseline.events, observed.events);
+  }
+}
+
+TEST(GoldenObservability, FullTracingLeavesEveryDigestIdentical) {
+  // The flight recorder on every layer it can reach from a scenario — a
+  // TracingObserver per engine attachment plus ClusterSim::set_tracer —
+  // must leave all 14 pinned digests byte-identical. A small ring forces
+  // wraparound during the run, so the drop path is covered too.
+  for (const auto& scenario : scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    ScenarioOptions plain;  // kGoldenSeed
+    const ScenarioResult baseline = scenario.run(plain);
+
+    obs::Tracer tracer(/*ring_capacity=*/512);
+    std::vector<std::unique_ptr<obs::TracingObserver>> observers;
+    ScenarioOptions traced;
+    traced.wrap_observer = [&](des::SimObserver* inner) {
+      observers.push_back(
+          std::make_unique<obs::TracingObserver>(&tracer, inner));
+      return observers.back().get();
+    };
+    traced.cluster_hook = [&](cluster::ClusterSim& sim) {
+      sim.set_tracer(&tracer);
+    };
+    const ScenarioResult observed = scenario.run(traced);
+
+    EXPECT_EQ(baseline.digest.value(), observed.digest.value())
+        << "tracer attachment perturbed the event stream";
+    EXPECT_EQ(baseline.events, observed.events);
+    EXPECT_EQ(baseline.checks, observed.checks);
+    // Scenarios without a DES engine (pure RNG/workload checks) never
+    // invoke wrap_observer; only attached tracers must have recorded.
+    if (!observers.empty()) {
+      EXPECT_GT(tracer.recorded(), 0u)
+          << "tracing was attached but recorded nothing";
+    }
   }
 }
 

@@ -137,6 +137,45 @@ TEST(Manifest, OptionalSchemaKeysCheckedOnlyWhenPresent) {
   EXPECT_NE(error.find("goodput"), std::string::npos) << error;
 }
 
+TEST(Manifest, TraceSectionWrittenWhenSet) {
+  RunManifest m = sample_manifest();
+  TraceStats trace;
+  trace.timeline_recorded = 100;
+  trace.timeline_dropped = 4;
+  trace.tracer_recorded = 5000;
+  trace.tracer_dropped = 904;
+  m.trace = trace;
+  const auto doc = util::json::parse(render(m));
+  const auto* section = doc.find("trace");
+  ASSERT_NE(section, nullptr);
+  EXPECT_DOUBLE_EQ(section->find("timeline_recorded")->as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(section->find("timeline_dropped")->as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(section->find("tracer_recorded")->as_number(), 5000.0);
+  EXPECT_DOUBLE_EQ(section->find("tracer_dropped")->as_number(), 904.0);
+  // Absent when unset (trace-free tools keep their old shape).
+  EXPECT_EQ(util::json::parse(render(sample_manifest())).find("trace"),
+            nullptr);
+}
+
+TEST(Manifest, TraceSectionValidatesAsOptionalObject) {
+  constexpr std::string_view schema = R"({
+    "required": {
+      "tool": "string",
+      "version": "string",
+      "seed": "number",
+      "config": "object",
+      "metrics": "array"
+    },
+    "optional": {
+      "trace": "object"
+    }
+  })";
+  EXPECT_EQ(validate_manifest(render(sample_manifest()), schema), "");
+  RunManifest m = sample_manifest();
+  m.trace = TraceStats{};
+  EXPECT_EQ(validate_manifest(render(m), schema), "");
+}
+
 TEST(Manifest, MalformedSchemaReportsError) {
   EXPECT_NE(validate_manifest(render(sample_manifest()), R"({"nope": 1})"),
             "");

@@ -1,0 +1,246 @@
+/// Flight-recorder tracer unit tests: ring wraparound and drop accounting,
+/// multi-thread interleave and the merged snapshot ordering, Chrome
+/// trace-event JSON well-formedness (round-tripped through util::json),
+/// observer chaining, and the runner adapter's quiescent-export contract.
+
+#include "obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "obs/profiler.hpp"
+#include "util/json.hpp"
+#include "util/runner.hpp"
+
+namespace ll::obs {
+namespace {
+
+TEST(Tracer, InterningIsStableAndIdempotent) {
+  Tracer tracer;
+  const std::uint32_t a = tracer.label("alpha");
+  const std::uint32_t b = tracer.label("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, tracer.label("alpha"));
+  const auto snap = tracer.snapshot();
+  ASSERT_GT(snap.labels.size(), b);
+  EXPECT_EQ(snap.labels[a], "alpha");
+  EXPECT_EQ(snap.labels[b], "beta");
+}
+
+TEST(Tracer, RecordsCarryKindClocksAndArg) {
+  Tracer tracer;
+  const std::uint32_t l = tracer.label("l");
+  tracer.instant(l, 12.5, 7);
+  const std::uint64_t t0 = tracer.now_ns();
+  tracer.wall_span(l, t0, 3.0, 8);
+  tracer.wall_span_at(l, 100, 200, 4.0, 9);
+  tracer.virtual_span(l, 10.0, 20.0, 11);
+  const auto snap = tracer.snapshot();
+  ASSERT_EQ(snap.records.size(), 4u);
+  EXPECT_EQ(snap.recorded, 4u);
+  EXPECT_EQ(snap.dropped, 0u);
+  std::size_t instants = 0;
+  std::size_t wall = 0;
+  std::size_t virt = 0;
+  for (const auto& e : snap.records) {
+    switch (e.rec.kind) {
+      case TraceKind::kInstant:
+        ++instants;
+        EXPECT_DOUBLE_EQ(e.rec.v0, 12.5);
+        EXPECT_EQ(e.rec.arg, 7u);
+        break;
+      case TraceKind::kWallSpan:
+        ++wall;
+        EXPECT_GE(e.rec.t1_ns, e.rec.t0_ns);
+        break;
+      case TraceKind::kVirtualSpan:
+        ++virt;
+        EXPECT_DOUBLE_EQ(e.rec.v0, 10.0);
+        EXPECT_DOUBLE_EQ(e.rec.v1, 20.0);
+        EXPECT_EQ(e.rec.arg, 11u);
+        break;
+    }
+  }
+  EXPECT_EQ(instants, 1u);
+  EXPECT_EQ(wall, 2u);
+  EXPECT_EQ(virt, 1u);
+}
+
+TEST(Tracer, RingWrapsKeepingTheTailAndCountingDrops) {
+  Tracer tracer(/*ring_capacity=*/4);
+  const std::uint32_t l = tracer.label("wrap");
+  for (std::uint64_t i = 0; i < 10; ++i) tracer.instant(l, 0.0, i);
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto snap = tracer.snapshot();
+  ASSERT_EQ(snap.records.size(), 4u);
+  // A flight recorder keeps the tail, not the head: args 6..9 survive.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap.records[i].rec.arg, 6u + i);
+  }
+}
+
+TEST(Tracer, TinyCapacityIsClampedNotRejected) {
+  Tracer tracer(/*ring_capacity=*/0);
+  const std::uint32_t l = tracer.label("tiny");
+  tracer.instant(l, 0.0, 1);
+  tracer.instant(l, 0.0, 2);
+  tracer.instant(l, 0.0, 3);
+  EXPECT_EQ(tracer.recorded(), 3u);
+  EXPECT_GE(tracer.snapshot().records.size(), 1u);
+}
+
+TEST(Tracer, RelNsClampsPreConstructionStamps) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.rel_ns(0), 0u);
+}
+
+TEST(Tracer, MultiThreadRingsMergeSortedWithExactCounts) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 500;
+  Tracer tracer;
+  std::vector<std::uint32_t> labels;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    labels.push_back(tracer.label("thread" + std::to_string(t)));
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, &labels, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        tracer.instant(labels[t], static_cast<double>(i), i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();  // quiescent before snapshot
+
+  const auto snap = tracer.snapshot();
+  EXPECT_EQ(snap.threads, kThreads);
+  EXPECT_EQ(snap.recorded, kThreads * kPerThread);
+  EXPECT_EQ(snap.dropped, 0u);
+  ASSERT_EQ(snap.records.size(), kThreads * kPerThread);
+  std::vector<std::uint64_t> per_label(kThreads, 0);
+  for (std::size_t i = 0; i < snap.records.size(); ++i) {
+    ++per_label[snap.records[i].rec.label - labels[0]];
+    if (i > 0) {
+      EXPECT_LE(snap.records[i - 1].rec.t0_ns, snap.records[i].rec.t0_ns)
+          << "merged snapshot must be sorted by wall start";
+    }
+  }
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_label[t], kPerThread);
+  }
+}
+
+TEST(Tracer, ChromeJsonRoundTripsThroughUtilJson) {
+  Tracer tracer;
+  const std::uint32_t l = tracer.label("span \"quoted\"\n");
+  tracer.instant(l, 1.0, 1);
+  tracer.wall_span(l, tracer.now_ns(), 2.0, 2);
+  tracer.virtual_span(l, 5.0, 9.0, 3);
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+
+  const auto doc = util::json::parse(out.str());
+  ASSERT_EQ(doc.kind(), util::json::Kind::kObject);
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind(), util::json::Kind::kArray);
+  std::size_t spans = 0;
+  std::size_t instants = 0;
+  std::size_t metadata = 0;
+  for (const auto& ev : events->as_array()) {
+    ASSERT_EQ(ev.kind(), util::json::Kind::kObject);
+    ASSERT_NE(ev.find("name"), nullptr);
+    ASSERT_EQ(ev.find("ph")->kind(), util::json::Kind::kString);
+    ASSERT_EQ(ev.find("pid")->kind(), util::json::Kind::kNumber);
+    ASSERT_EQ(ev.find("tid")->kind(), util::json::Kind::kNumber);
+    const std::string& ph = ev.find("ph")->as_string();
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    ASSERT_EQ(ev.find("ts")->kind(), util::json::Kind::kNumber);
+    if (ph == "X") {
+      ++spans;
+      EXPECT_GE(ev.find("dur")->as_number(), 0.0);
+    } else {
+      ASSERT_EQ(ph, "i");
+      ++instants;
+    }
+  }
+  EXPECT_EQ(spans, 2u);
+  EXPECT_EQ(instants, 1u);
+  EXPECT_GE(metadata, 2u);  // wall + virtual process names at least
+}
+
+TEST(TracingObserver, RecordsFireSpansAndForwardsToNext) {
+  Tracer tracer;
+  EventLoopProfiler profiler;
+  TracingObserver observer(&tracer, &profiler);
+  observer.name_tag(7, "tick");
+
+  des::Simulation sim;
+  sim.set_observer(&observer);
+  std::size_t fired = 0;
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_at(static_cast<double>(i), [&fired] { ++fired; }, 7);
+  }
+  sim.run();
+
+  EXPECT_EQ(fired, 20u);
+  EXPECT_EQ(profiler.fires(), 20u) << "chained observer must still see fires";
+  const auto snap = tracer.snapshot();
+  ASSERT_EQ(snap.records.size(), 20u);
+  for (const auto& e : snap.records) {
+    EXPECT_EQ(e.rec.kind, TraceKind::kWallSpan);
+    EXPECT_EQ(snap.labels[e.rec.label], "fire:tick");
+  }
+}
+
+TEST(TracingObserver, UnnamedTagsGetSyntheticLabels) {
+  Tracer tracer;
+  TracingObserver observer(&tracer);
+  des::Simulation sim;
+  sim.set_observer(&observer);
+  sim.schedule_at(1.0, [] {}, 42);
+  sim.run();
+  const auto snap = tracer.snapshot();
+  ASSERT_EQ(snap.records.size(), 1u);
+  EXPECT_EQ(snap.labels[snap.records[0].rec.label], "fire:tag42");
+}
+
+TEST(RunnerTraceAdapter, RecordsBatchesAndSurvivesRunnerDestruction) {
+  Tracer tracer;
+  RunnerTraceAdapter adapter(&tracer);
+  {
+    util::TaskRunner runner(2);
+    runner.set_observer(&adapter);
+    std::atomic<int> done{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 64; ++i) {
+      tasks.emplace_back([&done] { done.fetch_add(1); });
+    }
+    runner.run(std::move(tasks));
+    EXPECT_EQ(done.load(), 64);
+  }  // runner joined its workers: the tracer is quiescent now
+
+  const auto snap = tracer.snapshot();
+  bool saw_batch = false;
+  for (const auto& e : snap.records) {
+    if (snap.labels[e.rec.label] == "runner.batch") {
+      saw_batch = true;
+      EXPECT_EQ(e.rec.kind, TraceKind::kWallSpan);
+      EXPECT_EQ(e.rec.arg, 64u);
+    }
+  }
+  EXPECT_TRUE(saw_batch);
+}
+
+}  // namespace
+}  // namespace ll::obs

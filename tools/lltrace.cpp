@@ -1,0 +1,237 @@
+// lltrace — validate and summarize a Chrome trace-event JSON file written
+// by `llsim trace` (or any tool emitting the same subset).
+//
+//   lltrace <trace.json> [--top=N]
+//
+// Validation: the document must be an object with a "traceEvents" array;
+// every event needs a string "name", a string "ph", and numeric
+// "pid"/"tid"; "X" events additionally need numeric "ts" and "dur" >= 0,
+// "i" events a numeric "ts". Exit 1 on any violation — CI uses this as the
+// well-formedness gate for the tracer's exporter.
+//
+// Summary: a top-N hot-tag table over the wall-clock track (pid 1) with
+// total and *self* time per name — self time excludes time covered by
+// events nested inside an event on the same (pid, tid) track, computed by
+// the usual sorted-interval stack sweep — plus virtual-time totals for the
+// pid 2 track and the instant-event counts.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/flags.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+namespace json = ll::util::json;
+
+struct Span {
+  std::string name;
+  double pid = 0.0;
+  double tid = 0.0;
+  double ts = 0.0;
+  double dur = 0.0;
+};
+
+struct NameStats {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+};
+
+/// Accumulates self time for one (pid, tid) track: spans sorted by
+/// (ts, -dur) nest like a call stack (Chrome "X" events on one thread
+/// never partially overlap; ties open the longer span first).
+void fold_track(std::vector<Span>& spans, std::map<std::string, NameStats>& by_name) {
+  std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.dur > b.dur;
+  });
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    while (!stack.empty() &&
+           spans[stack.back()].ts + spans[stack.back()].dur <= s.ts) {
+      stack.pop_back();
+    }
+    NameStats& stats = by_name[s.name];
+    ++stats.count;
+    stats.total_us += s.dur;
+    stats.self_us += s.dur;
+    if (!stack.empty()) {
+      // The enclosing span does not own the time this one covers.
+      by_name[spans[stack.back()].name].self_us -= s.dur;
+    }
+    stack.push_back(i);
+  }
+}
+
+int fail(const std::string& message) {
+  std::cerr << "lltrace: " << message << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  ll::util::Flags flags("lltrace",
+                        "Validate and summarize a Chrome trace-event JSON "
+                        "file written by `llsim trace`.");
+  auto top = flags.add_int("top", 12, "rows in the hot-tag table");
+  std::string path;
+  try {
+    std::vector<const char*> rest{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        rest.push_back(argv[i]);
+      } else if (path.empty()) {
+        path = arg;
+      } else {
+        return fail("unexpected positional argument '" + std::string(arg) +
+                    "'\n" + flags.usage());
+      }
+    }
+    flags.parse(static_cast<int>(rest.size()), rest.data());
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  if (path.empty()) return fail("usage: lltrace <trace.json> [--top=N]");
+
+  std::ifstream file(path);
+  if (!file) return fail("cannot open " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  json::Value doc;
+  try {
+    doc = json::parse(buffer.str());
+  } catch (const std::exception& e) {
+    return fail("invalid JSON: " + std::string(e.what()));
+  }
+  if (doc.kind() != json::Kind::kObject) {
+    return fail("top level is not an object");
+  }
+  const json::Value* events = doc.find("traceEvents");
+  if (!events || events->kind() != json::Kind::kArray) {
+    return fail("missing \"traceEvents\" array");
+  }
+
+  // Wall spans grouped per (pid, tid) track for the nesting sweep.
+  std::map<std::pair<double, double>, std::vector<Span>> wall_tracks;
+  std::map<std::string, NameStats> virtual_totals;
+  std::map<std::string, std::uint64_t> instants;
+  std::size_t span_count = 0;
+  std::size_t metadata_count = 0;
+
+  for (std::size_t i = 0; i < events->as_array().size(); ++i) {
+    const json::Value& ev = events->as_array()[i];
+    const std::string where = "event " + std::to_string(i);
+    if (ev.kind() != json::Kind::kObject) {
+      return fail(where + " is not an object");
+    }
+    const auto need = [&](const char* key,
+                          json::Kind kind) -> const json::Value* {
+      const json::Value* v = ev.find(key);
+      if (!v || v->kind() != kind) return nullptr;
+      return v;
+    };
+    const json::Value* name = need("name", json::Kind::kString);
+    const json::Value* ph = need("ph", json::Kind::kString);
+    const json::Value* pid = need("pid", json::Kind::kNumber);
+    const json::Value* tid = need("tid", json::Kind::kNumber);
+    if (!name || !ph || !pid || !tid) {
+      return fail(where + " lacks name/ph/pid/tid of the required kinds");
+    }
+    const std::string& phase = ph->as_string();
+    if (phase == "M") {
+      ++metadata_count;
+      continue;
+    }
+    if (phase == "i") {
+      if (!need("ts", json::Kind::kNumber)) {
+        return fail(where + " (instant) lacks a numeric ts");
+      }
+      ++instants[name->as_string()];
+      continue;
+    }
+    if (phase != "X") {
+      return fail(where + " has unsupported phase '" + phase + "'");
+    }
+    const json::Value* ts = need("ts", json::Kind::kNumber);
+    const json::Value* dur = need("dur", json::Kind::kNumber);
+    if (!ts || !dur) {
+      return fail(where + " (complete) lacks numeric ts/dur");
+    }
+    if (dur->as_number() < 0.0) {
+      return fail(where + " has negative dur");
+    }
+    ++span_count;
+    Span span{name->as_string(), pid->as_number(), tid->as_number(),
+              ts->as_number(), dur->as_number()};
+    if (pid->as_number() == 2.0) {
+      NameStats& stats = virtual_totals[span.name];
+      ++stats.count;
+      stats.total_us += span.dur;
+    } else {
+      wall_tracks[{span.pid, span.tid}].push_back(std::move(span));
+    }
+  }
+
+  std::map<std::string, NameStats> wall_totals;
+  for (auto& [track, spans] : wall_tracks) fold_track(spans, wall_totals);
+
+  std::cout << path << ": valid Chrome trace — " << span_count << " spans, ";
+  std::size_t instant_total = 0;
+  for (const auto& [name, count] : instants) instant_total += count;
+  std::cout << instant_total << " instants, " << metadata_count
+            << " metadata events, " << wall_tracks.size()
+            << " wall track(s)\n\n";
+
+  std::vector<std::pair<std::string, NameStats>> ranked(wall_totals.begin(),
+                                                        wall_totals.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second.self_us != b.second.self_us) {
+      return a.second.self_us > b.second.self_us;
+    }
+    return a.first < b.first;
+  });
+  if (ranked.size() > static_cast<std::size_t>(*top)) {
+    ranked.resize(static_cast<std::size_t>(*top));
+  }
+  ll::util::Table table({"hot tag (wall)", "count", "total ms", "self ms"});
+  char buf[32];
+  const auto ms = [&buf](double us) {
+    std::snprintf(buf, sizeof(buf), "%.3f", us / 1000.0);
+    return std::string(buf);
+  };
+  for (const auto& [name, stats] : ranked) {
+    table.add_row({name, std::to_string(stats.count), ms(stats.total_us),
+                   ms(stats.self_us)});
+  }
+  std::cout << table.render();
+
+  if (!virtual_totals.empty()) {
+    ll::util::Table vt({"virtual-time span", "count", "total sim-s"});
+    for (const auto& [name, stats] : virtual_totals) {
+      std::snprintf(buf, sizeof(buf), "%.3f", stats.total_us / 1e6);
+      vt.add_row({name, std::to_string(stats.count), buf});
+    }
+    std::cout << "\n" << vt.render();
+  }
+  if (!instants.empty()) {
+    ll::util::Table it({"instant", "count"});
+    for (const auto& [name, count] : instants) {
+      it.add_row({name, std::to_string(count)});
+    }
+    std::cout << "\n" << it.render();
+  }
+  return 0;
+}
