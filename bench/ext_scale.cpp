@@ -1,0 +1,8 @@
+/// Thin wrapper: this bench is registered in the engine's bench registry
+/// (src/exp) and is also reachable as `llsim bench ext_scale`.
+
+#include "exp/registry.hpp"
+
+int main(int argc, char** argv) {
+  return ll::exp::bench_main("ext_scale", argc, argv);
+}

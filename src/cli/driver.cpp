@@ -94,6 +94,21 @@ std::string count_metric(double mean, std::size_t reps) {
   return util::fixed(mean, reps > 1 ? 1 : 0);
 }
 
+constexpr std::string_view kQueueFlagHelp =
+    "event-queue backend: heap or calendar (identical results either way; "
+    "calendar is faster at very large node counts)";
+
+/// Parses a --queue flag value, throwing the subcommand's usage-style error.
+des::QueueBackend parse_queue_flag(std::string_view subcommand,
+                                   const std::string& value) {
+  const auto backend = des::parse_queue_backend(value);
+  if (!backend) {
+    throw std::invalid_argument(std::string(subcommand) + ": unknown queue '" +
+                                value + "' (heap, calendar)");
+  }
+  return *backend;
+}
+
 // ---- observability helpers ------------------------------------------------
 
 /// One fully instrumented cluster run: metrics registry, event-loop
@@ -270,6 +285,7 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
   auto workers = flags.add_int("workers", 0,
                                "worker threads (0 = hardware concurrency)");
   auto json = flags.add_bool("json", false, "emit the sweep as JSON");
+  auto queue_name = flags.add_string("queue", "heap", kQueueFlagHelp);
   auto argv = to_argv(args);
   flags.parse(static_cast<int>(argv.size()), argv.data());
 
@@ -278,6 +294,7 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
     throw std::invalid_argument("cluster: unknown policy '" + *policy_name +
                                 "' (LL, LF, IE, PM, LL-oracle)");
   }
+  const des::QueueBackend queue = parse_queue_flag("cluster", *queue_name);
   const auto pool = pool_from_flags(*traces_dir, *machines, *days, *seed + 1);
   const workload::BurstTable table = table_path->empty()
                                          ? workload::default_burst_table()
@@ -285,6 +302,7 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
 
   cluster::ExperimentConfig cfg;
   cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
+  cfg.cluster.queue = queue;
   cfg.cluster.policy = *policy;
   cfg.cluster.policy_params.pause_time = *pause;
   cfg.workload =
@@ -323,7 +341,7 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
     // The log is a per-job debugging feed, so it covers one run: the first
     // replication, re-run with its engine-derived seed.
     cfg.seed = exp::replication_seed(*seed, 0, 0);
-    std::deque<cluster::JobRecord> job_records;
+    cluster::JobStore job_records;
     (void)cluster::run_open(cfg, *pool, table, &job_records);
     cluster::write_job_log(job_records, *job_log);
     out << "wrote job log to " << *job_log << "\n";
@@ -415,6 +433,7 @@ int cmd_parallel(const std::vector<std::string>& args, std::ostream& out) {
       "write a run manifest (JSON) from an instrumented re-run of the "
       "first replication");
   auto json = flags.add_bool("json", false, "emit the sweep as JSON");
+  auto queue_name = flags.add_string("queue", "heap", kQueueFlagHelp);
   auto argv = to_argv(args);
   flags.parse(static_cast<int>(argv.size()), argv.data());
 
@@ -428,6 +447,7 @@ int cmd_parallel(const std::vector<std::string>& args, std::ostream& out) {
 
   exp::ParallelCellSpec cell_spec;
   cell_spec.cluster.node_count = static_cast<std::size_t>(*nodes);
+  cell_spec.cluster.queue = parse_queue_flag("parallel", *queue_name);
   cell_spec.cluster.policy = *policy;
   cell_spec.cluster.fixed_width = cell_spec.cluster.node_count;
   cell_spec.job.total_work = *work;
@@ -542,6 +562,7 @@ int cmd_profile(const std::vector<std::string>& args, std::ostream& out) {
   auto json = flags.add_bool("json", false,
                              "emit the manifest JSON to stdout instead of "
                              "tables");
+  auto queue_name = flags.add_string("queue", "heap", kQueueFlagHelp);
   auto argv = to_argv(args);
   flags.parse(static_cast<int>(argv.size()), argv.data());
 
@@ -554,6 +575,7 @@ int cmd_profile(const std::vector<std::string>& args, std::ostream& out) {
 
   cluster::ExperimentConfig cfg;
   cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
+  cfg.cluster.queue = parse_queue_flag("profile", *queue_name);
   cfg.cluster.policy = *policy;
   cfg.workload =
       cluster::WorkloadSpec{static_cast<std::size_t>(*jobs), *demand};
@@ -674,6 +696,7 @@ int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
   auto seed = flags.add_uint64("seed", 42, "RNG seed (sweep mode)");
   auto metrics_out = flags.add_string(
       "metrics-out", "", "also write a run manifest with trace accounting");
+  auto queue_name = flags.add_string("queue", "heap", kQueueFlagHelp);
   auto argv = to_argv(args);
   flags.parse(static_cast<int>(argv.size()), argv.data());
   if (out_path->empty()) {
@@ -696,6 +719,7 @@ int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
                                   "' (see llverify --list)");
     }
     verify::ScenarioOptions options;
+    options.queue = parse_queue_flag("trace", *queue_name);
     std::vector<std::unique_ptr<obs::TracingObserver>> observers;
     options.wrap_observer = [&](des::SimObserver* inner) {
       observers.push_back(
@@ -726,6 +750,7 @@ int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
 
     cluster::ExperimentConfig cfg;
     cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
+    cfg.cluster.queue = parse_queue_flag("trace", *queue_name);
     cfg.cluster.policy = *policy;
     cfg.workload =
         cluster::WorkloadSpec{static_cast<std::size_t>(*jobs), *demand};
@@ -842,6 +867,7 @@ int cmd_faults(const std::vector<std::string>& args, std::ostream& out) {
   auto metrics_out = flags.add_string("metrics-out", "",
                                       "also write a run manifest (JSON)");
   auto seed = flags.add_uint64("seed", 42, "RNG seed");
+  auto queue_name = flags.add_string("queue", "heap", kQueueFlagHelp);
   auto argv = to_argv(args);
   flags.parse(static_cast<int>(argv.size()), argv.data());
 
@@ -854,6 +880,7 @@ int cmd_faults(const std::vector<std::string>& args, std::ostream& out) {
 
   cluster::ExperimentConfig cfg;
   cfg.cluster.node_count = static_cast<std::size_t>(*nodes);
+  cfg.cluster.queue = parse_queue_flag("faults", *queue_name);
   cfg.cluster.policy = *policy;
   cfg.workload =
       cluster::WorkloadSpec{static_cast<std::size_t>(*jobs), *demand};

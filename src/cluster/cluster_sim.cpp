@@ -6,8 +6,8 @@
 #include <limits>
 #include <optional>
 #include <stdexcept>
-#include <unordered_map>
 
+#include "util/stable_vector.hpp"
 #include "util/table.hpp"
 
 namespace ll::cluster {
@@ -27,8 +27,41 @@ constexpr std::uint64_t kTagMigration = ClusterSim::kTagMigration;
 constexpr std::uint64_t kTagFault = ClusterSim::kTagFault;
 constexpr std::uint64_t kTagCheckpoint = ClusterSim::kTagCheckpoint;
 
+/// Per-job runtime bookkeeping, parallel to the public JobRecord table.
+/// Defined at TU scope (not nested in Impl) so its member initializers are
+/// complete by the time Impl declares its StableVector of them.
+struct JobRuntime {
+  double rate = 0.0;
+  double last_update = 0.0;
+  des::EventId completion_event = des::kNoEvent;
+  des::EventId recheck_event = des::kNoEvent;
+  int node = -1;
+  bool wants_migration = false;
+  bool displaced = false;  // in the displaced FIFO
+  // Periodic-checkpoint timer while executing; doubles as the
+  // checkpoint-write finish event while state is Checkpointing.
+  des::EventId checkpoint_event = des::kNoEvent;
+  // In-flight migration bookkeeping: the pending transfer-completion
+  // event and both endpoints, so a crash at either end can abort the
+  // transfer and release the reserved slot.
+  des::EventId mig_event = des::kNoEvent;
+  int mig_source = -1;
+  int mig_target = -1;
+  std::size_t mig_attempts = 0;  // link-drop re-attempts so far
+  // Virtual-time span starts for the tracer (valid while the matching
+  // state is in flight; harmless stale values otherwise).
+  double mig_start = 0.0;
+  double ckpt_start = 0.0;
+};
+
 }  // namespace
 
+/// Cold per-node state: trace bindings, occupancy lists, the page pool, and
+/// fault overlays. The scan-hot scalars (utilization, idle/down flags,
+/// occupancy counts, episode clocks) live in the Impl's parallel SoA
+/// vectors — the per-window tick and the placement scans walk every node,
+/// and packing the scanned fields contiguously is what keeps a 100k-node
+/// window O(nodes) cache lines instead of O(nodes) cache misses.
 struct ClusterSim::Node {
   const trace::CoarseTrace* trace = nullptr;
   const std::vector<bool>* flags = nullptr;  // idle flags, per trace sample
@@ -36,9 +69,6 @@ struct ClusterSim::Node {
   const std::vector<double>* remaining = nullptr;
   std::size_t offset_windows = 0;
 
-  double util = 0.0;
-  bool idle = true;
-  double episode_start = 0.0;  // start of the current non-idle episode
   std::vector<JobId> occupants;  // resident foreign jobs (paper: at most 1)
   std::size_t reserved = 0;      // inbound migrations holding a slot
   double mem_factor = 1.0;
@@ -48,21 +78,19 @@ struct ClusterSim::Node {
   // idle nor a migration target; a storm forces the node non-idle at
   // forced_util until forced_busy_until; a pressure spike inflates the
   // owner working set by pressure_kb until pressure_until.
-  bool down = false;
   double down_until = 0.0;
   double down_since = 0.0;  // crash instant of the current outage (tracer)
   double forced_busy_until = 0.0;
   double forced_util = 0.0;
   double pressure_until = 0.0;
   std::uint32_t pressure_kb = 0;
-
-  [[nodiscard]] std::size_t used_slots() const {
-    return occupants.size() + reserved;
-  }
 };
 
 struct ClusterSim::Impl {
-  Impl(ClusterSim& owner, ClusterConfig config) : self(owner), cfg(std::move(config)) {}
+  Impl(ClusterSim& owner, ClusterConfig config)
+      : self(owner),
+        cfg(std::move(config)),
+        sim(des::Simulation::Options{cfg.queue}) {}
 
   ClusterSim& self;
   ClusterConfig cfg;
@@ -72,32 +100,31 @@ struct ClusterSim::Impl {
       node::EffectiveRateTable::analytic(workload::default_burst_table(), 100e-6);
   std::vector<Node> nodes;
 
-  struct JobRuntime {
-    double rate = 0.0;
-    double last_update = 0.0;
-    des::EventId completion_event = des::kNoEvent;
-    des::EventId recheck_event = des::kNoEvent;
-    int node = -1;
-    bool wants_migration = false;
-    bool displaced = false;  // in the displaced FIFO
-    // Periodic-checkpoint timer while executing; doubles as the
-    // checkpoint-write finish event while state is Checkpointing.
-    des::EventId checkpoint_event = des::kNoEvent;
-    // In-flight migration bookkeeping: the pending transfer-completion
-    // event and both endpoints, so a crash at either end can abort the
-    // transfer and release the reserved slot.
-    des::EventId mig_event = des::kNoEvent;
-    int mig_source = -1;
-    int mig_target = -1;
-    std::size_t mig_attempts = 0;  // link-drop re-attempts so far
-    // Virtual-time span starts for the tracer (valid while the matching
-    // state is in flight; harmless stale values otherwise).
-    double mig_start = 0.0;
-    double ckpt_start = 0.0;
-  };
-  // Deque: grows from completion callbacks while engine frames still hold
-  // references to existing entries (see ClusterSim::jobs()).
-  std::deque<JobRuntime> rt;
+  // ---- hot per-node state, SoA --------------------------------------------
+  // Parallel vectors indexed by node. best_free_node, tick, account_window
+  // and note_metrics scan every node; these are the only fields they read,
+  // so the scans stream through packed arrays (8/1/1/4/4/8 bytes per node)
+  // instead of striding over ~200-byte Node records.
+  std::vector<double> node_util;            // owner CPU this window
+  std::vector<std::uint8_t> node_idle;      // recruitment-rule idle flag
+  std::vector<std::uint8_t> node_down;      // crashed and not yet recovered
+  std::vector<std::uint32_t> node_occ;      // occupants.size()
+  std::vector<std::uint32_t> node_used;     // occupants + reserved slots
+  std::vector<double> node_episode;         // start of current non-idle episode
+
+  [[nodiscard]] bool is_idle(std::size_t i) const { return node_idle[i] != 0; }
+
+  /// Re-mirrors a node's occupancy counts after any occupants/reserved
+  /// mutation. Every mutation site calls this, so the SoA view is exact at
+  /// every scan point.
+  void sync_slots(std::size_t i) {
+    node_occ[i] = static_cast<std::uint32_t>(nodes[i].occupants.size());
+    node_used[i] = node_occ[i] + static_cast<std::uint32_t>(nodes[i].reserved);
+  }
+
+  // Chunked pool: grows from completion callbacks while engine frames still
+  // hold references to existing entries (see ClusterSim::jobs()).
+  util::StableVector<JobRuntime, 256> rt;
 
   std::deque<JobId> queue;      // fresh jobs awaiting first dispatch
   std::deque<JobId> displaced;  // evicted jobs awaiting a migration target
@@ -144,9 +171,10 @@ struct ClusterSim::Impl {
     if (tw_occupied || tw_idle) {
       std::size_t occupied = 0;
       std::size_t idle = 0;
-      for (const Node& n : nodes) {
-        if (!n.occupants.empty()) ++occupied;
-        if (n.idle) ++idle;
+      const std::size_t n = nodes.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (node_occ[i] != 0) ++occupied;
+        if (node_idle[i] != 0) ++idle;
       }
       if (tw_occupied) tw_occupied->set(now(), static_cast<double>(occupied));
       if (tw_idle) tw_idle->set(now(), static_cast<double>(idle));
@@ -244,31 +272,35 @@ struct ClusterSim::Impl {
                        : node::memory_progress_factor(resident, total);
   }
 
-  void update_sample(Node& n) {
+  void update_sample(std::size_t i) {
+    Node& n = nodes[i];
     const std::size_t count = n.trace->samples().size();
     const auto window =
         (n.offset_windows +
          static_cast<std::size_t>(std::floor(now() / period + 1e-9))) % count;
-    n.util = std::clamp(n.trace->samples()[window].cpu, 0.0, 1.0);
-    const bool was_idle = n.idle;
-    n.idle = (*n.flags)[window];
-    if (n.down) {
+    double util = std::clamp(n.trace->samples()[window].cpu, 0.0, 1.0);
+    const bool was_idle = is_idle(i);
+    bool idle = (*n.flags)[window];
+    if (node_down[i] != 0) {
       // A crashed node donates nothing and hosts nothing until recovery.
-      n.idle = false;
-      n.util = 0.0;
+      idle = false;
+      util = 0.0;
     } else if (n.forced_busy_until > now() + 1e-12) {
       // Reclamation storm: the owner is back regardless of the trace. The
       // overlay ends at the first window boundary past forced_busy_until.
-      n.idle = false;
-      n.util = std::max(n.util, n.forced_util);
+      idle = false;
+      util = std::max(util, n.forced_util);
     }
-    if (was_idle && !n.idle) n.episode_start = now();
-    update_memory_sample(n, window);
+    node_util[i] = util;
+    node_idle[i] = idle ? 1 : 0;
+    if (was_idle && !idle) node_episode[i] = now();
+    update_memory_sample(i, window);
   }
 
   /// The memory half of update_sample: local working set from the trace
   /// (plus any active pressure spike), then the donated-pool split.
-  void update_memory_sample(Node& n, std::size_t window) {
+  void update_memory_sample(std::size_t i, std::size_t window) {
+    Node& n = nodes[i];
     if (!cfg.model_memory || !n.pool) return;
     const auto free_kb =
         std::max<std::int32_t>(0, n.trace->samples()[window].mem_free_kb);
@@ -300,14 +332,15 @@ struct ClusterSim::Impl {
     return job.remaining <= kRemainingEps;
   }
 
-  /// CPU rate one executing occupant of `n` receives right now: the node's
-  /// leftover rate, degraded by memory pressure, processor-shared among the
-  /// executing occupants.
-  [[nodiscard]] double execution_rate(const Node& n) const {
-    const std::size_t k = executing_count(n);
+  /// CPU rate one executing occupant of node `i` receives right now: the
+  /// node's leftover rate, degraded by memory pressure, processor-shared
+  /// among the executing occupants.
+  [[nodiscard]] double execution_rate(std::size_t i) const {
+    const std::size_t k = executing_count(nodes[i]);
     if (k == 0) return 0.0;
-    return rates.foreign_rate(n.util) *
-           (cfg.model_memory ? n.mem_factor : 1.0) / static_cast<double>(k);
+    return rates.foreign_rate(node_util[i]) *
+           (cfg.model_memory ? nodes[i].mem_factor : 1.0) /
+           static_cast<double>(k);
   }
 
   void reschedule_completion(JobId id) {
@@ -319,7 +352,7 @@ struct ClusterSim::Impl {
       r.rate = 0.0;
       return;
     }
-    r.rate = execution_rate(nodes[static_cast<std::size_t>(r.node)]);
+    r.rate = execution_rate(static_cast<std::size_t>(r.node));
     if (r.rate <= 0.0) return;
     const double eta = job.remaining / r.rate;
     r.completion_event = sim.schedule_in(
@@ -374,12 +407,13 @@ struct ClusterSim::Impl {
   void handle_nonidle(JobId id) {
     JobRuntime& r = rt[id];
     JobRecord& job = self.jobs_[id];
-    Node& n = nodes[static_cast<std::size_t>(r.node)];
+    const auto node_idx = static_cast<std::size_t>(r.node);
+    Node& n = nodes[node_idx];
     cancel_recheck(id);
 
     core::PolicyContext ctx;
-    ctx.episode_age = now() - n.episode_start;
-    ctx.node_utilization = n.util;
+    ctx.episode_age = now() - node_episode[node_idx];
+    ctx.node_utilization = node_util[node_idx];
     ctx.idle_utilization = self.idle_util_;
     ctx.migration_cost = migration_cost(job);
     if (n.remaining) {
@@ -460,7 +494,7 @@ struct ClusterSim::Impl {
       return;
     }
     const auto node_idx = static_cast<std::size_t>(rt[id].node);
-    if (nodes[node_idx].idle) return;  // transition handler resumed the job
+    if (is_idle(node_idx)) return;  // transition handler resumed the job
     handle_nonidle(id);
     refresh_node_rates(node_idx);  // pausing/resuming shifts the shares
     placement();
@@ -492,18 +526,20 @@ struct ClusterSim::Impl {
     Node& n = nodes[node_idx];
     JobRuntime& r = rt[id];
     JobRecord& job = self.jobs_[id];
+    const bool idle = is_idle(node_idx);
     if (timeline) {
       timeline->record(now(), util::format("job %zu", static_cast<std::size_t>(id)),
-                       n.idle ? "running" : "lingering",
+                       idle ? "running" : "lingering",
                        util::format("node %zu", node_idx));
     }
     n.occupants.push_back(id);
+    sync_slots(node_idx);
     r.node = static_cast<int>(node_idx);
     r.last_update = now();
     update_memory(n);
-    job.set_state(n.idle ? JobState::Running : JobState::Lingering, now());
+    job.set_state(idle ? JobState::Running : JobState::Lingering, now());
     reschedule_completion(id);
-    if (!n.idle) handle_nonidle(id);
+    if (!idle) handle_nonidle(id);
     // The newcomer changes every co-occupant's processor share.
     refresh_node_rates(node_idx);
     sync_checkpoint(id);
@@ -517,11 +553,14 @@ struct ClusterSim::Impl {
     auto it = std::find(n.occupants.begin(), n.occupants.end(), id);
     if (it != n.occupants.end()) {
       n.occupants.erase(it);
+      sync_slots(node_idx);
       update_memory(n);
       // A guest leaving an active owner's machine forces the owner to
       // re-fault the pages and cache lines the guest displaced (paper §1).
       // Crash departures skip the charge: there is no owner to delay.
-      if (!n.idle && charge_owner_penalty) fg_delay += cfg.owner_restore_penalty;
+      if (!is_idle(node_idx) && charge_owner_penalty) {
+        fg_delay += cfg.owner_restore_penalty;
+      }
     }
     r.node = -1;
     refresh_node_rates(node_idx);  // survivors inherit the freed share
@@ -544,8 +583,8 @@ struct ClusterSim::Impl {
     const int source = r.node;
     release_node(id);
 
-    Node& target = nodes[target_idx];
-    ++target.reserved;
+    ++nodes[target_idx].reserved;
+    sync_slots(target_idx);
     job.set_state(JobState::Migrating, now());
     ++inflight_migrations;
     ++self.migrations_;
@@ -602,6 +641,7 @@ struct ClusterSim::Impl {
           "ClusterSim: migration arrived with no reserved slot");
     }
     --target.reserved;
+    sync_slots(target_idx);
     if (tracer) tracer->virtual_span(tl.migration, r.mig_start, now(), id);
     place_job(id, target_idx);
     placement();
@@ -614,23 +654,37 @@ struct ClusterSim::Impl {
 
   /// Best node with a free slot, or nullopt. Preference order: emptier
   /// first (spread before sharing), then lower utilization, then index.
+  /// This is THE placement scan: a straight pass over four SoA arrays,
+  /// branch-light and cache-linear even at 100k nodes.
   [[nodiscard]] std::optional<std::size_t> best_free_node(bool want_idle) const {
+    const std::uint8_t want = want_idle ? 1 : 0;
+    const std::size_t n = nodes.size();
     std::optional<std::size_t> best;
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      const Node& n = nodes[i];
-      if (n.down) continue;  // dead nodes host nothing (down => non-idle,
-                             // but lingering policies probe non-idle nodes)
-      if (n.idle != want_idle) continue;
-      if (n.used_slots() >= cfg.max_foreign_per_node) continue;
+    std::uint32_t best_used = 0;
+    double best_util = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (node_down[i] != 0) continue;  // dead nodes host nothing (down =>
+                                        // non-idle, but lingering policies
+                                        // probe non-idle nodes)
+      if (node_idle[i] != want) continue;
+      const std::uint32_t used = node_used[i];
+      if (used >= cfg.max_foreign_per_node) continue;
       if (!best) {
         best = i;
+        best_used = used;
+        best_util = node_util[i];
         continue;
       }
-      const Node& b = nodes[*best];
-      if (n.used_slots() != b.used_slots()) {
-        if (n.used_slots() < b.used_slots()) best = i;
-      } else if (n.util < b.util) {
+      if (used != best_used) {
+        if (used < best_used) {
+          best = i;
+          best_used = used;
+          best_util = node_util[i];
+        }
+      } else if (node_util[i] < best_util) {
         best = i;
+        best_used = used;
+        best_util = node_util[i];
       }
     }
     return best;
@@ -690,8 +744,8 @@ struct ClusterSim::Impl {
         }
       }
       std::sort(movers.begin(), movers.end(), [this](JobId a, JobId b) {
-        const double ua = nodes[static_cast<std::size_t>(rt[a].node)].util;
-        const double ub = nodes[static_cast<std::size_t>(rt[b].node)].util;
+        const double ua = node_util[static_cast<std::size_t>(rt[a].node)];
+        const double ub = node_util[static_cast<std::size_t>(rt[b].node)];
         if (ua != ub) return ua > ub;
         return a < b;
       });
@@ -725,16 +779,18 @@ struct ClusterSim::Impl {
   }
 
   void account_window() {
-    for (const Node& n : nodes) {
-      fg_cpu += n.util * period;
+    const std::size_t n = nodes.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      fg_cpu += node_util[i] * period;
       total_node_time += period;
-      if (n.idle) idle_node_time += period;
+      if (node_idle[i] != 0) idle_node_time += period;
+      if (node_occ[i] == 0) continue;  // SoA guard: most nodes host nobody
       // Each guest actively stealing cycles adds its own switch overhead to
       // the owner's work.
-      for (JobId id : n.occupants) {
+      for (JobId id : nodes[i].occupants) {
         const JobState s = self.jobs_[id].state;
         if (s == JobState::Running || s == JobState::Lingering) {
-          fg_delay += rates.ldr(n.util) * n.util * period;
+          fg_delay += rates.ldr(node_util[i]) * node_util[i] * period;
         }
       }
     }
@@ -773,7 +829,7 @@ struct ClusterSim::Impl {
     }
     if (tracer) tracer->instant(tl.crash, now(), idx);
     const double until = now() + downtime;
-    if (n.down) {
+    if (node_down[idx] != 0) {
       // Overlapping crash: extend the outage; the extra recovery event
       // scheduled here supersedes the earlier one (recover_node re-checks
       // down_until and ignores stale wakeups).
@@ -783,11 +839,11 @@ struct ClusterSim::Impl {
       }
       return;
     }
-    n.down = true;
+    node_down[idx] = 1;
     n.down_until = until;
     n.down_since = now();
-    n.idle = false;
-    n.util = 0.0;
+    node_idle[idx] = 0;
+    node_util[idx] = 0.0;
     // Resident foreign jobs die with the node and restart from their last
     // checkpoint via the queue. Progress is integrated up to the crash
     // instant first so the rollback accounting is exact.
@@ -820,15 +876,15 @@ struct ClusterSim::Impl {
 
   void recover_node(std::size_t idx) {
     Node& n = nodes[idx];
-    if (!n.down) return;
+    if (node_down[idx] == 0) return;
     if (now() + 1e-9 < n.down_until) return;  // superseded by a longer outage
-    n.down = false;
+    node_down[idx] = 0;
     if (tracer) tracer->virtual_span(tl.outage, n.down_since, now(), idx);
-    update_sample(n);
-    n.episode_start = now();
+    update_sample(idx);
+    node_episode[idx] = now();
     if (timeline) {
       timeline->record(now(), util::format("node %zu", idx),
-                       n.idle ? "recovered idle" : "recovered busy");
+                       is_idle(idx) ? "recovered idle" : "recovered busy");
     }
     placement();
   }
@@ -836,17 +892,17 @@ struct ClusterSim::Impl {
   void start_storm(const fault::FaultEvent& ev) {
     for (std::size_t idx : ev.nodes) {
       Node& n = nodes[idx];
-      if (n.down) continue;  // already dead: nothing to reclaim
+      if (node_down[idx] != 0) continue;  // already dead: nothing to reclaim
       n.forced_busy_until = std::max(n.forced_busy_until, now() + ev.duration);
       n.forced_util = std::max(n.forced_util, cfg.faults.storm.utilization);
-      const bool was_idle = n.idle;
-      n.idle = false;
-      n.util = std::max(n.util, n.forced_util);
+      const bool was_idle = is_idle(idx);
+      node_idle[idx] = 0;
+      node_util[idx] = std::max(node_util[idx], n.forced_util);
       if (was_idle) {
-        n.episode_start = now();
+        node_episode[idx] = now();
         if (timeline) {
           timeline->record(now(), util::format("node %zu", idx), "storm",
-                           util::format("util %.2f", n.util));
+                           util::format("util %.2f", node_util[idx]));
         }
         if (tracer) tracer->instant(tl.storm, now(), idx);
         // Exactly the owner-returned path of tick(): every occupant faces
@@ -871,7 +927,7 @@ struct ClusterSim::Impl {
   void start_pressure(const fault::FaultEvent& ev) {
     for (std::size_t idx : ev.nodes) {
       Node& n = nodes[idx];
-      if (n.down || !cfg.model_memory || !n.pool) continue;
+      if (node_down[idx] != 0 || !cfg.model_memory || !n.pool) continue;
       n.pressure_until = std::max(n.pressure_until, now() + ev.duration);
       n.pressure_kb = std::max(n.pressure_kb, cfg.faults.pressure.extra_kb);
       if (timeline) {
@@ -882,7 +938,7 @@ struct ClusterSim::Impl {
       // Re-split the page pool under the spike without re-reading the
       // owner-activity half of the window; the spike decays at the first
       // window boundary past pressure_until.
-      update_memory_sample(n, current_window(n));
+      update_memory_sample(idx, current_window(n));
       refresh_node_rates(idx);
     }
   }
@@ -905,12 +961,14 @@ struct ClusterSim::Impl {
       sim.cancel(r.mig_event);  // no-op when the event is mid-fire
       r.mig_event = des::kNoEvent;
       --inflight_migrations;
-      Node& target = nodes[static_cast<std::size_t>(r.mig_target)];
+      const auto target_idx = static_cast<std::size_t>(r.mig_target);
+      Node& target = nodes[target_idx];
       if (target.reserved == 0) {
         throw std::logic_error(
             "ClusterSim: aborting a migration with no reserved slot");
       }
       --target.reserved;
+      sync_slots(target_idx);
       r.mig_source = r.mig_target = -1;
     }
     release_node(id, /*charge_owner_penalty=*/false);
@@ -1004,7 +1062,7 @@ struct ClusterSim::Impl {
     if (tracer) tracer->virtual_span(tl.checkpoint, r.ckpt_start, now(), id);
     r.last_update = now();
     const auto node_idx = static_cast<std::size_t>(r.node);
-    if (nodes[node_idx].idle) {
+    if (is_idle(node_idx)) {
       job.set_state(JobState::Running, now());
       reschedule_completion(id);
       sync_checkpoint(id);
@@ -1018,18 +1076,18 @@ struct ClusterSim::Impl {
 
   void tick() {
     tick_scheduled = false;
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      Node& n = nodes[i];
-      const bool was_idle = n.idle;
-      update_sample(n);
-      if (timeline && was_idle != n.idle) {
+    const std::size_t n_count = nodes.size();
+    for (std::size_t i = 0; i < n_count; ++i) {
+      const bool was_idle = is_idle(i);
+      update_sample(i);
+      if (timeline && was_idle != is_idle(i)) {
         timeline->record(now(), util::format("node %zu", i),
-                         n.idle ? "idle" : "busy",
-                         util::format("util %.2f", n.util));
+                         is_idle(i) ? "idle" : "busy",
+                         util::format("util %.2f", node_util[i]));
       }
-      if (was_idle && !n.idle) {
+      if (was_idle && !is_idle(i)) {
         // Owner returned mid-run: consult the policy for every occupant.
-        const std::vector<JobId> snapshot = n.occupants;
+        const std::vector<JobId> snapshot = nodes[i].occupants;
         for (JobId id : snapshot) {
           const JobState s = self.jobs_[id].state;
           if (s == JobState::Done || s == JobState::Checkpointing) continue;
@@ -1040,10 +1098,12 @@ struct ClusterSim::Impl {
           }
         }
         refresh_node_rates(i);
-      } else if (!was_idle && n.idle) {
+      } else if (!was_idle && is_idle(i)) {
         handle_idle_transition(i);
-      } else {
+      } else if (node_occ[i] != 0) {
         // Same state, possibly new utilization level: refresh the shares.
+        // SoA guard: refreshing an empty node is a no-op — skipping the
+        // call keeps the tick loop allocation-free for idle regions.
         refresh_node_rates(i);
       }
     }
@@ -1119,6 +1179,12 @@ ClusterSim::ClusterSim(ClusterConfig config,
   // Node setup: random trace, random window-aligned offset.
   rng::Stream setup = stream.fork("node-setup");
   im.nodes.resize(im.cfg.node_count);
+  im.node_util.assign(im.cfg.node_count, 0.0);
+  im.node_idle.assign(im.cfg.node_count, 1);
+  im.node_down.assign(im.cfg.node_count, 0);
+  im.node_occ.assign(im.cfg.node_count, 0);
+  im.node_used.assign(im.cfg.node_count, 0);
+  im.node_episode.assign(im.cfg.node_count, 0.0);
   for (std::size_t i = 0; i < im.cfg.node_count; ++i) {
     Node& n = im.nodes[i];
     const auto pick = im.cfg.randomize_placement
@@ -1136,8 +1202,8 @@ ClusterSim::ClusterSim(ClusterConfig config,
       n.pool.emplace(pc);
     }
     // Initial sample at t = 0; nodes starting non-idle have episode age 0.
-    im.update_sample(n);
-    n.episode_start = 0.0;
+    im.update_sample(i);
+    im.node_episode[i] = 0.0;
   }
   im.account_window();
   im.tick_scheduled = true;
@@ -1173,7 +1239,7 @@ JobId ClusterSim::submit(double cpu_demand_seconds) {
   job.submit_time = im.now();
   job.state = JobState::Queued;
   job.state_since = im.now();
-  jobs_.push_back(job);
+  jobs_.push_back(std::move(job));
   im.rt.emplace_back();
   im.rt.back().last_update = im.now();
   ++active_jobs_;
@@ -1278,15 +1344,16 @@ des::SimObserver* ClusterSim::set_sim_observer(des::SimObserver* observer) {
 const des::Simulation& ClusterSim::engine() const { return impl_->sim; }
 
 std::vector<ClusterSim::NodeSnapshot> ClusterSim::node_snapshots() const {
+  const Impl& im = *impl_;
   std::vector<NodeSnapshot> out;
-  out.reserve(impl_->nodes.size());
-  for (const Node& n : impl_->nodes) {
+  out.reserve(im.nodes.size());
+  for (std::size_t i = 0; i < im.nodes.size(); ++i) {
     NodeSnapshot s;
-    s.idle = n.idle;
-    s.down = n.down;
-    s.utilization = n.util;
-    s.reserved = n.reserved;
-    s.occupants = n.occupants;
+    s.idle = im.node_idle[i] != 0;
+    s.down = im.node_down[i] != 0;
+    s.utilization = im.node_util[i];
+    s.reserved = im.nodes[i].reserved;
+    s.occupants = im.nodes[i].occupants;
     out.push_back(std::move(s));
   }
   return out;

@@ -26,7 +26,6 @@
 /// activity, the owner's work is charged the calibrated delay ratio ldr(u)
 /// — aggregated into foreground_delay_ratio(), the paper's "< 0.5%" number.
 
-#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -51,6 +50,11 @@ namespace ll::cluster {
 
 struct ClusterConfig {
   std::size_t node_count = 64;
+  /// Event-queue backend for the internal engine. Both backends fire the
+  /// exact same event sequence (the golden digests are backend-invariant);
+  /// calendar is the right choice for very large node counts, where the
+  /// pending-event population reaches the hundreds of thousands.
+  des::QueueBackend queue = des::QueueBackend::kHeap;
   core::PolicyKind policy = core::PolicyKind::LingerLonger;
   core::PolicyParams policy_params;
   core::MigrationCostModel migration;
@@ -122,10 +126,10 @@ class ClusterSim {
   void run_for(double duration);
 
   [[nodiscard]] double now() const;
-  /// A deque on purpose: closed-system callbacks submit new jobs while
-  /// earlier records are still referenced inside the engine, and deque
-  /// growth never invalidates references to existing elements.
-  [[nodiscard]] const std::deque<JobRecord>& jobs() const { return jobs_; }
+  /// A chunked pool on purpose: closed-system callbacks submit new jobs
+  /// while earlier records are still referenced inside the engine, and
+  /// JobStore growth never invalidates references to existing elements.
+  [[nodiscard]] const JobStore& jobs() const { return jobs_; }
   [[nodiscard]] std::size_t incomplete_jobs() const { return active_jobs_; }
 
   /// Total foreign CPU-seconds delivered so far.
@@ -233,7 +237,7 @@ class ClusterSim {
   struct Impl;
 
   std::unique_ptr<Impl> impl_;
-  std::deque<JobRecord> jobs_;
+  JobStore jobs_;
   std::size_t active_jobs_ = 0;
   double delivered_cpu_ = 0.0;
   std::size_t migrations_ = 0;

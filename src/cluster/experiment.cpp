@@ -14,7 +14,7 @@ namespace ll::cluster {
 namespace {
 
 void fill_state_breakdown(ClusterReport& report,
-                          const std::deque<JobRecord>& jobs,
+                          const JobStore& jobs,
                           std::size_t job_count) {
   if (job_count == 0) return;
   const auto n = static_cast<double>(job_count);
@@ -47,7 +47,7 @@ WorkloadSpec workload_2() { return WorkloadSpec{16, 1800.0}; }
 ClusterReport run_open(const ExperimentConfig& config,
                        std::span<const trace::CoarseTrace> pool,
                        const workload::BurstTable& table,
-                       std::deque<JobRecord>* jobs_out,
+                       JobStore* jobs_out,
                        const RunHooks* hooks) {
   rng::Stream master(config.seed);
   ClusterSim sim(config.cluster, pool, table, master.fork("cluster"));
@@ -151,7 +151,7 @@ std::vector<ClusterReport> replicate(
   return reports;
 }
 
-void write_job_log(const std::deque<JobRecord>& jobs, std::ostream& out) {
+void write_job_log(const JobStore& jobs, std::ostream& out) {
   out << "job,time,state\n";
   for (const JobRecord& job : jobs) {
     // The submission itself (Queued at submit_time) precedes the recorded
@@ -164,7 +164,7 @@ void write_job_log(const std::deque<JobRecord>& jobs, std::ostream& out) {
   }
 }
 
-void write_job_log(const std::deque<JobRecord>& jobs, const std::string& path) {
+void write_job_log(const JobStore& jobs, const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) throw std::runtime_error("write_job_log: cannot open " + path);
   write_job_log(jobs, out);

@@ -92,7 +92,7 @@ struct RunHooks {
 [[nodiscard]] ClusterReport run_open(const ExperimentConfig& config,
                                      std::span<const trace::CoarseTrace> pool,
                                      const workload::BurstTable& table,
-                                     std::deque<JobRecord>* jobs_out = nullptr,
+                                     JobStore* jobs_out = nullptr,
                                      const RunHooks* hooks = nullptr);
 
 /// Closed-mode run: holds `workload.jobs` jobs in the system for `duration`.
@@ -118,7 +118,7 @@ struct RunHooks {
 
 /// Exports every job's state-transition history as CSV
 /// (columns: job, time, state) — the debugging/visualization feed.
-void write_job_log(const std::deque<JobRecord>& jobs, std::ostream& out);
-void write_job_log(const std::deque<JobRecord>& jobs, const std::string& path);
+void write_job_log(const JobStore& jobs, std::ostream& out);
+void write_job_log(const JobStore& jobs, const std::string& path);
 
 }  // namespace ll::cluster

@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/stable_vector.hpp"
+
 namespace ll::cluster {
 
 using JobId = std::uint32_t;
@@ -80,5 +82,12 @@ struct JobRecord {
   /// variation metric). Requires completion and first_start.
   [[nodiscard]] double execution_time() const;
 };
+
+/// Pool-allocated job table, indexed by JobId. Chunked so completion
+/// callbacks can submit new jobs (growing the table) while engine frames
+/// still hold references to existing records — the property the previous
+/// std::deque provided, now with contiguous 256-record chunks for the
+/// scan-heavy consumers (state breakdowns, job logs, digests).
+using JobStore = util::StableVector<JobRecord, 256>;
 
 }  // namespace ll::cluster

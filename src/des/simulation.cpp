@@ -19,8 +19,9 @@ EventId Simulation::schedule_at(double when, Callback fn, std::uint64_t tag) {
     throw std::invalid_argument("schedule_at: empty callback");
   }
   const EventId id = next_id_++;
-  queue_.push(Entry{when, id, tag});
-  callbacks_.emplace(id, Slot{std::move(fn), tag});
+  queue_->push(when, id);
+  arena_.create(id, std::move(fn), tag);
+  ++pending_;
   if (observer_) observer_->on_schedule(when, id, tag);
   return id;
 }
@@ -33,62 +34,44 @@ EventId Simulation::schedule_in(double delay, Callback fn, std::uint64_t tag) {
 }
 
 bool Simulation::cancel(EventId id) {
-  if (id == kNoEvent) return false;
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  const std::uint64_t tag = it->second.tag;
-  callbacks_.erase(it);
+  if (id == kNoEvent || !arena_.live(id)) return false;
+  std::uint64_t tag = 0;
+  (void)arena_.take(id, tag);  // destroys the callback, frees the page
+  --pending_;
   ++cancelled_;
-  maybe_shrink_callbacks();
   if (observer_) observer_->on_cancel(id, tag);
   return true;
 }
-
-void Simulation::maybe_shrink_callbacks() {
-  // Shrink only large, mostly-empty tables: occupancy below 1/8 of at least
-  // 1024 buckets. The pending set is small at that point, so the rehash is
-  // cheap, and repeated shrinks during a long drain amortize to O(n) total.
-  constexpr std::size_t kMinBuckets = 1024;
-  if (callbacks_.bucket_count() >= kMinBuckets &&
-      callbacks_.size() * 8 < callbacks_.bucket_count()) {
-    callbacks_.rehash(callbacks_.size() * 2);
-  }
-}
-
-bool Simulation::pending(EventId id) const {
-  return id != kNoEvent && callbacks_.contains(id);
-}
-
-std::size_t Simulation::pending_count() const { return callbacks_.size(); }
 
 SimObserver* Simulation::set_observer(SimObserver* observer) {
   return std::exchange(observer_, observer);
 }
 
-bool Simulation::settle_top() {
-  while (!queue_.empty() && !callbacks_.contains(queue_.top().id)) {
-    queue_.pop();  // lazily drop cancelled events
+const QueuedEvent* Simulation::settle_top() {
+  const QueuedEvent* top;
+  while ((top = queue_->peek()) != nullptr && !arena_.live(top->id)) {
+    queue_->pop();  // lazily drop cancelled events
   }
-  return !queue_.empty();
+  return top;
 }
 
 bool Simulation::step() {
-  if (!settle_top()) return false;
-  const Entry entry = queue_.top();
-  queue_.pop();
-  auto it = callbacks_.find(entry.id);
-  Callback fn = std::move(it->second.fn);
-  callbacks_.erase(it);
+  const QueuedEvent* top = settle_top();
+  if (top == nullptr) return false;
+  const QueuedEvent entry = *top;
+  queue_->pop();
+  std::uint64_t tag = 0;
+  Callback fn = arena_.take(entry.id, tag);
+  --pending_;
   now_ = entry.time;
   ++fired_;
   // Notify before invoking so the digest records the fire even if the
   // callback throws, and so observer state is current for re-entrant
   // schedule/cancel calls made from inside the callback.
-  if (observer_) observer_->on_fire(entry.time, entry.id, entry.tag);
-  maybe_shrink_callbacks();
+  if (observer_) observer_->on_fire(entry.time, entry.id, tag);
   fn();
   // Re-read observer_: the callback may have re-registered or detached it.
-  if (observer_) observer_->on_fire_done(entry.time, entry.id, entry.tag);
+  if (observer_) observer_->on_fire_done(entry.time, entry.id, tag);
   return true;
 }
 
@@ -108,7 +91,8 @@ std::size_t Simulation::run_until(double horizon) {
                                 std::to_string(now_));
   }
   std::size_t fired = 0;
-  while (settle_top() && queue_.top().time <= horizon) {
+  const QueuedEvent* top;
+  while ((top = settle_top()) != nullptr && top->time <= horizon) {
     step();
     ++fired;
   }

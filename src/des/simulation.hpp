@@ -8,8 +8,18 @@
 /// sequence number breaks ties), which makes every experiment bit-for-bit
 /// reproducible regardless of queue internals.
 ///
-/// Events are plain callbacks. Scheduling returns an EventId that can cancel
-/// the event later (lazy deletion: cancelled ids are skipped when popped).
+/// The queue itself is pluggable (des/event_queue.hpp): the default binary
+/// heap, or a calendar queue for very large pending sets, selected via
+/// Options. Both backends fire the exact same (time, id) sequence — the
+/// golden digests (src/verify/) are backend-invariant by construction, and
+/// CI diffs them to prove it.
+///
+/// Events are plain callbacks, stored in a paged arena indexed by id
+/// (des/event_arena.hpp) with small-buffer callable storage
+/// (des/small_fn.hpp): schedule and cancel are O(1) with no hashing and,
+/// for ordinary captures, no allocation. Scheduling returns an EventId that
+/// can cancel the event later (lazy deletion: cancelled ids are skipped
+/// when popped).
 ///
 /// An optional SimObserver receives schedule/fire/cancel notifications —
 /// the verification layer (src/verify/) uses this to stream state digests
@@ -24,15 +34,18 @@
 #endif
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <vector>
+#include <memory>
+
+#include "des/event_arena.hpp"
+#include "des/event_queue.hpp"
+#include "des/small_fn.hpp"
 
 namespace ll::des {
 
 /// Identifier of a scheduled event, usable with Simulation::cancel().
 /// Id 0 is reserved and never issued (a default EventId is "no event").
+/// Ids are issued densely (1, 2, 3, ...) — the digest layer and the event
+/// arena both rely on that.
 using EventId = std::uint64_t;
 inline constexpr EventId kNoEvent = 0;
 
@@ -63,14 +76,27 @@ class SimObserver {
 
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
-  Simulation() = default;
+  /// Engine construction knobs. Every option preserves observable firing
+  /// order — backends differ only in throughput.
+  struct Options {
+    QueueBackend queue = QueueBackend::kHeap;
+  };
+
+  Simulation() : Simulation(Options{}) {}
+  explicit Simulation(const Options& options)
+      : queue_(make_event_queue(options.queue)) {}
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   /// Current virtual time in seconds.
   [[nodiscard]] double now() const { return now_; }
+
+  /// Which queue backend this engine runs on.
+  [[nodiscard]] QueueBackend queue_backend() const {
+    return queue_->backend();
+  }
 
   /// Schedules `fn` to run at absolute time `when` (>= now). Returns the
   /// event's id. Throws std::invalid_argument for events in the past or
@@ -85,10 +111,12 @@ class Simulation {
   bool cancel(EventId id);
 
   /// True if `id` is pending (scheduled, not fired, not cancelled).
-  [[nodiscard]] bool pending(EventId id) const;
+  [[nodiscard]] bool pending(EventId id) const {
+    return id != kNoEvent && arena_.live(id);
+  }
 
   /// Number of pending (non-cancelled) events.
-  [[nodiscard]] std::size_t pending_count() const;
+  [[nodiscard]] std::size_t pending_count() const { return pending_; }
 
   /// Runs until the queue is empty. Returns the number of events fired.
   std::size_t run();
@@ -119,13 +147,21 @@ class Simulation {
     return next_id_ - 1;
   }
 
-  /// Bucket count of the internal callback table. Monitoring/test hook:
-  /// the cancel-storm shrink (maybe_shrink_callbacks) is observable here —
-  /// after a large pending set collapses, the table rehashes down instead
-  /// of keeping its peak-size bucket array for the rest of the run.
+  /// Allocated slot capacity of the callback arena. Monitoring/test hook:
+  /// the table must shrink back after a pending-set collapse — whether by
+  /// cancel storm or by mass firing — instead of keeping its peak footprint
+  /// for the rest of the run. The arena frees a 512-slot page the moment
+  /// its last live event dies, so this tracks the pending population with
+  /// one-page granularity.
   [[nodiscard]] std::size_t callback_buckets() const {
-    return callbacks_.bucket_count();
+    return arena_.allocated_slots();
   }
+
+  /// Slots per arena page; peak callback_buckets() for N simultaneous
+  /// events is ceil((N + 1) / kCallbackPageSlots) pages (id 0 is reserved,
+  /// shifting ids by one slot). Pinned by the peak-footprint regression
+  /// test.
+  static constexpr std::size_t kCallbackPageSlots = EventArena::kPageSlots;
 
   /// Registers (or, with nullptr, detaches) the observer. Returns the
   /// previously registered observer so callers can restore it. The observer
@@ -136,43 +172,18 @@ class Simulation {
   [[nodiscard]] SimObserver* observer() const { return observer_; }
 
  private:
-  struct Entry {
-    double time;
-    EventId id;
-    std::uint64_t tag;
-    // Ordered min-first by (time, id); id is monotone so FIFO among ties.
-    // Written as two strict comparisons (not `!=`) so the order is a total
-    // order over the finite times the API admits even under compilers that
-    // relax floating-point equality.
-    bool operator>(const Entry& other) const {
-      if (time > other.time) return true;
-      if (time < other.time) return false;
-      return id > other.id;
-    }
-  };
-
-  // Pops cancelled entries off the top; returns false if queue exhausted.
-  bool settle_top();
-
-  // Rehashes callbacks_ down after its population collapses (erase never
-  // shrinks the bucket array, so a cancel storm would otherwise leave its
-  // peak-size table — and its cache footprint — behind for the whole run).
-  void maybe_shrink_callbacks();
+  // Drops cancelled entries off the top; returns the earliest live entry,
+  // or nullptr when the queue is exhausted.
+  const QueuedEvent* settle_top();
 
   double now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::size_t pending_ = 0;
   SimObserver* observer_ = nullptr;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // Callback storage by id; erased on fire/cancel. An unordered_map keeps
-  // cancel() O(1) without touching the heap. The tag rides along so
-  // cancel() can report it to the observer.
-  struct Slot {
-    Callback fn;
-    std::uint64_t tag;
-  };
-  std::unordered_map<EventId, Slot> callbacks_;
+  std::unique_ptr<EventQueue> queue_;
+  EventArena arena_;
 };
 
 }  // namespace ll::des

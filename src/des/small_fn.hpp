@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file small_fn.hpp
+/// Small-buffer move-only callable for the DES hot path.
+///
+/// `std::function` heap-allocates most captures and drags ~48 bytes of
+/// control block through every schedule/fire. SmallFn stores callables up to
+/// kInlineBytes inline (covering every lambda the engine and the cluster
+/// model schedule today) and falls back to a single heap allocation only for
+/// oversized or alignment-exotic captures. Moves are pointer-table dispatch,
+/// never allocations, so the event arena (event_arena.hpp) can relocate
+/// slots freely.
+///
+/// Semantics mirror the slice of std::function the engine used:
+///  * default-constructed / nullptr SmallFn is empty (operator bool false;
+///    Simulation::schedule_* rejects it);
+///  * constructing from an empty std::function (or null function pointer)
+///    also yields an empty SmallFn, preserving the engine's "reject empty
+///    callback at schedule time" contract;
+///  * move-only: the engine never copies callbacks, and dropping copyability
+///    is what lets captures hold move-only state.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ll::des {
+
+class SmallFn {
+ public:
+  /// Inline capture budget. 48 bytes fits six pointers — every callback in
+  /// src/ today captures at most four words plus `this`.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using T = std::decay_t<F>;
+    // Callables with a null state (empty std::function, null function
+    // pointer) become an empty SmallFn so schedule-time rejection still
+    // fires before anything reaches the queue.
+    if constexpr (std::is_constructible_v<bool, const T&>) {
+      if (!static_cast<bool>(f)) return;
+    }
+    emplace<T>(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { steal(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + destroy src
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename T>
+  static constexpr bool fits_inline() {
+    return sizeof(T) <= kInlineBytes &&
+           alignof(T) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<T>;
+  }
+
+  template <typename T>
+  void emplace(T value) {
+    if constexpr (fits_inline<T>()) {
+      static constexpr Ops ops = {
+          [](void* self) { (*std::launder(static_cast<T*>(self)))(); },
+          [](void* dst, void* src) noexcept {
+            T* from = std::launder(static_cast<T*>(src));
+            ::new (dst) T(std::move(*from));
+            from->~T();
+          },
+          [](void* self) noexcept {
+            std::launder(static_cast<T*>(self))->~T();
+          },
+      };
+      ::new (&storage_) T(std::move(value));
+      ops_ = &ops;
+    } else {
+      static constexpr Ops ops = {
+          [](void* self) { (**std::launder(static_cast<T**>(self)))(); },
+          [](void* dst, void* src) noexcept {
+            T** from = std::launder(static_cast<T**>(src));
+            ::new (dst) T*(*from);
+          },
+          [](void* self) noexcept {
+            delete *std::launder(static_cast<T**>(self));
+          },
+      };
+      T* heap = new T(std::move(value));
+      ::new (&storage_) T*(heap);
+      ops_ = &ops;
+    }
+  }
+
+  void steal(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ll::des

@@ -14,5 +14,6 @@ void register_cluster_benches(BenchRegistry& registry);
 void register_parallel_benches(BenchRegistry& registry);
 void register_ablation_benches(BenchRegistry& registry);
 void register_fault_benches(BenchRegistry& registry);
+void register_scale_benches(BenchRegistry& registry);
 
 }  // namespace ll::exp

@@ -145,6 +145,55 @@ PerfEntry probe_micro_obs(std::uint64_t /*seed*/, double scale) {
   return finish_entry(std::move(entry), wall, events);
 }
 
+/// DES-core churn on the calendar backend: a hold model over a large steady
+/// pending population — every fired event is replaced by a fresh schedule,
+/// and every 4th iteration cancels a recently issued id and schedules a
+/// substitute. bench/micro_des.cpp gates the calendar-vs-heap speedup at
+/// 1M pending; this entry records the calendar backend's absolute
+/// schedule/fire/cancel trajectory.
+PerfEntry probe_micro_des(std::uint64_t seed, double scale) {
+  const std::size_t pending = scaled(50000.0, scale, 512);
+  const std::size_t fires = scaled(300000.0, scale, 2048);
+  des::Simulation sim(des::Simulation::Options{des::QueueBackend::kCalendar});
+  std::uint64_t state = seed | 1;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  // Continuous holds in [1, 65): a quantized lattice would pile equal
+  // timestamps into a handful of calendar buckets and measure the queue's
+  // documented worst case instead of its steady state.
+  const auto hold_delta = [&next] {
+    return 1.0 + static_cast<double>(next() >> 11) * 0x1.0p-53 * 64.0;
+  };
+  std::vector<des::EventId> recent(1024, des::kNoEvent);
+  for (std::size_t i = 0; i < pending; ++i) {
+    recent[i % recent.size()] = sim.schedule_in(hold_delta(), [] {}, 1);
+  }
+  const Clock::time_point t0 = Clock::now();
+  for (std::size_t f = 0; f < fires; ++f) {
+    sim.step();
+    recent[f % recent.size()] = sim.schedule_in(hold_delta(), [] {}, 1);
+    if ((f & 3u) == 3u) {
+      // Cancelling an already-fired id is a harmless no-op; replacing only
+      // successful cancels keeps the pending population exactly constant.
+      if (sim.cancel(recent[next() % recent.size()])) {
+        sim.schedule_in(hold_delta(), [] {}, 1);
+      }
+    }
+  }
+  const double wall = seconds_since(t0);
+  if (sim.events_scheduled() !=
+      sim.events_fired() + sim.events_cancelled() + sim.pending_count()) {
+    throw std::runtime_error("micro_des probe broke event conservation");
+  }
+  PerfEntry entry;
+  entry.name = "micro_des";
+  return finish_entry(std::move(entry), wall, fires);
+}
+
 /// A fig07-shaped sweep at reduced size (2 workloads x 2 policies, 16
 /// nodes) through the real engine + cluster_cell path, including the
 /// engine's runner-counter accounting. This is the end-to-end number: if
@@ -222,6 +271,7 @@ PerfReport run_perf_report(std::uint64_t seed, std::size_t workers,
   report.scale = scale;
   report.entries.push_back(probe_micro_steal(seed, report.workers, scale));
   report.entries.push_back(probe_micro_obs(seed, scale));
+  report.entries.push_back(probe_micro_des(seed, scale));
   report.entries.push_back(probe_micro_runner(seed, report.workers, scale));
   report.entries.push_back(probe_fig07(seed, report.workers, scale));
   return report;

@@ -21,6 +21,7 @@ BenchRegistry& BenchRegistry::instance() {
     register_parallel_benches(*r);
     register_ablation_benches(*r);
     register_fault_benches(*r);
+    register_scale_benches(*r);
     return r;
   }();
   return *registry;

@@ -47,7 +47,8 @@ struct ParallelClusterSim::Impl {
       : self(owner),
         cfg(std::move(config)),
         table(&burst_table),
-        sampler(burst_table, cfg.context_switch) {}
+        sampler(burst_table, cfg.context_switch),
+        sim(des::Simulation::Options{cfg.queue}) {}
 
   ParallelClusterSim& self;
   ParallelClusterConfig cfg;

@@ -26,7 +26,6 @@
 /// phases they overlap.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -42,6 +41,7 @@
 #include "rng/rng.hpp"
 #include "trace/records.hpp"
 #include "trace/recruitment.hpp"
+#include "util/stable_vector.hpp"
 #include "workload/burst_table.hpp"
 
 namespace ll::parallel {
@@ -60,6 +60,9 @@ struct ParallelJobSpec {
 
 struct ParallelClusterConfig {
   std::size_t node_count = 32;
+  /// Event-queue backend for the internal engine (backend-invariant, as in
+  /// ClusterConfig::queue).
+  des::QueueBackend queue = des::QueueBackend::kHeap;
   WidthPolicy policy = WidthPolicy::Hybrid;
   std::size_t fixed_width = 32;  // FixedLinger's width
   /// Constrain widths to powers of two (the paper's application constraint).
@@ -115,10 +118,11 @@ class ParallelClusterSim {
   void run_for(double duration);
 
   [[nodiscard]] double now() const;
-  /// A deque on purpose: completion callbacks submit replacements while the
-  /// engine still references earlier records (deque growth is
-  /// pointer-stable).
-  [[nodiscard]] const std::deque<ParallelJobRecord>& jobs() const {
+  /// A chunked pool on purpose: completion callbacks submit replacements
+  /// while the engine still references earlier records (StableVector growth
+  /// is pointer-stable).
+  [[nodiscard]] const util::StableVector<ParallelJobRecord, 256>& jobs()
+      const {
     return jobs_;
   }
   [[nodiscard]] std::size_t incomplete_jobs() const { return active_jobs_; }
@@ -161,7 +165,7 @@ class ParallelClusterSim {
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
-  std::deque<ParallelJobRecord> jobs_;
+  util::StableVector<ParallelJobRecord, 256> jobs_;
   std::size_t active_jobs_ = 0;
   double delivered_work_ = 0.0;
   std::size_t crashes_ = 0;

@@ -1,0 +1,153 @@
+#pragma once
+
+/// \file stable_vector.hpp
+/// Chunked pool with stable references and index access.
+///
+/// The cluster simulators grow their job tables from inside engine
+/// callbacks: a completion handler may submit a replacement job while
+/// earlier records are still referenced by live engine frames. std::vector
+/// invalidates on growth; std::deque keeps references stable but allocates
+/// tiny type-erased blocks (512 bytes in libstdc++ — a handful of JobRecords
+/// each) and walks a two-level map per access. StableVector is the shape
+/// the access pattern wants: fixed power-of-two chunks of ChunkSize
+/// elements, so push_back never moves existing elements (references and
+/// pointers stay valid for the container's lifetime), indexing is a shift,
+/// a mask, and two loads, and a chunk is one contiguous cache-friendly run
+/// for the scan-heavy consumers (state breakdowns, job logs, digests).
+///
+/// Growth-only by design: no erase, no insert — ids are stable indexes.
+/// clear() keeps allocated chunks for reuse (the pool allocator part).
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ll::util {
+
+template <typename T, std::size_t ChunkSize = 256>
+class StableVector {
+  static_assert(ChunkSize > 0 && (ChunkSize & (ChunkSize - 1)) == 0,
+                "ChunkSize must be a power of two");
+  static_assert(std::is_default_constructible_v<T>,
+                "StableVector slots are default-constructed per chunk");
+
+ public:
+  StableVector() = default;
+  StableVector(StableVector&&) noexcept = default;
+  StableVector& operator=(StableVector&&) noexcept = default;
+  StableVector(const StableVector& other) { *this = other; }
+  StableVector& operator=(const StableVector& other) {
+    if (this == &other) return *this;
+    clear();
+    for (const T& value : other) push_back(value);
+    return *this;
+  }
+
+  /// Appends a copy/move of `value`; returns the stable slot reference.
+  T& push_back(T value) { return emplace_back(std::move(value)); }
+
+  /// Appends a `T` constructed from `args`; returns the stable reference.
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    const std::size_t chunk = size_ >> kShift;
+    if (chunk == chunks_.size()) {
+      chunks_.push_back(std::make_unique<Chunk>());
+    }
+    T& slot = chunks_[chunk]->items[size_ & kMask];
+    slot = T(std::forward<Args>(args)...);
+    ++size_;
+    return slot;
+  }
+
+  [[nodiscard]] T& operator[](std::size_t index) {
+    return chunks_[index >> kShift]->items[index & kMask];
+  }
+  [[nodiscard]] const T& operator[](std::size_t index) const {
+    return chunks_[index >> kShift]->items[index & kMask];
+  }
+
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Drops the elements but keeps the chunks: a cleared StableVector refills
+  /// without touching the allocator (slots are overwritten by assignment).
+  void clear() { size_ = 0; }
+
+  template <bool Const>
+  class Iterator {
+    using Owner = std::conditional_t<Const, const StableVector, StableVector>;
+
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using reference = std::conditional_t<Const, const T&, T&>;
+    using pointer = std::conditional_t<Const, const T*, T*>;
+
+    Iterator() = default;
+    Iterator(Owner* owner, std::size_t index) : owner_(owner), index_(index) {}
+    /// iterator -> const_iterator conversion.
+    template <bool WasConst, typename = std::enable_if_t<Const && !WasConst>>
+    Iterator(const Iterator<WasConst>& other)  // NOLINT
+        : owner_(other.owner_), index_(other.index_) {}
+
+    reference operator*() const { return (*owner_)[index_]; }
+    pointer operator->() const { return &(*owner_)[index_]; }
+    Iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator copy = *this;
+      ++index_;
+      return copy;
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.index_ == b.index_;
+    }
+    friend bool operator!=(const Iterator& a, const Iterator& b) {
+      return a.index_ != b.index_;
+    }
+
+   private:
+    friend class Iterator<!Const>;
+    Owner* owner_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  using iterator = Iterator<false>;
+  using const_iterator = Iterator<true>;
+  using value_type = T;
+
+  [[nodiscard]] iterator begin() { return {this, 0}; }
+  [[nodiscard]] iterator end() { return {this, size_}; }
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, size_}; }
+  [[nodiscard]] const_iterator cbegin() const { return begin(); }
+  [[nodiscard]] const_iterator cend() const { return end(); }
+
+ private:
+  static constexpr std::size_t kShift = [] {
+    std::size_t shift = 0;
+    while ((std::size_t{1} << shift) < ChunkSize) ++shift;
+    return shift;
+  }();
+  static constexpr std::size_t kMask = ChunkSize - 1;
+
+  struct Chunk {
+    T items[ChunkSize];
+  };
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ll::util

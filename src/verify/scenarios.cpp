@@ -91,7 +91,7 @@ std::vector<trace::CoarseTrace> small_pool(rng::Stream stream,
 /// cancellation and FIFO tie-breaking under observer digests.
 ScenarioResult des_storm(const ScenarioOptions& options) {
   Harness h(options);
-  des::Simulation sim;
+  des::Simulation sim(des::Simulation::Options{options.queue});
   DigestObserver digest;
   SimInvariantObserver inv(sim, h.registry, &digest);
   sim.set_observer(options.wrap_observer ? options.wrap_observer(&inv) : &inv);
@@ -138,7 +138,7 @@ ScenarioResult des_storm(const ScenarioOptions& options) {
 /// event times — the paths the -ffast-math audit hardened.
 ScenarioResult des_cancel_churn(const ScenarioOptions& options) {
   Harness h(options);
-  des::Simulation sim;
+  des::Simulation sim(des::Simulation::Options{options.queue});
   DigestObserver digest;
   SimInvariantObserver inv(sim, h.registry, &digest);
   sim.set_observer(options.wrap_observer ? options.wrap_observer(&inv) : &inv);
@@ -220,6 +220,7 @@ ScenarioResult cluster_run(
   cfg.node_count = nodes;
   cfg.policy = policy;
   cfg.job_bytes = 1ull << 20;
+  cfg.queue = options.queue;
   if (configure) configure(cfg);
   cluster::ClusterSim sim(cfg, pool, workload::default_burst_table(),
                           stream.fork("sim"));

@@ -38,6 +38,11 @@ inline constexpr std::uint64_t kGoldenSeed = 1998;  // SC'98
 struct ScenarioOptions {
   std::uint64_t seed = kGoldenSeed;
   Mode mode = Mode::kCount;
+  /// Event-queue backend for every engine the scenarios construct. The
+  /// digests are backend-invariant by contract — llverify's --queue flag
+  /// (and the CI digest-diff step) prove heap and calendar runs produce
+  /// byte-identical digests for all scenarios.
+  des::QueueBackend queue = des::QueueBackend::kHeap;
   /// When true, the scenario derives its RNG streams through a perturbed
   /// fork order (decoy forks interleaved). Stream forking is a pure function
   /// of (seed, label, index), so the digest must not change — llverify uses

@@ -1,0 +1,113 @@
+#include "util/stable_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace ll::util {
+namespace {
+
+TEST(StableVector, StartsEmpty) {
+  StableVector<int> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.begin(), v.end());
+}
+
+TEST(StableVector, PushBackAndIndexAcrossChunks) {
+  StableVector<int, 4> v;  // tiny chunks so growth crosses many boundaries
+  for (int i = 0; i < 100; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(v[static_cast<std::size_t>(i)], i * 3);
+  }
+  EXPECT_EQ(v.front(), 0);
+  EXPECT_EQ(v.back(), 99 * 3);
+}
+
+TEST(StableVector, ReferencesSurviveGrowth) {
+  // The reason this container exists: a reference taken before thousands of
+  // push_backs must still point at the same live element afterwards.
+  StableVector<std::string, 8> v;
+  std::string& first = v.emplace_back("first");
+  std::string* addr = &first;
+  for (int i = 0; i < 10000; ++i) v.push_back("filler-" + std::to_string(i));
+  EXPECT_EQ(addr, &v.front());
+  EXPECT_EQ(first, "first");
+  first = "renamed";
+  EXPECT_EQ(v[0], "renamed");
+}
+
+TEST(StableVector, EmplaceBackReturnsStableSlot) {
+  StableVector<std::pair<int, int>, 4> v;
+  auto& slot = v.emplace_back(std::make_pair(1, 2));
+  EXPECT_EQ(slot.first, 1);
+  for (int i = 0; i < 64; ++i) v.emplace_back(std::make_pair(i, i));
+  slot.second = 99;
+  EXPECT_EQ(v[0].second, 99);
+}
+
+TEST(StableVector, ClearKeepsChunksAndRefills) {
+  StableVector<int, 4> v;
+  for (int i = 0; i < 40; ++i) v.push_back(i);
+  int* slot0 = &v[0];
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  // Refilling reuses the retained chunks: slot 0 is the same storage.
+  v.push_back(123);
+  EXPECT_EQ(&v[0], slot0);
+  EXPECT_EQ(v[0], 123);
+}
+
+TEST(StableVector, RangeForAndIteratorConversion) {
+  StableVector<int, 8> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  int expected = 0;
+  for (int x : v) EXPECT_EQ(x, expected++);
+  EXPECT_EQ(expected, 20);
+
+  // iterator -> const_iterator must convert (the pattern const consumers
+  // like write_job_log rely on).
+  StableVector<int, 8>::const_iterator cit = v.begin();
+  EXPECT_EQ(*cit, 0);
+  const auto& cv = v;
+  EXPECT_EQ(std::count_if(cv.begin(), cv.end(), [](int x) { return x >= 10; }),
+            10);
+}
+
+TEST(StableVector, CopyPreservesValuesIndependently) {
+  StableVector<int, 4> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  StableVector<int, 4> b(a);
+  ASSERT_EQ(b.size(), a.size());
+  b[3] = -1;
+  EXPECT_EQ(a[3], 3);
+  EXPECT_EQ(b[3], -1);
+
+  StableVector<int, 4> c;
+  c.push_back(42);
+  c = a;
+  ASSERT_EQ(c.size(), 10u);
+  EXPECT_EQ(c[9], 9);
+}
+
+TEST(StableVector, MoveTransfersStorage) {
+  StableVector<int, 4> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  int* slot = &a[7];
+  StableVector<int, 4> b(std::move(a));
+  EXPECT_EQ(&b[7], slot);  // chunks moved, not copied
+  EXPECT_EQ(b[7], 7);
+}
+
+TEST(StableVector, MutationThroughIterator) {
+  StableVector<int, 4> v;
+  for (int i = 0; i < 12; ++i) v.push_back(0);
+  for (auto it = v.begin(); it != v.end(); ++it) *it = 5;
+  for (int x : v) EXPECT_EQ(x, 5);
+}
+
+}  // namespace
+}  // namespace ll::util

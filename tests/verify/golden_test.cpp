@@ -73,6 +73,24 @@ TEST(GoldenScenarios, DigestsMatchCommittedGoldens) {
   }
 }
 
+TEST(GoldenScenarios, CalendarQueueMatchesCommittedGoldens) {
+  // Backend invariance, end to end: every pinned scenario re-run with the
+  // calendar event queue must reproduce the committed golden digest (which
+  // was generated under the binary heap) byte for byte — same events, same
+  // order, same equal-timestamp tiebreaks.
+  for (const auto& scenario : scenarios()) {
+    SCOPED_TRACE(scenario.name);
+    const GoldenEntry golden = read_golden(scenario.name);
+    ScenarioOptions options;  // kGoldenSeed, kCount
+    options.queue = des::QueueBackend::kCalendar;
+    const ScenarioResult result = scenario.run(options);
+    EXPECT_EQ(result.digest.value(), golden.digest)
+        << "calendar-backend digest drift: got " << result.digest.hex();
+    EXPECT_EQ(result.events, golden.events);
+    EXPECT_EQ(result.violations, 0u);
+  }
+}
+
 TEST(GoldenScenarios, InvariantsHoldInAssertMode) {
   for (const auto& scenario : scenarios()) {
     SCOPED_TRACE(scenario.name);

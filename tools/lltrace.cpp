@@ -206,15 +206,25 @@ int main(int argc, const char** argv) {
   if (ranked.size() > static_cast<std::size_t>(*top)) {
     ranked.resize(static_cast<std::size_t>(*top));
   }
-  ll::util::Table table({"hot tag (wall)", "count", "total ms", "self ms"});
+  ll::util::Table table(
+      {"hot tag (wall)", "count", "total ms", "self ms", "events/s"});
   char buf[32];
   const auto ms = [&buf](double us) {
     std::snprintf(buf, sizeof(buf), "%.3f", us / 1000.0);
     return std::string(buf);
   };
+  // Events per wall second of *self* time: the tag's processing rate with
+  // nested spans' time excluded. Sub-microsecond tags print "-" rather
+  // than a rate derived from rounding noise.
+  const auto rate = [&buf](const NameStats& stats) {
+    if (stats.self_us <= 0.0) return std::string("-");
+    std::snprintf(buf, sizeof(buf), "%.0f",
+                  static_cast<double>(stats.count) / (stats.self_us / 1e6));
+    return std::string(buf);
+  };
   for (const auto& [name, stats] : ranked) {
     table.add_row({name, std::to_string(stats.count), ms(stats.total_us),
-                   ms(stats.self_us)});
+                   ms(stats.self_us), rate(stats)});
   }
   std::cout << table.render();
 

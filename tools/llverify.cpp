@@ -99,12 +99,14 @@ struct CheckOutcome {
 };
 
 CheckOutcome check_scenario(const Scenario& scenario, std::uint64_t seed,
+                            ll::des::QueueBackend queue,
                             const std::string& golden_dir, bool update_golden,
                             std::ostream& out) {
   CheckOutcome outcome;
   ScenarioOptions options;
   options.seed = seed;
   options.mode = ll::verify::Mode::kCount;
+  options.queue = queue;
 
   const ScenarioResult first = scenario.run(options);
   const ScenarioResult second = scenario.run(options);
@@ -199,11 +201,23 @@ int main(int argc, char** argv) {
       "jobs", 1,
       "run scenario checks on the work-stealing runner with this many "
       "workers (0 = hardware concurrency); output is identical to --jobs 1");
+  auto queue_name = flags.add_string(
+      "queue", "heap",
+      "event-queue backend for every engine the scenarios build (heap | "
+      "calendar); digests are backend-invariant, so goldens must pass "
+      "under both");
 
   try {
     flags.parse(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "llverify: " << e.what() << "\n";
+    return 2;
+  }
+
+  const auto queue = ll::des::parse_queue_backend(*queue_name);
+  if (!queue) {
+    std::cerr << "llverify: unknown --queue '" << *queue_name
+              << "' (heap | calendar)\n";
     return 2;
   }
 
@@ -242,7 +256,8 @@ int main(int argc, char** argv) {
     // Sequential path (and always for golden regeneration — file writes
     // stay ordered and easy to reason about).
     for (const Scenario* s : selected) {
-      if (!check_scenario(*s, *seed, golden_dir, updating, std::cout).ok) {
+      if (!check_scenario(*s, *seed, *queue, golden_dir, updating, std::cout)
+               .ok) {
         ++failures;
       }
     }
@@ -256,7 +271,7 @@ int main(int argc, char** argv) {
     tasks.reserve(selected.size());
     for (std::size_t i = 0; i < selected.size(); ++i) {
       tasks.push_back([&, i] {
-        outcomes[i] = check_scenario(*selected[i], *seed, golden_dir,
+        outcomes[i] = check_scenario(*selected[i], *seed, *queue, golden_dir,
                                      /*update_golden=*/false, reports[i]);
       });
     }
