@@ -1,8 +1,13 @@
 #include "cli/driver.hpp"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <string>
 
@@ -13,6 +18,8 @@
 #include "obs/profiler.hpp"
 #include "obs/timeline.hpp"
 #include "obs/tracer.hpp"
+#include "serve/scenario.hpp"
+#include "serve/server.hpp"
 #include "verify/scenarios.hpp"
 #include "exp/engine.hpp"
 #include "exp/pool_cache.hpp"
@@ -48,7 +55,10 @@ constexpr std::string_view kUsage =
     "  faults    compile a fault plan, print its timeline, run one faulty "
     "scenario\n"
     "  bench     run a registered experiment sweep (try: bench --list), or\n"
-    "            the perf-trajectory probes (bench --report)\n";
+    "            the perf-trajectory probes (bench --report)\n"
+    "  serve     long-running sweep service: NDJSON requests over TCP,\n"
+    "            batched onto the shared runner, results cached by config "
+    "digest\n";
 
 std::vector<const char*> to_argv(const std::vector<std::string>& args) {
   std::vector<const char*> argv{"llsim"};
@@ -972,6 +982,99 @@ int cmd_faults(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+// ---- serve ----------------------------------------------------------------
+
+/// Self-pipe for SIGINT/SIGTERM: the handler only write()s (async-signal-
+/// safe); the main thread blocks on the read end and runs the graceful
+/// drain itself.
+int g_serve_signal_fd = -1;
+
+void serve_signal_handler(int /*sig*/) {
+  const char byte = 1;
+  if (g_serve_signal_fd >= 0) {
+    [[maybe_unused]] ssize_t n = ::write(g_serve_signal_fd, &byte, 1);
+  }
+}
+
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
+  util::Flags flags("llsim serve",
+                    "Serve sweep requests as newline-delimited JSON over "
+                    "TCP (see DESIGN.md §13; drive it with tools/llload).");
+  auto host = flags.add_string("host", "127.0.0.1", "bind address");
+  auto port = flags.add_int("port", 0, "TCP port (0 = pick an ephemeral one)");
+  auto port_file = flags.add_string(
+      "port-file", "", "write the bound port to this file (for scripts)");
+  auto queue_depth = flags.add_int("queue-depth", 256,
+                                   "admission queue bound (full = reject "
+                                   "with retry_after_ms)");
+  auto batch_max = flags.add_int("batch-max", 32,
+                                 "max requests per dispatcher batch");
+  auto cache_entries = flags.add_int("cache-entries", 256,
+                                     "result cache capacity (LRU beyond)");
+  auto max_request = flags.add_int("max-request", 65536,
+                                   "max request line length in bytes");
+  auto retry_ms = flags.add_int("retry-after-ms", 25,
+                                "backpressure hint sent on rejection");
+  auto workers = flags.add_int("workers", 0,
+                               "dedicated runner threads (0 = the shared "
+                               "hardware-sized pool)");
+  auto argv = to_argv(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+
+  std::unique_ptr<util::TaskRunner> own_runner;
+  if (*workers > 0) {
+    own_runner = std::make_unique<util::TaskRunner>(
+        static_cast<std::size_t>(*workers));
+  }
+  serve::ServerConfig config;
+  config.host = *host;
+  config.port = static_cast<int>(*port);
+  config.queue_capacity = static_cast<std::size_t>(*queue_depth);
+  config.batch_max = static_cast<std::size_t>(*batch_max);
+  config.cache_capacity = static_cast<std::size_t>(*cache_entries);
+  config.max_request_bytes = static_cast<std::size_t>(*max_request);
+  config.retry_after_ms = static_cast<int>(*retry_ms);
+  config.runner = own_runner.get();
+  serve::Server server(config);
+  server.start();
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error("serve: pipe() failed");
+  }
+  g_serve_signal_fd = pipe_fds[1];
+  struct sigaction action {};
+  action.sa_handler = serve_signal_handler;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_int {}, old_term {};
+  ::sigaction(SIGINT, &action, &old_int);
+  ::sigaction(SIGTERM, &action, &old_term);
+
+  out << "llsim serve: listening on " << config.host << ":" << server.port()
+      << "\n";
+  out.flush();
+  if (!port_file->empty()) {
+    std::ofstream f(*port_file);
+    f << server.port() << "\n";
+  }
+
+  char byte = 0;
+  while (::read(pipe_fds[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  out << "llsim serve: draining\n";
+  out.flush();
+  server.shutdown();
+
+  ::sigaction(SIGINT, &old_int, nullptr);
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  g_serve_signal_fd = -1;
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
+
+  out << "llsim serve: final stats " << server.stats_json() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 std::optional<core::PolicyKind> parse_policy(std::string_view name) {
@@ -1008,7 +1111,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "profile") return cmd_profile(rest, out);
     if (cmd == "trace") return cmd_trace(rest, out);
     if (cmd == "faults") return cmd_faults(rest, out);
-    if (cmd == "bench") return exp::run_bench_cli(rest, out, err);
+    if (cmd == "serve") return cmd_serve(rest, out);
+    if (cmd == "bench") {
+      serve::register_serve_benches();
+      return exp::run_bench_cli(rest, out, err);
+    }
     err << "llsim: unknown subcommand '" << cmd << "'\n\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

@@ -301,13 +301,41 @@ void write_perf_report_json(const PerfReport& report, std::ostream& out) {
 
 int check_perf_report(const PerfReport& current,
                       const std::string& baseline_json, double tolerance,
-                      std::ostream& out) {
+                      std::ostream& out, bool require_clean_baseline) {
   namespace json = util::json;
-  std::map<std::string, double> baseline;
+  struct BaselineEntry {
+    double wall_s = 0.0;
+    std::uint64_t items = 0;
+    bool has_items = false;
+  };
+  std::map<std::string, BaselineEntry> baseline;
+  bool same_shape = false;  // baseline ran the identical probe sizes
   try {
     const json::Value doc = json::parse(baseline_json);
     if (doc.kind() != json::Kind::kObject) {
       throw std::runtime_error("top level is not an object");
+    }
+    // A baseline stamped from a dirty working tree is not reproducible —
+    // nobody can check out the bytes it measured. With
+    // require_clean_baseline (the CI bench-report job's mode) that is a
+    // loud failure; otherwise a warning, so local --check against a
+    // just-generated baseline keeps working mid-edit.
+    const json::Value* version = doc.find("version");
+    if (version && version->kind() == json::Kind::kString) {
+      const std::string& v = version->as_string();
+      constexpr std::string_view kDirty = "-dirty";
+      if (v.size() >= kDirty.size() &&
+          v.compare(v.size() - kDirty.size(), kDirty.size(), kDirty) == 0) {
+        if (require_clean_baseline) {
+          out << "perf-report check: FAIL — baseline version '" << v
+              << "' was generated from a dirty tree; regenerate the "
+                 "committed baseline from a clean checkout "
+                 "(llsim bench --report)\n";
+          return 1;
+        }
+        out << "perf-report check: warning — baseline version '" << v
+            << "' was generated from a dirty tree\n";
+      }
     }
     const json::Value* entries = doc.find("entries");
     if (!entries || entries->kind() != json::Kind::kArray) {
@@ -320,7 +348,30 @@ int check_perf_report(const PerfReport& current,
           wall->kind() != json::Kind::kNumber) {
         throw std::runtime_error("entry lacks string name / numeric wall_s");
       }
-      baseline[name->as_string()] = wall->as_number();
+      BaselineEntry be;
+      be.wall_s = wall->as_number();
+      if (const json::Value* items = e.find("items");
+          items && items->kind() == json::Kind::kNumber) {
+        be.items = items->as_u64();
+        be.has_items = true;
+      }
+      baseline[name->as_string()] = be;
+    }
+    // Structural fields (items) are a pure function of (seed, scale,
+    // workers); compare them exactly only when the two reports ran the
+    // same configuration. version and wall_s jitter are never diffed —
+    // wall time is ratio-gated, version is informational.
+    const json::Value* seed = doc.find("seed");
+    const json::Value* config = doc.find("config");
+    if (seed && seed->kind() == json::Kind::kNumber && config &&
+        config->kind() == json::Kind::kObject) {
+      const json::Value* workers = config->find("workers");
+      const json::Value* scale = config->find("scale");
+      same_shape = workers && workers->kind() == json::Kind::kNumber &&
+                   scale && scale->kind() == json::Kind::kNumber &&
+                   seed->as_u64() == current.seed &&
+                   workers->as_u64() == current.workers &&
+                   scale->as_number() == current.scale;
     }
   } catch (const std::exception& e) {
     out << "perf-report check: cannot parse baseline: " << e.what() << "\n";
@@ -338,17 +389,25 @@ int check_perf_report(const PerfReport& current,
       breached = true;
       continue;
     }
-    const double base = it->second;
+    const double base = it->second.wall_s;
     // Sub-microsecond baselines carry no signal; any positive wall passes.
     const double ratio = base > 1e-6 ? e.wall_s / base : 0.0;
     const bool slow = ratio > tolerance;
-    table.add_row({e.name, fmt3(base), fmt3(e.wall_s), fmt3(ratio),
-                   slow ? "FAIL (slower than tolerance)" : "ok"});
-    if (slow) breached = true;
+    const bool items_drift =
+        same_shape && it->second.has_items && it->second.items != e.items;
+    std::string verdict = "ok";
+    if (slow) {
+      verdict = "FAIL (slower than tolerance)";
+    } else if (items_drift) {
+      verdict = "FAIL (items " + std::to_string(e.items) + " != baseline " +
+                std::to_string(it->second.items) + ")";
+    }
+    table.add_row({e.name, fmt3(base), fmt3(e.wall_s), fmt3(ratio), verdict});
+    if (slow || items_drift) breached = true;
     baseline.erase(it);
   }
-  for (const auto& [name, wall] : baseline) {
-    table.add_row({name, fmt3(wall), "-", "-",
+  for (const auto& [name, be] : baseline) {
+    table.add_row({name, fmt3(be.wall_s), "-", "-",
                    "FAIL (baseline entry not produced)"});
     breached = true;
   }
@@ -375,6 +434,10 @@ int run_perf_report_cli(const std::vector<std::string>& args,
   auto workers = flags.add_int("workers", 0,
                                "runner workers (0 = hardware concurrency)");
   auto seed = flags.add_uint64("seed", 42, "probe task-graph seed");
+  auto require_clean = flags.add_bool(
+      "require-clean-baseline", false,
+      "fail the check when the baseline's version carries a -dirty suffix "
+      "(the CI mode — committed baselines must come from a clean tree)");
   try {
     std::vector<const char*> argv{"llsim bench --report"};
     for (const std::string& a : args) argv.push_back(a.c_str());
@@ -416,7 +479,8 @@ int run_perf_report_cli(const std::vector<std::string>& args,
   }
   std::ostringstream baseline;
   baseline << baseline_file.rdbuf();
-  return check_perf_report(report, baseline.str(), *tolerance, out);
+  return check_perf_report(report, baseline.str(), *tolerance, out,
+                           *require_clean);
 }
 
 }  // namespace ll::exp

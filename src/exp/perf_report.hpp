@@ -55,12 +55,18 @@ void write_perf_report_json(const PerfReport& report, std::ostream& out);
 
 /// Compares `current` against a baseline report (JSON text). Fails — with
 /// a per-entry diagnostic table on `out` — when an entry present in both
-/// got slower than `tolerance` x the baseline wall time, or when either
-/// side has an entry the other lacks. Faster is never a failure. Returns 0
+/// got slower than `tolerance` x the baseline wall time, when either side
+/// has an entry the other lacks, or when the two reports ran the same
+/// (seed, workers, scale) but an entry's structural `items` count drifted.
+/// `version` and raw wall_s jitter are never diffed (wall time is only
+/// ratio-gated); with `require_clean_baseline`, a baseline whose version
+/// carries a "-dirty" suffix fails outright — committed baselines must be
+/// regenerated from a clean checkout. Faster is never a failure. Returns 0
 /// on pass, 1 on breach, 2 on an unparseable baseline.
 [[nodiscard]] int check_perf_report(const PerfReport& current,
                                     const std::string& baseline_json,
-                                    double tolerance, std::ostream& out);
+                                    double tolerance, std::ostream& out,
+                                    bool require_clean_baseline = false);
 
 /// `llsim bench --report` entry: runs the probes, writes --out
 /// (default BENCH_cpp.json), and optionally diffs against --check=FILE

@@ -1,0 +1,38 @@
+#include "obs/latency.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ll::obs {
+
+namespace {
+// log10(seconds) span: 100ns .. 1000s, 36 bins per decade (~3% relative
+// resolution, matching quantile interpolation error inside one bin).
+constexpr double kLogLo = -7.0;
+constexpr double kLogHi = 3.0;
+constexpr std::size_t kBins = 360;
+}  // namespace
+
+LatencyRecorder::LatencyRecorder() : histogram_(kLogLo, kLogHi, kBins) {}
+
+void LatencyRecorder::record(double seconds) {
+  histogram_.add(seconds > 0.0 ? std::log10(seconds) : kLogLo - 1.0);
+}
+
+double LatencyRecorder::quantile(double q) const {
+  if (histogram_.total() == 0) return 0.0;
+  return std::pow(10.0, histogram_.quantile(q));
+}
+
+void LatencyRecorder::export_to(MetricRegistry& registry,
+                                const char* prefix) const {
+  const std::string base(prefix);
+  registry.counter(base + ".count").add(count());
+  registry.gauge(base + ".p50_ms").set(quantile(0.50) * 1e3);
+  registry.gauge(base + ".p90_ms").set(quantile(0.90) * 1e3);
+  registry.gauge(base + ".p99_ms").set(quantile(0.99) * 1e3);
+}
+
+}  // namespace ll::obs

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file latency.hpp
+/// Request-latency recorder for long-running services (the `llsim serve`
+/// dispatcher): a log-scale histogram over durations with quantile readout
+/// and MetricRegistry export. Log bins give ~3% relative resolution across
+/// nine decades (100ns .. 1000s), so one recorder covers cache hits
+/// (microseconds) and cold 1000-replication sweeps (seconds) without
+/// tuning.
+///
+/// Same threading contract as MetricRegistry: NOT thread-safe — owned and
+/// updated by a single thread (the serve dispatcher), snapshotted after
+/// that thread quiesces.
+
+#include <cstdint>
+
+#include "stats/histogram.hpp"
+
+namespace ll::obs {
+
+class MetricRegistry;
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  /// Records one duration in seconds (non-positive durations clamp into
+  /// the underflow bin).
+  void record(double seconds);
+
+  [[nodiscard]] std::uint64_t count() const { return histogram_.total(); }
+
+  /// Approximate quantile in seconds (q in [0,1]); 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Exports `<prefix>.count` (counter) plus p50/p90/p99 gauges in
+  /// milliseconds, e.g. "serve.latency" -> serve.latency.p50_ms.
+  void export_to(MetricRegistry& registry, const char* prefix) const;
+
+ private:
+  stats::Histogram histogram_;  // over log10(seconds)
+};
+
+}  // namespace ll::obs

@@ -1,0 +1,98 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/json.hpp"
+#include "verify/digest.hpp"
+
+namespace ll::serve {
+
+namespace json = util::json;
+
+ParsedRequest parse_request(std::string_view line) {
+  ParsedRequest req;
+  json::Value doc;
+  try {
+    doc = json::parse(line);
+  } catch (const std::exception& e) {
+    throw RequestError(0, std::string("malformed JSON: ") + e.what());
+  }
+  if (doc.kind() != json::Kind::kObject) {
+    throw RequestError(0, "request must be a JSON object");
+  }
+  // Recover the id before validating anything else, so every later error
+  // response still correlates with the request that caused it.
+  if (const json::Value* id = doc.find("id")) {
+    try {
+      req.id = id->as_u64();
+    } catch (const std::exception&) {
+      throw RequestError(0, "id must be a non-negative integer");
+    }
+  }
+  const json::Value* op = doc.find("op");
+  if (!op || op->kind() != json::Kind::kString) {
+    throw RequestError(req.id, "missing string field 'op'");
+  }
+  const std::string& name = op->as_string();
+  if (name == "run") {
+    req.op = Op::kRun;
+    try {
+      if (const json::Value* params = doc.find("params")) {
+        req.scenario = ScenarioRequest::from_json(*params);
+      }
+    } catch (const std::exception& e) {
+      throw RequestError(req.id, e.what());
+    }
+  } else if (name == "ping") {
+    req.op = Op::kPing;
+  } else if (name == "stats") {
+    req.op = Op::kStats;
+  } else {
+    throw RequestError(req.id, "unknown op '" + name +
+                                   "' (run, ping, stats)");
+  }
+  return req;
+}
+
+std::string format_key(std::uint64_t config_digest, std::uint64_t seed) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(config_digest));
+  return std::string(hex) + ":" + std::to_string(seed);
+}
+
+std::string run_response(std::uint64_t id, bool cache_hit,
+                         const std::string& key,
+                         const std::string& result_json) {
+  std::ostringstream out;
+  out << "{\"id\": " << id << ", \"status\": \"ok\", \"cache\": \""
+      << (cache_hit ? "hit" : "miss") << "\", \"key\": \""
+      << json::escape(key) << "\", \"result\": \""
+      << json::escape(result_json) << "\"}\n";
+  return out.str();
+}
+
+std::string pong_response(std::uint64_t id) {
+  return "{\"id\": " + std::to_string(id) +
+         ", \"status\": \"ok\", \"pong\": true}\n";
+}
+
+std::string stats_response(std::uint64_t id,
+                           const std::string& stats_object) {
+  return "{\"id\": " + std::to_string(id) + ", \"status\": \"ok\", \"stats\": " +
+         stats_object + "}\n";
+}
+
+std::string error_response(std::uint64_t id, const std::string& message) {
+  return "{\"id\": " + std::to_string(id) + ", \"status\": \"error\", " +
+         "\"error\": \"" + json::escape(message) + "\"}\n";
+}
+
+std::string rejected_response(std::uint64_t id, int retry_after_ms) {
+  return "{\"id\": " + std::to_string(id) + ", \"status\": \"rejected\", " +
+         "\"error\": \"queue full\", \"retry_after_ms\": " +
+         std::to_string(retry_after_ms) + "}\n";
+}
+
+}  // namespace ll::serve

@@ -1,0 +1,95 @@
+#include "serve/result_cache.hpp"
+
+#include <algorithm>
+
+namespace ll::serve {
+
+ResultCache::ResultCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+ResultCache::Outcome ResultCache::get_or_build(
+    std::uint64_t config_digest, std::uint64_t seed,
+    const std::function<std::string()>& build) {
+  const Key key{config_digest, seed};
+  std::promise<ValuePtr> promise;
+  std::shared_future<ValuePtr> future;
+  bool builder = false;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      it->second.last_use = ++tick_;
+      future = it->second.future;
+    } else {
+      ++misses_;
+      builder = true;
+      future = promise.get_future().share();
+      if (cache_.size() >= capacity_) evict_down_to_locked(capacity_ - 1);
+      cache_.emplace(key, Entry{future, ++tick_, /*ready=*/false});
+    }
+  }
+  if (!builder) return Outcome{future.get(), /*hit=*/true};
+
+  try {
+    ValuePtr value = std::make_shared<const std::string>(build());
+    promise.set_value(value);
+    std::scoped_lock lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) it->second.ready = true;
+    return Outcome{std::move(value), /*hit=*/false};
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    std::scoped_lock lock(mu_);
+    cache_.erase(key);
+    throw;
+  }
+}
+
+void ResultCache::evict_down_to_locked(std::size_t limit) {
+  while (cache_.size() > limit) {
+    auto victim = cache_.end();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (!it->second.ready) continue;  // never evict an in-flight build
+      if (victim == cache_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == cache_.end()) return;  // everything is in flight
+    cache_.erase(victim);
+  }
+}
+
+std::size_t ResultCache::hits() const {
+  std::scoped_lock lock(mu_);
+  return hits_;
+}
+
+std::size_t ResultCache::misses() const {
+  std::scoped_lock lock(mu_);
+  return misses_;
+}
+
+std::size_t ResultCache::size() const {
+  std::scoped_lock lock(mu_);
+  return cache_.size();
+}
+
+std::size_t ResultCache::capacity() const {
+  std::scoped_lock lock(mu_);
+  return capacity_;
+}
+
+void ResultCache::set_capacity(std::size_t capacity) {
+  std::scoped_lock lock(mu_);
+  capacity_ = std::max<std::size_t>(1, capacity);
+  evict_down_to_locked(capacity_);
+}
+
+void ResultCache::clear() {
+  std::scoped_lock lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace ll::serve

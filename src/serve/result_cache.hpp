@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file result_cache.hpp
+/// Content-addressed result cache for the serving layer: finished sweep
+/// JSON keyed by (scenario config digest, seed). Same single-flight +
+/// bounded-LRU discipline as exp::TracePoolCache — concurrent requests for
+/// one key run the simulation exactly once (the others block on the
+/// builder's future), failures propagate to every waiter and are never
+/// cached, and ready entries beyond the capacity are evicted
+/// least-recently-used (in-flight entries are never evicted).
+///
+/// Values are shared_ptr<const std::string> — the exact bytes exp::to_json
+/// produced — so a hit is a pointer copy and the bytes on the wire are
+/// bit-identical across hits, misses, and server restarts.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace ll::serve {
+
+class ResultCache {
+ public:
+  using ValuePtr = std::shared_ptr<const std::string>;
+
+  struct Outcome {
+    ValuePtr value;
+    bool hit = false;  ///< true when this call did not run the builder
+  };
+
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit ResultCache(std::size_t capacity = kDefaultCapacity);
+
+  /// Returns the cached value for (config_digest, seed), running `build`
+  /// exactly once per resident key across all threads. `hit` is false only
+  /// for the call that executed `build`; callers that waited on an
+  /// in-flight build count as hits (no work ran on their behalf).
+  /// A throwing build rethrows in every waiting caller and leaves the key
+  /// absent, so the next request retries.
+  [[nodiscard]] Outcome get_or_build(std::uint64_t config_digest,
+                                     std::uint64_t seed,
+                                     const std::function<std::string()>& build);
+
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+  void set_capacity(std::size_t capacity);
+  void clear();
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;  // (digest, seed)
+  struct Entry {
+    std::shared_future<ValuePtr> future;
+    std::uint64_t last_use = 0;
+    bool ready = false;
+  };
+
+  void evict_down_to_locked(std::size_t limit);
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry> cache_;
+  std::uint64_t tick_ = 0;
+  std::size_t capacity_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace ll::serve

@@ -1,0 +1,222 @@
+#include "serve/scenario.hpp"
+
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/experiment.hpp"
+#include "exp/drivers.hpp"
+#include "exp/engine.hpp"
+#include "exp/pool_cache.hpp"
+#include "exp/registry.hpp"
+#include "exp/result.hpp"
+#include "exp/spec.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+#include "verify/digest.hpp"
+#include "workload/burst_table.hpp"
+
+namespace ll::serve {
+namespace {
+
+namespace json = util::json;
+
+/// Request-size ceilings. The server executes whatever it admits, so the
+/// scenario parser is the admission control for *work size*: a request
+/// asking for a million nodes is rejected at parse time, not discovered as
+/// an hour-long simulation in the dispatcher.
+constexpr std::size_t kMaxNodes = 4096;
+constexpr std::size_t kMaxJobs = 100000;
+constexpr std::size_t kMaxMachines = 1024;
+constexpr std::size_t kMaxReps = 1000;
+constexpr double kMaxDays = 32.0;
+constexpr double kMaxClosedSeconds = 7.0 * 24.0 * 3600.0;
+
+std::size_t size_field(const json::Value& v, const std::string& key,
+                       std::size_t min, std::size_t max) {
+  std::uint64_t raw = 0;
+  try {
+    raw = v.as_u64();
+  } catch (const std::exception&) {
+    throw std::invalid_argument("params." + key + " must be an integer");
+  }
+  if (raw < min || raw > max) {
+    throw std::invalid_argument("params." + key + " out of range [" +
+                                std::to_string(min) + ", " +
+                                std::to_string(max) + "]");
+  }
+  return static_cast<std::size_t>(raw);
+}
+
+double double_field(const json::Value& v, const std::string& key, double min,
+                    double max) {
+  if (v.kind() != json::Kind::kNumber) {
+    throw std::invalid_argument("params." + key + " must be a number");
+  }
+  const double d = v.as_number();
+  if (!(d >= min && d <= max)) {  // NaN fails both comparisons
+    throw std::invalid_argument("params." + key + " out of range");
+  }
+  return d;
+}
+
+}  // namespace
+
+core::PolicyKind parse_policy_name(const std::string& name) {
+  if (name == "LL") return core::PolicyKind::LingerLonger;
+  if (name == "LF") return core::PolicyKind::LingerForever;
+  if (name == "IE") return core::PolicyKind::ImmediateEviction;
+  if (name == "PM") return core::PolicyKind::PauseAndMigrate;
+  if (name == "LL-oracle") return core::PolicyKind::OracleLinger;
+  throw std::invalid_argument("unknown policy '" + name +
+                              "' (LL, LF, IE, PM, LL-oracle)");
+}
+
+ScenarioRequest ScenarioRequest::from_json(const json::Value& v) {
+  ScenarioRequest req;
+  if (v.kind() == json::Kind::kNull) return req;  // all defaults
+  if (v.kind() != json::Kind::kObject) {
+    throw std::invalid_argument("params must be an object");
+  }
+  for (const auto& [key, value] : v.as_object()) {
+    if (key == "policy") {
+      if (value.kind() != json::Kind::kString) {
+        throw std::invalid_argument("params.policy must be a string");
+      }
+      req.policy = parse_policy_name(value.as_string());
+    } else if (key == "nodes") {
+      req.nodes = size_field(value, key, 1, kMaxNodes);
+    } else if (key == "jobs") {
+      req.jobs = size_field(value, key, 1, kMaxJobs);
+    } else if (key == "demand") {
+      req.demand = double_field(value, key, 1e-6, 1e9);
+    } else if (key == "machines") {
+      req.machines = size_field(value, key, 1, kMaxMachines);
+    } else if (key == "days") {
+      req.days = double_field(value, key, 1e-3, kMaxDays);
+    } else if (key == "closed") {
+      req.closed = double_field(value, key, 0.0, kMaxClosedSeconds);
+    } else if (key == "pause") {
+      req.pause = double_field(value, key, 0.0, 1e9);
+    } else if (key == "reps") {
+      req.reps = size_field(value, key, 1, kMaxReps);
+    } else if (key == "seed") {
+      try {
+        req.seed = value.as_u64();
+      } catch (const std::exception&) {
+        throw std::invalid_argument("params.seed must be an integer");
+      }
+    } else {
+      throw std::invalid_argument("params has unknown key '" + key + "'");
+    }
+  }
+  return req;
+}
+
+std::uint64_t ScenarioRequest::config_digest() const {
+  verify::Digest digest;
+  // Version tag: bump when the scenario semantics change, so stale cached
+  // results from an older server can never alias a new config.
+  digest.add_string("serve.cluster.v1");
+  digest.add_string(core::to_string(policy));
+  digest.add_u64(nodes);
+  digest.add_u64(jobs);
+  digest.add_double(demand);
+  digest.add_u64(machines);
+  digest.add_double(days);
+  digest.add_double(closed);
+  digest.add_double(pause);
+  digest.add_u64(reps);
+  return digest.value();
+}
+
+std::string ScenarioRequest::run(util::TaskRunner* runner) const {
+  // This mirrors cli::cmd_cluster's one-cell sweep exactly (same pool-cache
+  // key, spec shape and metric reduction); any drift breaks the served ==
+  // offline byte-identity test.
+  const auto pool =
+      exp::TracePoolCache::shared().standard(machines, days * 24.0, seed + 1);
+  const workload::BurstTable& table = workload::default_burst_table();
+
+  cluster::ExperimentConfig cfg;
+  cfg.cluster.node_count = nodes;
+  cfg.cluster.policy = policy;
+  cfg.cluster.policy_params.pause_time = pause;
+  cfg.workload = cluster::WorkloadSpec{jobs, demand};
+
+  exp::ExperimentSpec spec;
+  spec.name = "cluster";
+  spec.seed = seed;
+  spec.replications = reps;
+  spec.axes = {"policy"};
+  const double closed_duration = closed;
+  spec.add_cell({{"policy", std::string(core::to_string(policy))}},
+                [cfg, pool, &table, closed_duration](std::uint64_t s) mutable {
+                  cfg.seed = s;
+                  if (closed_duration > 0.0) {
+                    return exp::closed_metrics(
+                        cluster::run_closed(cfg, *pool, table,
+                                            closed_duration));
+                  }
+                  return exp::open_metrics(cluster::run_open(cfg, *pool,
+                                                             table));
+                });
+
+  exp::EngineOptions options;
+  options.runner = runner;
+  return exp::to_json(exp::run_sweep(spec, options));
+}
+
+namespace {
+
+int run_serve_offline(const std::vector<std::string>& args,
+                      std::ostream& out) {
+  util::Flags flags("llsim bench serve_offline",
+                    "Print the exact sweep JSON `llsim serve` returns for "
+                    "one scenario (the byte-identity oracle).");
+  auto policy = flags.add_string("policy", "LL", "LL, LF, IE, PM, LL-oracle");
+  auto nodes = flags.add_int("nodes", 64, "cluster size");
+  auto jobs = flags.add_int("jobs", 128, "foreign jobs");
+  auto demand = flags.add_double("demand", 600.0, "CPU-seconds per job");
+  auto machines = flags.add_int("machines", 32, "synthetic machines");
+  auto days = flags.add_double("days", 1.0, "synthetic trace days");
+  auto closed = flags.add_double("closed", 0.0,
+                                 "if > 0: closed-system run of this many s");
+  auto pause = flags.add_double("pause-time", 60.0, "PM grace period");
+  auto reps = flags.add_int("reps", 1, "replications");
+  auto seed = flags.add_uint64("seed", 42, "RNG seed");
+  std::vector<const char*> argv{"serve_offline"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+
+  ScenarioRequest req;
+  req.policy = parse_policy_name(*policy);
+  req.nodes = static_cast<std::size_t>(*nodes);
+  req.jobs = static_cast<std::size_t>(*jobs);
+  req.demand = *demand;
+  req.machines = static_cast<std::size_t>(*machines);
+  req.days = *days;
+  req.closed = *closed;
+  req.pause = *pause;
+  req.reps = static_cast<std::size_t>(*reps);
+  req.seed = *seed;
+  out << req.run(nullptr);
+  return 0;
+}
+
+}  // namespace
+
+void register_serve_benches() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    exp::BenchRegistry::instance().add(exp::Bench{
+        "serve_offline",
+        "exact JSON `llsim serve` returns for one scenario (byte-identity "
+        "oracle for the serve tests)",
+        run_serve_offline});
+  });
+}
+
+}  // namespace ll::serve

@@ -1,9 +1,11 @@
 #include "util/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace ll::util::json {
@@ -176,17 +178,37 @@ class Parser {
 
   Value parse_number() {
     const std::size_t start = pos_;
-    if (consume('-')) {}
+    const bool negative = consume('-');
+    bool integral = true;
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
             text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
             text_[pos_] == '+' || text_[pos_] == '-')) {
+      if (!std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        integral = false;
+      }
       ++pos_;
     }
     if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    // Integer literals take an exact int64/uint64 path: seeds and FNV-1a
+    // digests are 64-bit and a double round-trip silently corrupts them
+    // above 2^53. Out-of-range integers fall through to the double path.
+    if (integral && pos_ > start + (negative ? 1u : 0u)) {
+      const char* first = token.c_str() + (negative ? 1 : 0);
+      const char* last = token.c_str() + token.size();
+      if (negative) {
+        std::int64_t i = 0;
+        const auto [ptr, ec] = std::from_chars(token.c_str(), last, i);
+        if (ec == std::errc() && ptr == last) return Value(i);
+      } else {
+        std::uint64_t u = 0;
+        const auto [ptr, ec] = std::from_chars(first, last, u);
+        if (ec == std::errc() && ptr == last) return Value(u);
+      }
+    }
     // strtod on a NUL-terminated copy: the same portability choice
     // util/flags.cpp makes (FP std::from_chars is uneven across libstdc++).
-    const std::string token(text_.substr(start, pos_ - start));
     char* end = nullptr;
     const double value = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size() || token.empty()) {
@@ -201,6 +223,51 @@ class Parser {
 };
 
 }  // namespace
+
+std::uint64_t Value::as_u64() const {
+  if (kind_ != Kind::kNumber) {
+    throw std::runtime_error("json: as_u64 on a non-number value");
+  }
+  switch (repr_) {
+    case NumberRepr::kUint64:
+      return uint_;
+    case NumberRepr::kInt64:
+      if (int_ < 0) throw std::runtime_error("json: as_u64 on a negative value");
+      return static_cast<std::uint64_t>(int_);
+    case NumberRepr::kDouble:
+      break;
+  }
+  // A double-repr token (fraction/exponent form, or an out-of-range integer
+  // literal): accept only values that convert back without loss.
+  if (number_ < 0.0 || number_ >= 0x1p64 ||
+      number_ != static_cast<double>(static_cast<std::uint64_t>(number_))) {
+    throw std::runtime_error("json: number is not an exact uint64");
+  }
+  return static_cast<std::uint64_t>(number_);
+}
+
+std::int64_t Value::as_i64() const {
+  if (kind_ != Kind::kNumber) {
+    throw std::runtime_error("json: as_i64 on a non-number value");
+  }
+  switch (repr_) {
+    case NumberRepr::kInt64:
+      return int_;
+    case NumberRepr::kUint64:
+      if (uint_ > static_cast<std::uint64_t>(
+                      std::numeric_limits<std::int64_t>::max())) {
+        throw std::runtime_error("json: as_i64 overflow");
+      }
+      return static_cast<std::int64_t>(uint_);
+    case NumberRepr::kDouble:
+      break;
+  }
+  if (number_ < -0x1p63 || number_ >= 0x1p63 ||
+      number_ != static_cast<double>(static_cast<std::int64_t>(number_))) {
+    throw std::runtime_error("json: number is not an exact int64");
+  }
+  return static_cast<std::int64_t>(number_);
+}
 
 const Value* Value::find(std::string_view key) const {
   if (kind_ != Kind::kObject) return nullptr;

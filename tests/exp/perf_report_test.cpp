@@ -1,0 +1,117 @@
+#include "exp/perf_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace ll::exp {
+namespace {
+
+PerfReport sample_report() {
+  PerfReport report;
+  report.seed = 42;
+  report.workers = 4;
+  report.scale = 1.0;
+  PerfEntry a;
+  a.name = "micro_steal";
+  a.wall_s = 0.010;
+  a.items = 200000;
+  PerfEntry b;
+  b.name = "fig07";
+  b.wall_s = 0.200;
+  b.items = 8;
+  report.entries = {a, b};
+  return report;
+}
+
+std::string baseline_json(const std::string& version, std::uint64_t steal_items,
+                          double steal_wall = 0.010) {
+  std::ostringstream out;
+  out << "{\"tool\": \"llsim bench --report\", \"version\": \"" << version
+      << "\", \"seed\": 42, \"config\": {\"workers\": 4, \"scale\": 1},\n"
+      << "\"entries\": [\n"
+      << " {\"name\": \"micro_steal\", \"wall_s\": " << steal_wall
+      << ", \"items\": " << steal_items << "},\n"
+      << " {\"name\": \"fig07\", \"wall_s\": 0.2, \"items\": 8}\n]}";
+  return out.str();
+}
+
+TEST(PerfReportCheck, VersionAndWallJitterAreIgnored) {
+  // A different (clean) version string and small wall drift both pass:
+  // only the ratio gate and structural fields are diffed.
+  const PerfReport current = sample_report();
+  std::ostringstream out;
+  EXPECT_EQ(check_perf_report(current,
+                              baseline_json("0000000", 200000, 0.009), 10.0,
+                              out),
+            0)
+      << out.str();
+}
+
+TEST(PerfReportCheck, DirtyBaselineFailsWhenCleanRequired) {
+  const PerfReport current = sample_report();
+  std::ostringstream out;
+  EXPECT_EQ(check_perf_report(current, baseline_json("abc1234-dirty", 200000),
+                              10.0, out, /*require_clean_baseline=*/true),
+            1);
+  EXPECT_NE(out.str().find("dirty tree"), std::string::npos);
+}
+
+TEST(PerfReportCheck, DirtyBaselineOnlyWarnsByDefault) {
+  const PerfReport current = sample_report();
+  std::ostringstream out;
+  EXPECT_EQ(check_perf_report(current, baseline_json("abc1234-dirty", 200000),
+                              10.0, out),
+            0);
+  EXPECT_NE(out.str().find("warning"), std::string::npos);
+}
+
+TEST(PerfReportCheck, StructuralItemsDriftFailsOnSameShape) {
+  const PerfReport current = sample_report();
+  std::ostringstream out;
+  EXPECT_EQ(
+      check_perf_report(current, baseline_json("0000000", 100000), 10.0, out),
+      1);
+  EXPECT_NE(out.str().find("items"), std::string::npos);
+}
+
+TEST(PerfReportCheck, ItemsNotComparedAcrossDifferentShapes) {
+  // Same entries, but the baseline ran another worker count: items are not
+  // comparable, only the wall ratio gates.
+  PerfReport current = sample_report();
+  current.workers = 2;
+  std::ostringstream out;
+  EXPECT_EQ(
+      check_perf_report(current, baseline_json("0000000", 100000), 10.0, out),
+      0)
+      << out.str();
+}
+
+TEST(PerfReportCheck, WallRegressionBeyondToleranceFails) {
+  PerfReport current = sample_report();
+  current.entries[0].wall_s = 1.0;  // 100x the 0.010 baseline
+  std::ostringstream out;
+  EXPECT_EQ(
+      check_perf_report(current, baseline_json("0000000", 200000), 10.0, out),
+      1);
+  EXPECT_NE(out.str().find("slower than tolerance"), std::string::npos);
+}
+
+TEST(PerfReportCheck, MissingAndExtraEntriesFail) {
+  PerfReport current = sample_report();
+  current.entries.pop_back();  // fig07 present in baseline only
+  std::ostringstream out;
+  EXPECT_EQ(
+      check_perf_report(current, baseline_json("0000000", 200000), 10.0, out),
+      1);
+  EXPECT_NE(out.str().find("not produced"), std::string::npos);
+}
+
+TEST(PerfReportCheck, UnparseableBaselineReturnsTwo) {
+  std::ostringstream out;
+  EXPECT_EQ(check_perf_report(sample_report(), "{not json", 10.0, out), 2);
+}
+
+}  // namespace
+}  // namespace ll::exp

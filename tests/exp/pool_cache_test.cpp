@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "trace/coarse_generator.hpp"
@@ -62,6 +65,102 @@ TEST(TracePoolCache, ConcurrentGetsBuildExactlyOnce) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(cache.builds(), 1u);
   for (const auto& p : got) EXPECT_EQ(p.get(), got[0].get());
+}
+
+TEST(TracePoolCache, ConcurrentSlowBuildsRunExactlyOnce) {
+  // The serving race: two threads miss on the same key while the build is
+  // slow. The second must wait on the first's future, not build again.
+  TracePoolCache cache;
+  std::atomic<int> build_calls{0};
+  std::atomic<bool> release{false};
+  const auto slow_build = [&] {
+    ++build_calls;
+    while (!release.load()) std::this_thread::yield();
+    return TracePoolCache::Pool{};
+  };
+  std::vector<std::thread> threads;
+  std::vector<TracePoolCache::PoolPtr> got(4);
+  std::atomic<int> started{0};
+  for (std::size_t t = 0; t < got.size(); ++t) {
+    threads.emplace_back([&, t] {
+      ++started;
+      got[t] = cache.get_or_build(9, 8.0, 5, slow_build);
+    });
+  }
+  while (started.load() < 4) std::this_thread::yield();
+  // Give the laggards a moment to reach the cache while the build blocks.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release = true;
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(build_calls.load(), 1);
+  EXPECT_EQ(cache.builds(), 1u);
+  EXPECT_EQ(cache.hits(), 3u);
+  for (const auto& p : got) EXPECT_EQ(p.get(), got[0].get());
+}
+
+TEST(TracePoolCache, ConcurrentDistinctKeysBuildInParallel) {
+  // Two different keys must not serialize: key A's build blocks until key
+  // B's build has started, which deadlocks if the cache holds its lock
+  // across generations.
+  TracePoolCache cache;
+  std::atomic<bool> b_started{false};
+  std::thread a([&] {
+    (void)cache.get_or_build(1, 8.0, 1, [&] {
+      while (!b_started.load()) std::this_thread::yield();
+      return TracePoolCache::Pool{};
+    });
+  });
+  std::thread b([&] {
+    (void)cache.get_or_build(1, 8.0, 2, [&] {
+      b_started = true;
+      return TracePoolCache::Pool{};
+    });
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(cache.builds(), 2u);
+}
+
+TEST(TracePoolCache, FailedBuildPropagatesAndRetries) {
+  TracePoolCache cache;
+  EXPECT_THROW(
+      (void)cache.get_or_build(
+          2, 8.0, 3,
+          []() -> TracePoolCache::Pool { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  // The failure is not cached: the next call builds again and succeeds.
+  const auto pool =
+      cache.get_or_build(2, 8.0, 3, [] { return TracePoolCache::Pool{}; });
+  EXPECT_NE(pool, nullptr);
+  EXPECT_EQ(cache.builds(), 2u);
+}
+
+TEST(TracePoolCache, EvictsLeastRecentlyUsedBeyondCapacity) {
+  TracePoolCache cache;
+  cache.set_capacity(2);
+  (void)cache.standard(2, 8.0, 1);  // key 1
+  (void)cache.standard(2, 8.0, 2);  // key 2
+  (void)cache.standard(2, 8.0, 1);  // touch key 1 -> key 2 becomes LRU
+  (void)cache.standard(2, 8.0, 3);  // evicts key 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.builds(), 3u);
+  (void)cache.standard(2, 8.0, 1);  // still resident
+  EXPECT_EQ(cache.builds(), 3u);
+  (void)cache.standard(2, 8.0, 2);  // evicted -> rebuilt
+  EXPECT_EQ(cache.builds(), 4u);
+}
+
+TEST(TracePoolCache, ShrinkingCapacityEvictsImmediately) {
+  TracePoolCache cache;
+  (void)cache.standard(2, 8.0, 1);
+  (void)cache.standard(2, 8.0, 2);
+  (void)cache.standard(2, 8.0, 3);
+  EXPECT_EQ(cache.size(), 3u);
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  // The survivor is the most recently used key.
+  (void)cache.standard(2, 8.0, 3);
+  EXPECT_EQ(cache.builds(), 3u);
 }
 
 TEST(TracePoolCache, ClearDropsEntries) {

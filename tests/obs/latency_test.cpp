@@ -1,0 +1,53 @@
+#include "obs/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace ll::obs {
+namespace {
+
+TEST(LatencyRecorder, EmptyRecorderReadsZero) {
+  LatencyRecorder recorder;
+  EXPECT_EQ(recorder.count(), 0u);
+  EXPECT_DOUBLE_EQ(recorder.quantile(0.5), 0.0);
+}
+
+TEST(LatencyRecorder, QuantilesTrackLogScaleDurations) {
+  LatencyRecorder recorder;
+  // 90 fast (1 ms) and 10 slow (1 s) observations: p50 near 1 ms, p99 near
+  // 1 s, across five decades in one recorder.
+  for (int i = 0; i < 90; ++i) recorder.record(1e-3);
+  for (int i = 0; i < 10; ++i) recorder.record(1.0);
+  EXPECT_EQ(recorder.count(), 100u);
+  EXPECT_NEAR(recorder.quantile(0.50), 1e-3, 1e-4);
+  EXPECT_NEAR(recorder.quantile(0.99), 1.0, 0.1);
+  EXPECT_GT(recorder.quantile(0.99), recorder.quantile(0.50));
+}
+
+TEST(LatencyRecorder, NonPositiveDurationsLandInUnderflow) {
+  LatencyRecorder recorder;
+  recorder.record(0.0);
+  recorder.record(-1.0);
+  EXPECT_EQ(recorder.count(), 2u);
+  // Quantiles stay tiny rather than exploding on log(0).
+  EXPECT_LT(recorder.quantile(0.5), 1e-6);
+}
+
+TEST(LatencyRecorder, ExportsCountAndQuantileGauges) {
+  LatencyRecorder recorder;
+  for (int i = 0; i < 100; ++i) recorder.record(2e-3);
+  MetricRegistry registry;
+  recorder.export_to(registry, "serve.latency");
+  EXPECT_EQ(registry.counter("serve.latency.count").value(), 100u);
+  const double p50 = registry.gauge("serve.latency.p50_ms").value();
+  EXPECT_NEAR(p50, 2.0, 0.2);
+  std::ostringstream out;
+  registry.write_json(0.0, out);
+  EXPECT_NE(out.str().find("serve.latency.p99_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ll::obs

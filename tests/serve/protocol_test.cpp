@@ -1,0 +1,100 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace ll::serve {
+namespace {
+
+namespace json = util::json;
+
+TEST(Protocol, ParsesRunRequestWithParams) {
+  const ParsedRequest req = parse_request(
+      R"({"id": 9, "op": "run", "params": {"policy": "IE", "nodes": 8,)"
+      R"( "seed": 123, "reps": 2}})");
+  EXPECT_EQ(req.id, 9u);
+  EXPECT_EQ(req.op, Op::kRun);
+  EXPECT_EQ(req.scenario.policy, core::PolicyKind::ImmediateEviction);
+  EXPECT_EQ(req.scenario.nodes, 8u);
+  EXPECT_EQ(req.scenario.seed, 123u);
+  EXPECT_EQ(req.scenario.reps, 2u);
+  // Unspecified fields keep the CLI defaults.
+  EXPECT_EQ(req.scenario.jobs, 128u);
+  EXPECT_DOUBLE_EQ(req.scenario.demand, 600.0);
+}
+
+TEST(Protocol, RunWithoutParamsIsAllDefaults) {
+  const ParsedRequest req = parse_request(R"({"id": 1, "op": "run"})");
+  EXPECT_EQ(req.scenario.config_digest(), ScenarioRequest{}.config_digest());
+}
+
+TEST(Protocol, MalformedJsonThrowsRequestError) {
+  EXPECT_THROW((void)parse_request("{nope"), RequestError);
+  EXPECT_THROW((void)parse_request("[1,2]"), RequestError);
+  EXPECT_THROW((void)parse_request(""), RequestError);
+}
+
+TEST(Protocol, ErrorsAfterIdParseCarryTheId) {
+  try {
+    (void)parse_request(R"({"id": 4, "op": "explode"})");
+    FAIL() << "expected RequestError";
+  } catch (const RequestError& e) {
+    EXPECT_EQ(e.id(), 4u);
+  }
+  try {
+    (void)parse_request(R"({"id": 5, "op": "run", "params": {"nodes": 0}})");
+    FAIL() << "expected RequestError";
+  } catch (const RequestError& e) {
+    EXPECT_EQ(e.id(), 5u);
+  }
+}
+
+TEST(Protocol, UnknownParamKeyIsRejected) {
+  EXPECT_THROW(
+      (void)parse_request(R"({"id": 1, "op": "run", "params": {"node": 8}})"),
+      RequestError);
+}
+
+TEST(Protocol, ConfigDigestIgnoresSeedAndSeparatesConfigs) {
+  ScenarioRequest a;
+  ScenarioRequest b;
+  b.seed = 999;
+  EXPECT_EQ(a.config_digest(), b.config_digest());
+  b.nodes = 65;
+  EXPECT_NE(a.config_digest(), b.config_digest());
+}
+
+TEST(Protocol, ResponsesAreSingleParseableLines) {
+  for (const std::string& line :
+       {run_response(1, true, "abc:42", "{\n  \"x\": 1\n}\n"),
+        pong_response(2), stats_response(3, "{\"ok\": 1}"),
+        error_response(4, "bad \"quote\""), rejected_response(5, 25)}) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_EQ(line.find('\n'), line.size() - 1) << line;
+    EXPECT_NO_THROW((void)json::parse(line)) << line;
+  }
+}
+
+TEST(Protocol, RunResponseRoundTripsResultBytes) {
+  const std::string sweep = "{\n  \"name\": \"cluster\",\n  \"x\": [1,2]\n}\n";
+  const std::string line = run_response(7, false, "k:1", sweep);
+  const json::Value doc = json::parse(line);
+  EXPECT_EQ(doc.find("status")->as_string(), "ok");
+  EXPECT_EQ(doc.find("cache")->as_string(), "miss");
+  EXPECT_EQ(doc.find("result")->as_string(), sweep);  // exact bytes back
+}
+
+TEST(Protocol, RejectedResponseCarriesRetryAfter) {
+  const json::Value doc = json::parse(rejected_response(6, 40));
+  EXPECT_EQ(doc.find("status")->as_string(), "rejected");
+  EXPECT_EQ(doc.find("retry_after_ms")->as_u64(), 40u);
+}
+
+TEST(Protocol, FormatKeyIsHexDigestColonSeed) {
+  EXPECT_EQ(format_key(0xabcULL, 7), "0000000000000abc:7");
+}
+
+}  // namespace
+}  // namespace ll::serve

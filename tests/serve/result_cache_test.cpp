@@ -1,0 +1,92 @@
+#include "serve/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ll::serve {
+namespace {
+
+TEST(ResultCache, SameKeyBuildsOnceAndSharesBytes) {
+  ResultCache cache;
+  int builds = 0;
+  const auto build = [&builds] {
+    ++builds;
+    return std::string("payload");
+  };
+  const auto a = cache.get_or_build(1, 2, build);
+  const auto b = cache.get_or_build(1, 2, build);
+  EXPECT_FALSE(a.hit);
+  EXPECT_TRUE(b.hit);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(a.value.get(), b.value.get());  // literally the same bytes
+  EXPECT_EQ(*b.value, "payload");
+}
+
+TEST(ResultCache, DigestAndSeedBothKeyTheCache) {
+  ResultCache cache;
+  const auto build = [] { return std::string("x"); };
+  (void)cache.get_or_build(1, 1, build);
+  EXPECT_FALSE(cache.get_or_build(2, 1, build).hit);
+  EXPECT_FALSE(cache.get_or_build(1, 2, build).hit);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(ResultCache, ConcurrentSlowBuildRunsOnce) {
+  ResultCache cache;
+  std::atomic<int> builds{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> threads;
+  std::vector<ResultCache::Outcome> got(4);
+  for (std::size_t t = 0; t < got.size(); ++t) {
+    threads.emplace_back([&, t] {
+      got[t] = cache.get_or_build(7, 7, [&] {
+        ++builds;
+        while (!release.load()) std::this_thread::yield();
+        return std::string("slow");
+      });
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release = true;
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(builds.load(), 1);
+  int hits = 0;
+  for (const auto& o : got) {
+    EXPECT_EQ(*o.value, "slow");
+    hits += o.hit ? 1 : 0;
+  }
+  EXPECT_EQ(hits, 3);  // exactly one caller ran the build
+}
+
+TEST(ResultCache, FailedBuildPropagatesAndIsNotCached) {
+  ResultCache cache;
+  EXPECT_THROW((void)cache.get_or_build(
+                   3, 3,
+                   []() -> std::string { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  const auto ok = cache.get_or_build(3, 3, [] { return std::string("ok"); });
+  EXPECT_FALSE(ok.hit);
+  EXPECT_EQ(*ok.value, "ok");
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  const auto build = [] { return std::string("v"); };
+  (void)cache.get_or_build(1, 0, build);
+  (void)cache.get_or_build(2, 0, build);
+  (void)cache.get_or_build(1, 0, build);  // touch 1 -> 2 is LRU
+  (void)cache.get_or_build(3, 0, build);  // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.get_or_build(1, 0, build).hit);
+  EXPECT_FALSE(cache.get_or_build(2, 0, build).hit);  // was evicted
+}
+
+}  // namespace
+}  // namespace ll::serve

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -46,6 +48,41 @@ TEST(Json, RejectsMalformedInput) {
                           "\"unterminated", "{\"a\":1} trailing", "nan"}) {
     EXPECT_THROW((void)parse(bad), std::runtime_error) << "'" << bad << "'";
   }
+}
+
+TEST(Json, IntegerLiteralsRoundTripExactly) {
+  // 2^53 ± 1: the boundary where a double silently drops the low bit.
+  EXPECT_EQ(parse("9007199254740991").as_u64(), 9007199254740991ull);
+  EXPECT_EQ(parse("9007199254740993").as_u64(), 9007199254740993ull);
+  EXPECT_EQ(parse("18446744073709551615").as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(parse("-9007199254740993").as_i64(), -9007199254740993ll);
+  EXPECT_EQ(parse("-9223372036854775808").as_i64(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(parse("9007199254740993").is_integer());
+  EXPECT_FALSE(parse("1.5").is_integer());
+}
+
+TEST(Json, IntegerAccessorsRejectLossyValues) {
+  EXPECT_THROW((void)parse("-1").as_u64(), std::runtime_error);
+  EXPECT_THROW((void)parse("1.5").as_u64(), std::runtime_error);
+  EXPECT_THROW((void)parse("1.5").as_i64(), std::runtime_error);
+  EXPECT_THROW((void)parse("\"7\"").as_u64(), std::runtime_error);
+  // uint64 max does not fit int64.
+  EXPECT_THROW((void)parse("18446744073709551615").as_i64(),
+               std::runtime_error);
+  // Beyond uint64 range the literal degrades to double; the exact
+  // accessor refuses it rather than rounding.
+  EXPECT_FALSE(parse("18446744073709551616").is_integer());
+  EXPECT_THROW((void)parse("18446744073709551616").as_u64(),
+               std::runtime_error);
+}
+
+TEST(Json, IntegerAccessorsStillServeDoubles) {
+  // Small exactly-integral doubles (exponent form) convert losslessly.
+  EXPECT_EQ(parse("1e3").as_u64(), 1000ull);
+  EXPECT_EQ(parse("-1e3").as_i64(), -1000ll);
+  EXPECT_DOUBLE_EQ(parse("18446744073709551615").as_number(),
+                   18446744073709551615.0);
 }
 
 TEST(Json, EscapeRoundTripsThroughParse) {
