@@ -20,6 +20,7 @@
 #include "obs/tracer.hpp"
 #include "serve/scenario.hpp"
 #include "serve/server.hpp"
+#include "shard/experiment.hpp"
 #include "verify/scenarios.hpp"
 #include "exp/engine.hpp"
 #include "exp/pool_cache.hpp"
@@ -171,6 +172,44 @@ ClusterObsRun run_cluster_instrumented(const cluster::ExperimentConfig& cfg,
   return result;
 }
 
+/// One fully instrumented sharded run: shard.* metrics plus the barrier /
+/// mailbox accounting for the manifest's "shards" section. Windows execute
+/// on the shared work-stealing runner (top-level call, so nesting is not a
+/// concern).
+struct ShardObsRun {
+  cluster::ClusterReport report;
+  std::vector<obs::MetricSample> metrics;
+  shard::ShardStats stats;
+  double window = 0.0;
+};
+
+ShardObsRun run_sharded_instrumented(const cluster::ExperimentConfig& cfg,
+                                     std::size_t shards,
+                                     std::span<const trace::CoarseTrace> pool,
+                                     const workload::BurstTable& table,
+                                     double closed_duration) {
+  obs::MetricRegistry registry;
+  ShardObsRun result;
+  shard::RunHooks hooks;
+  hooks.on_start = [&](shard::ShardedClusterSim& sim) {
+    sim.set_metrics(&registry);
+  };
+  hooks.on_finish = [&](shard::ShardedClusterSim& sim) {
+    result.metrics = registry.snapshot(sim.now());
+    result.stats = sim.stats();
+    result.window = sim.window_length();
+    sim.set_metrics(nullptr);
+  };
+  util::TaskRunner* runner = &util::TaskRunner::shared();
+  result.report =
+      closed_duration > 0.0
+          ? shard::run_closed(cfg, shards, pool, table, closed_duration,
+                              runner, &hooks)
+          : shard::run_open(cfg, shards, pool, table, runner, nullptr,
+                            &hooks);
+  return result;
+}
+
 void write_manifest_file(const obs::RunManifest& manifest,
                          const std::string& path) {
   std::ofstream file(path);
@@ -296,9 +335,16 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
                                "worker threads (0 = hardware concurrency)");
   auto json = flags.add_bool("json", false, "emit the sweep as JSON");
   auto queue_name = flags.add_string("queue", "heap", kQueueFlagHelp);
+  auto shards = flags.add_int(
+      "shards", 0,
+      "run on the conservative time-windowed sharded engine with this many "
+      "shards (0 = monolithic engine); results are shard-count invariant");
   auto argv = to_argv(args);
   flags.parse(static_cast<int>(argv.size()), argv.data());
 
+  if (*shards < 0) {
+    throw std::invalid_argument("cluster: --shards must be >= 0");
+  }
   const auto policy = parse_policy(*policy_name);
   if (!policy) {
     throw std::invalid_argument("cluster: unknown policy '" + *policy_name +
@@ -326,17 +372,42 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
   spec.replications = static_cast<std::size_t>(*reps);
   spec.axes = {"policy"};
   const double closed_duration = *closed;
-  spec.add_cell({{"policy", std::string(core::to_string(*policy))}},
-                [cfg, pool, &table, closed_duration](std::uint64_t s) mutable {
-                  cfg.seed = s;
-                  if (closed_duration > 0.0) {
-                    return exp::closed_metrics(
-                        cluster::run_closed(cfg, *pool, table,
-                                            closed_duration));
-                  }
-                  return exp::open_metrics(cluster::run_open(cfg, *pool,
-                                                             table));
-                });
+  const auto shard_count = static_cast<std::size_t>(*shards);
+  // First-replication shard accounting for the report table (written once,
+  // keyed on the engine-derived seed; replications of one cell run
+  // sequentially, matching the mutable-cfg pattern below).
+  struct ShardRunInfo {
+    shard::ShardStats stats;
+    double window = 0.0;
+  };
+  auto shard_info = std::make_shared<ShardRunInfo>();
+  const std::uint64_t first_rep_seed = exp::replication_seed(*seed, 0, 0);
+  spec.add_cell(
+      {{"policy", std::string(core::to_string(*policy))}},
+      [cfg, pool, &table, closed_duration, shard_count, shard_info,
+       first_rep_seed](std::uint64_t s) mutable {
+        cfg.seed = s;
+        if (shard_count > 0) {
+          shard::RunHooks hooks;
+          hooks.on_finish = [&](shard::ShardedClusterSim& sim) {
+            if (s != first_rep_seed) return;
+            shard_info->stats = sim.stats();
+            shard_info->window = sim.window_length();
+          };
+          if (closed_duration > 0.0) {
+            return exp::closed_metrics(
+                shard::run_closed(cfg, shard_count, *pool, table,
+                                  closed_duration, nullptr, &hooks));
+          }
+          return exp::open_metrics(shard::run_open(
+              cfg, shard_count, *pool, table, nullptr, nullptr, &hooks));
+        }
+        if (closed_duration > 0.0) {
+          return exp::closed_metrics(
+              cluster::run_closed(cfg, *pool, table, closed_duration));
+        }
+        return exp::open_metrics(cluster::run_open(cfg, *pool, table));
+      });
   exp::EngineOptions options;
   options.jobs = static_cast<std::size_t>(*workers);
   const exp::SweepResult sweep = exp::run_sweep(spec, options);
@@ -352,7 +423,12 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
     // replication, re-run with its engine-derived seed.
     cfg.seed = exp::replication_seed(*seed, 0, 0);
     cluster::JobStore job_records;
-    (void)cluster::run_open(cfg, *pool, table, &job_records);
+    if (shard_count > 0) {
+      (void)shard::run_open(cfg, shard_count, *pool, table,
+                            &util::TaskRunner::shared(), &job_records);
+    } else {
+      (void)cluster::run_open(cfg, *pool, table, &job_records);
+    }
     cluster::write_job_log(job_records, *job_log);
     out << "wrote job log to " << *job_log << "\n";
   }
@@ -360,8 +436,6 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
     // Same pattern as --job-log: the manifest documents one concrete run,
     // so it re-runs the first replication with its engine-derived seed.
     cfg.seed = exp::replication_seed(*seed, 0, 0);
-    ClusterObsRun obs_run = run_cluster_instrumented(
-        cfg, *pool, table, closed_duration, /*timeline=*/nullptr);
     obs::RunManifest manifest;
     manifest.tool = "llsim cluster";
     manifest.version = obs::current_git_describe();
@@ -374,8 +448,24 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
         {"closed", util::format("%g", *closed)},
         {"master_seed", std::to_string(*seed)},
     };
-    manifest.metrics = std::move(obs_run.metrics);
-    manifest.profile = std::move(obs_run.profile);
+    if (shard_count > 0) {
+      manifest.config.emplace_back("shards", std::to_string(shard_count));
+      ShardObsRun obs_run = run_sharded_instrumented(cfg, shard_count, *pool,
+                                                     table, closed_duration);
+      obs::ShardSection section;
+      section.count = obs_run.stats.shards;
+      section.windows = obs_run.stats.windows;
+      section.mailbox_sent = obs_run.stats.mailbox_sent;
+      section.mailbox_delivered = obs_run.stats.mailbox_delivered;
+      section.max_barrier_wait_ns = obs_run.stats.max_barrier_wait_ns;
+      manifest.shards = section;
+      manifest.metrics = std::move(obs_run.metrics);
+    } else {
+      ClusterObsRun obs_run = run_cluster_instrumented(
+          cfg, *pool, table, closed_duration, /*timeline=*/nullptr);
+      manifest.metrics = std::move(obs_run.metrics);
+      manifest.profile = std::move(obs_run.profile);
+    }
     write_manifest_file(manifest, *metrics_out);
     out << "wrote run manifest to " << *metrics_out << "\n";
   }
@@ -386,6 +476,23 @@ int cmd_cluster(const std::vector<std::string>& args, std::ostream& out) {
 
   util::Table report({"metric", "value"});
   report.add_row({"policy", std::string(core::to_string(*policy))});
+  if (shard_count > 0) {
+    report.add_row({"shards", std::to_string(shard_count)});
+    report.add_row({"window (s)", util::format("%g", shard_info->window)});
+    report.add_row(
+        {"windows run", std::to_string(shard_info->stats.windows)});
+    report.add_row({"mailbox sent / delivered",
+                    util::format("%llu / %llu",
+                                 static_cast<unsigned long long>(
+                                     shard_info->stats.mailbox_sent),
+                                 static_cast<unsigned long long>(
+                                     shard_info->stats.mailbox_delivered))});
+    report.add_row({"max barrier wait (us)",
+                    util::format("%.1f",
+                                 static_cast<double>(
+                                     shard_info->stats.max_barrier_wait_ns) /
+                                     1e3)});
+  }
   if (n > 1) report.add_row({"replications", std::to_string(n)});
   if (*closed > 0.0) {
     report.add_row({"mode", util::format("closed (%.0f s)", *closed)});
@@ -707,10 +814,17 @@ int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
   auto metrics_out = flags.add_string(
       "metrics-out", "", "also write a run manifest with trace accounting");
   auto queue_name = flags.add_string("queue", "heap", kQueueFlagHelp);
+  auto shards = flags.add_int(
+      "shards", 0,
+      "sweep mode: trace the sharded engine with this many shards "
+      "(shard:<k> spans + shard.barrier instants; 0 = monolithic)");
   auto argv = to_argv(args);
   flags.parse(static_cast<int>(argv.size()), argv.data());
   if (out_path->empty()) {
     throw std::invalid_argument("trace: --out is required\n" + flags.usage());
+  }
+  if (*shards < 0) {
+    throw std::invalid_argument("trace: --shards must be >= 0");
   }
   if (*ring < 2) {
     throw std::invalid_argument("trace: --ring must be >= 2");
@@ -770,10 +884,24 @@ int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
     spec.seed = *seed;
     spec.replications = static_cast<std::size_t>(*reps);
     spec.axes = {"policy"};
+    const auto trace_shards = static_cast<std::size_t>(*shards);
     spec.add_cell(
         {{"policy", std::string(core::to_string(*policy))}},
-        [cfg, pool, &table, &tracer](std::uint64_t s) mutable {
+        [cfg, pool, &table, &tracer, trace_shards](std::uint64_t s) mutable {
           cfg.seed = s;
+          if (trace_shards > 0) {
+            // Sharded engine: shard:<k> wall spans per window advance plus
+            // shard.barrier instants (arg = imbalance wait ns).
+            shard::RunHooks hooks;
+            hooks.on_start = [&](shard::ShardedClusterSim& sim) {
+              sim.set_tracer(&tracer);
+            };
+            hooks.on_finish = [&](shard::ShardedClusterSim& sim) {
+              sim.set_tracer(nullptr);
+            };
+            return exp::open_metrics(shard::run_open(
+                cfg, trace_shards, *pool, table, nullptr, nullptr, &hooks));
+          }
           // Per-replication observer chain, thread-confined to this task:
           // tracer spans in front, profiler behind (per the obs layering),
           // both detached before the simulator dies.
@@ -816,6 +944,9 @@ int cmd_trace(const std::vector<std::string>& args, std::ostream& out) {
         {"ring", std::to_string(*ring)},
         {"master_seed", std::to_string(*seed)},
     };
+    if (*shards > 0) {
+      config.emplace_back("shards", std::to_string(*shards));
+    }
   }
 
   const obs::Tracer::Snapshot snap = tracer.snapshot();

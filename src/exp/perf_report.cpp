@@ -19,6 +19,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "shard/experiment.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
 #include "util/runner.hpp"
@@ -248,6 +249,44 @@ PerfEntry probe_fig07(std::uint64_t seed, std::size_t workers, double scale) {
                       sweep.cells.size() * spec.replications);
 }
 
+/// Sharded-engine trajectory: a closed-system run on the conservative
+/// time-windowed engine (4 shards on a private runner), sized so the
+/// window/barrier machinery — not job arithmetic — dominates. Records
+/// windows-per-second; ext_scale_sharded gates invariance and speedup, this
+/// entry records the engine's absolute cost trend.
+PerfEntry probe_micro_shard(std::uint64_t seed, double scale) {
+  const std::size_t nodes = scaled(2000.0, scale, 64);
+  cluster::ExperimentConfig cfg;
+  cfg.cluster.node_count = nodes;
+  cfg.cluster.queue = des::QueueBackend::kCalendar;
+  cfg.workload.jobs = std::max<std::size_t>(1, nodes / 4);
+  cfg.workload.demand = 600.0;
+  cfg.seed = seed;
+  const auto pool = TracePoolCache::shared().standard(64, 24.0, seed + 1);
+  const workload::BurstTable& table = workload::default_burst_table();
+
+  shard::ShardStats stats;
+  shard::RunHooks hooks;
+  hooks.on_finish = [&stats](shard::ShardedClusterSim& sim) {
+    stats = sim.stats();
+  };
+  util::TaskRunner runner(4);
+  const Clock::time_point t0 = Clock::now();
+  const cluster::ClusterReport report =
+      shard::run_closed(cfg, 4, *pool, table, 1800.0, &runner, &hooks);
+  const double wall = seconds_since(t0);
+  if (report.completed == 0 || stats.windows == 0) {
+    throw std::runtime_error("micro_shard probe did no work");
+  }
+  PerfEntry entry;
+  entry.name = "micro_shard";
+  const util::TaskRunner::Stats rs = runner.stats();
+  entry.runner_tasks = rs.executed;
+  entry.runner_steals = rs.stolen;
+  entry.runner_suspensions = rs.suspensions;
+  return finish_entry(std::move(entry), wall, stats.windows);
+}
+
 std::string fmt(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
@@ -274,6 +313,7 @@ PerfReport run_perf_report(std::uint64_t seed, std::size_t workers,
   report.entries.push_back(probe_micro_des(seed, scale));
   report.entries.push_back(probe_micro_runner(seed, report.workers, scale));
   report.entries.push_back(probe_fig07(seed, report.workers, scale));
+  report.entries.push_back(probe_micro_shard(seed, scale));
   return report;
 }
 

@@ -32,6 +32,14 @@ void write_manifest_json(const RunManifest& manifest, std::ostream& out) {
         << ", \"tracer_recorded\": " << t.tracer_recorded
         << ", \"tracer_dropped\": " << t.tracer_dropped << "}";
   }
+  if (manifest.shards) {
+    const ShardSection& s = *manifest.shards;
+    out << ",\n  \"shards\": {\"count\": " << s.count
+        << ", \"windows\": " << s.windows
+        << ", \"mailbox_sent\": " << s.mailbox_sent
+        << ", \"mailbox_delivered\": " << s.mailbox_delivered
+        << ", \"max_barrier_wait_ns\": " << s.max_barrier_wait_ns << "}";
+  }
   out << ",\n  \"metrics\": ";
   write_samples_json(manifest.metrics, out);
   if (manifest.profile) {

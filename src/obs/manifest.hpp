@@ -32,6 +32,18 @@ struct TraceStats {
   std::uint64_t tracer_dropped = 0;
 };
 
+/// Conservative-window accounting from a sharded run (src/shard/): shard
+/// count, windows completed, mailbox traffic, and the worst single-window
+/// barrier imbalance. Mirrors shard::ShardStats without an obs -> shard
+/// dependency.
+struct ShardSection {
+  std::uint64_t count = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t mailbox_sent = 0;
+  std::uint64_t mailbox_delivered = 0;
+  std::uint64_t max_barrier_wait_ns = 0;
+};
+
 struct RunManifest {
   std::string tool;         ///< "llsim cluster", "llsim bench", ...
   std::string version;      ///< git describe (or "unknown")
@@ -47,6 +59,9 @@ struct RunManifest {
   /// Observability-capture accounting ("trace" object), set by tools that
   /// attach a Timeline and/or Tracer; absent otherwise.
   std::optional<TraceStats> trace;
+  /// Sharded-engine accounting ("shards" object), set when the run used
+  /// the conservative time-windowed engine (`--shards K`); absent otherwise.
+  std::optional<ShardSection> shards;
 };
 
 /// Serializes the manifest as a single JSON object:

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file experiment.hpp
+/// Open/closed experiment drivers for the sharded engine — the exact
+/// protocol of cluster/experiment.hpp (same workloads, same ClusterReport)
+/// executed on a ShardedClusterSim, so `llsim cluster --shards K` and the
+/// ext_scale_sharded bench reuse the monolithic reporting path unchanged.
+
+#include <functional>
+#include <span>
+
+#include "cluster/experiment.hpp"
+#include "shard/sharded_sim.hpp"
+
+namespace ll::shard {
+
+/// Observational hooks, mirroring cluster::RunHooks: `on_start` fires right
+/// after construction (attach metrics/tracer), `on_finish` after the run
+/// completes while the simulator is still alive (snapshot ShardStats).
+struct RunHooks {
+  std::function<void(ShardedClusterSim&)> on_start;
+  std::function<void(ShardedClusterSim&)> on_finish;
+};
+
+/// Open-mode run on `shards` shards; `runner` executes the per-window shard
+/// tasks (nullptr = serial). Reports the same metrics as cluster::run_open
+/// except observed_idle_fraction, which the sharded engine does not sample.
+[[nodiscard]] cluster::ClusterReport run_open(
+    const cluster::ExperimentConfig& config, std::size_t shards,
+    std::span<const trace::CoarseTrace> pool,
+    const workload::BurstTable& table, util::TaskRunner* runner = nullptr,
+    cluster::JobStore* jobs_out = nullptr, const RunHooks* hooks = nullptr);
+
+/// Closed-mode run: holds `workload.jobs` jobs in the system for `duration`.
+[[nodiscard]] cluster::ClusterReport run_closed(
+    const cluster::ExperimentConfig& config, std::size_t shards,
+    std::span<const trace::CoarseTrace> pool,
+    const workload::BurstTable& table, double duration = 3600.0,
+    util::TaskRunner* runner = nullptr, const RunHooks* hooks = nullptr);
+
+}  // namespace ll::shard

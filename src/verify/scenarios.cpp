@@ -7,6 +7,7 @@
 
 #include "cluster/cluster_sim.hpp"
 #include "node/fine_node_sim.hpp"
+#include "shard/sharded_sim.hpp"
 #include "parallel/bsp.hpp"
 #include "trace/coarse_generator.hpp"
 #include "workload/burst_table.hpp"
@@ -70,6 +71,73 @@ void fold_cluster(Digest& d, const cluster::ClusterSim& sim) {
 
 void check_cluster(const cluster::ClusterSim& sim, InvariantRegistry& reg) {
   check_cluster_occupancy(sim, reg);
+  for (const cluster::JobRecord& job : sim.jobs()) {
+    check_job_record(job, reg);
+  }
+}
+
+/// State digest of a sharded run, the sharded analogue of fold_cluster:
+/// per-job lifecycle (id, submit, remaining, transition history) plus the
+/// canonical-order global reductions. Engine-level (time, id) event digests
+/// are deliberately not folded — each shard runs a private tick chain, so
+/// raw event streams vary with K while the state evolution does not.
+void fold_sharded(Digest& d, const shard::ShardedClusterSim& sim) {
+  for (const cluster::JobRecord& job : sim.jobs()) {
+    d.add_u64(job.id);
+    d.add_double(job.submit_time);
+    d.add_double(job.remaining);
+    for (const auto& tr : job.history) {
+      d.add_double(tr.time);
+      d.add_u64(static_cast<std::uint64_t>(tr.to));
+    }
+  }
+  d.add_double(sim.delivered_cpu());
+  d.add_u64(sim.migrations_started());
+}
+
+/// Occupancy legality over the sharded SoA at a quiescent point, mirroring
+/// check_cluster_occupancy, plus per-shard engine conservation and the
+/// per-job record checks.
+void check_sharded(const shard::ShardedClusterSim& sim,
+                   InvariantRegistry& reg) {
+  constexpr auto kNoJob = shard::ShardedClusterSim::kNoJob;
+  std::vector<unsigned char> seen(sim.jobs().size(), 0);
+  std::size_t reserved_total = 0;
+  for (std::size_t i = 0; i < sim.node_count(); ++i) {
+    const auto v = sim.node_view(i);
+    reserved_total += v.reserved;
+    reg.check(v.reserved + (v.occupant != kNoJob ? 1u : 0u) <= 1,
+              "shard.slot-cap", "occupant + reserved exceeds the slot cap");
+    if (v.occupant == kNoJob) continue;
+    reg.check(!v.down, "shard.down-hosts-none",
+              "a crashed node still hosts a job");
+    reg.check(!seen[v.occupant], "shard.job-on-one-node",
+              "a job occupies two nodes");
+    seen[v.occupant] = 1;
+    const cluster::JobState st = sim.jobs()[v.occupant].state;
+    reg.check(st == cluster::JobState::Running ||
+                  st == cluster::JobState::Lingering ||
+                  st == cluster::JobState::Paused ||
+                  st == cluster::JobState::Checkpointing,
+              "shard.occupant-state", "occupant in a non-resident state");
+    if (st == cluster::JobState::Running) {
+      reg.check(v.idle, "shard.running-on-idle",
+                "Running guest on a non-idle node");
+    }
+    if (st == cluster::JobState::Lingering ||
+        st == cluster::JobState::Paused) {
+      reg.check(!v.idle, "shard.lingering-on-nonidle",
+                "Lingering/Paused guest on an idle node");
+    }
+  }
+  for (std::size_t k = 0; k < sim.shard_count(); ++k) {
+    const des::Simulation& engine = sim.engine(k);
+    reg.check(engine.events_scheduled() ==
+                  engine.events_fired() + engine.events_cancelled() +
+                      engine.pending_count(),
+              "shard.engine-conservation",
+              "scheduled != fired + cancelled + pending");
+  }
   for (const cluster::JobRecord& job : sim.jobs()) {
     check_job_record(job, reg);
   }
@@ -207,11 +275,59 @@ ScenarioResult node_trace(const ScenarioOptions& options) {
 
 // ---- cluster --------------------------------------------------------------
 
+/// The sharded twin of cluster_run: same pool, config, workload and stream
+/// derivation, executed on the conservative time-windowed engine. The
+/// resulting digest is pinned in <name>.shards.golden and must be
+/// byte-identical for every shard count and queue backend.
+ScenarioResult sharded_cluster_run(
+    const ScenarioOptions& options, std::string_view name,
+    core::PolicyKind policy, std::size_t nodes, std::size_t jobs,
+    double demand, bool closed,
+    const std::function<void(cluster::ClusterConfig&)>& configure) {
+  Harness h(options);
+  rng::Stream stream = scenario_stream(options, name);
+  const auto pool = small_pool(stream.fork("pool"), nodes, 2.0);
+
+  cluster::ClusterConfig cfg;
+  cfg.node_count = nodes;
+  cfg.policy = policy;
+  cfg.job_bytes = 1ull << 20;
+  cfg.queue = options.queue;
+  if (configure) configure(cfg);
+  shard::ShardedClusterSim sim(cfg, options.shards, pool,
+                               workload::default_burst_table(),
+                               stream.fork("sim"));
+
+  if (closed) {
+    sim.set_completion_callback(
+        [&sim, demand](const cluster::JobRecord&) { sim.submit(demand); });
+    for (std::size_t j = 0; j < jobs; ++j) sim.submit(demand);
+    sim.run_for(1800.0);
+  } else {
+    for (std::size_t j = 0; j < jobs; ++j) sim.submit(demand);
+    sim.run_until_all_complete(1e6);
+  }
+
+  check_sharded(sim, h.registry);
+  fold_sharded(h.digest, sim);
+  if (!cfg.faults.empty() || cfg.checkpoint.enabled()) {
+    h.digest.add_double(sim.work_lost());
+    h.digest.add_u64(sim.restarts());
+    h.digest.add_u64(sim.crashes());
+    h.digest.add_u64(sim.checkpoints_taken());
+  }
+  return h.finish(sim.logical_events());
+}
+
 ScenarioResult cluster_run(
     const ScenarioOptions& options, std::string_view name,
     core::PolicyKind policy, std::size_t nodes, std::size_t jobs,
     double demand, bool closed,
     const std::function<void(cluster::ClusterConfig&)>& configure = {}) {
+  if (options.shards > 0) {
+    return sharded_cluster_run(options, name, policy, nodes, jobs, demand,
+                               closed, configure);
+  }
   Harness h(options);
   rng::Stream stream = scenario_stream(options, name);
   const auto pool = small_pool(stream.fork("pool"), nodes, 2.0);
@@ -497,6 +613,10 @@ const Scenario* find_scenario(std::string_view name) {
     if (s.name == name) return &s;
   }
   return nullptr;
+}
+
+bool scenario_sharded(const Scenario& scenario) {
+  return scenario.module == "cluster" || scenario.module == "fault";
 }
 
 }  // namespace ll::verify

@@ -59,6 +59,13 @@ struct ScenarioOptions {
   /// Optional: runs right after a scenario constructs a ClusterSim (attach
   /// a metrics registry / timeline). Same observational-only contract.
   std::function<void(cluster::ClusterSim&)> cluster_hook;
+  /// Shard count for the cluster-backed scenarios. 0 (the default) runs the
+  /// monolithic ClusterSim against the base goldens. K >= 1 runs the
+  /// conservative time-windowed shard::ShardedClusterSim instead; its state
+  /// digests are shard-count AND backend invariant by construction, so one
+  /// pinned golden per scenario (<name>.shards.golden) covers every K.
+  /// Scenarios that build no cluster ignore the option entirely.
+  std::size_t shards = 0;
 };
 
 struct ScenarioResult {
@@ -82,6 +89,11 @@ struct Scenario {
 
 /// Scenario by name, or nullptr.
 [[nodiscard]] const Scenario* find_scenario(std::string_view name);
+
+/// True when ScenarioOptions::shards changes this scenario's digest (it
+/// constructs a cluster simulation). llverify uses this to pick between the
+/// base golden and the sharded golden file.
+[[nodiscard]] bool scenario_sharded(const Scenario& scenario);
 
 /// Derives the scenario's root stream from the options, honouring the
 /// reordered_streams perturbation (exposed for tests).

@@ -419,7 +419,7 @@ TEST_F(CliTest, BenchReportWritesSchemaShapedJson) {
   const auto* entries = doc.find("entries");
   ASSERT_NE(entries, nullptr);
   ASSERT_EQ(entries->kind(), util::json::Kind::kArray);
-  ASSERT_EQ(entries->as_array().size(), 5u);
+  ASSERT_EQ(entries->as_array().size(), 6u);
   std::vector<std::string> names;
   for (const auto& e : entries->as_array()) {
     names.push_back(e.find("name")->as_string());
@@ -428,7 +428,7 @@ TEST_F(CliTest, BenchReportWritesSchemaShapedJson) {
   }
   EXPECT_EQ(names, (std::vector<std::string>{"micro_steal", "micro_obs",
                                              "micro_des", "micro_runner",
-                                             "fig07"}));
+                                             "fig07", "micro_shard"}));
 }
 
 TEST_F(CliTest, BenchReportCheckPassesAgainstItself) {

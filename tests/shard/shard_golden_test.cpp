@@ -1,0 +1,151 @@
+/// Golden-digest regression suite for the sharded scenario runs. The five
+/// cluster-backed verification scenarios have their sharded-model digests
+/// pinned under tests/golden/<name>.shards.golden; one file per scenario
+/// covers EVERY shard count and queue backend, because the sharded engine's
+/// determinism contract makes the digest invariant in both. Scenarios that
+/// build no cluster must keep matching their base goldens with the shard
+/// option set — the option is a no-op for them.
+///
+/// Regenerate after an intended behavior change with
+/// `llverify --write-golden tests/golden --shards 2` (the base goldens are
+/// rewritten byte-identically; review the .shards.golden diff).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "verify/scenarios.hpp"
+
+#ifndef LL_GOLDEN_DIR
+#error "LL_GOLDEN_DIR must point at the committed golden digests"
+#endif
+
+namespace ll::verify {
+namespace {
+
+struct GoldenEntry {
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+};
+
+GoldenEntry read_golden(const std::string& name, bool sharded) {
+  const std::string path = std::string(LL_GOLDEN_DIR) + "/" + name +
+                           (sharded ? ".shards.golden" : ".golden");
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate: llverify --write-golden "
+                            "tests/golden --shards 2)";
+  std::string hex;
+  GoldenEntry entry;
+  in >> hex >> entry.events;
+  const auto parsed = Digest::parse_hex(hex);
+  EXPECT_TRUE(parsed.has_value()) << "malformed digest in " << path;
+  entry.digest = parsed.value_or(0);
+  return entry;
+}
+
+TEST(ShardGoldenScenarios, ShardedScenariosExist) {
+  std::size_t sharded = 0;
+  for (const auto& s : scenarios()) {
+    if (scenario_sharded(s)) ++sharded;
+  }
+  // Every cluster- and fault-module scenario runs on the sharded engine.
+  EXPECT_GE(sharded, 5u);
+}
+
+TEST(ShardGoldenScenarios, DigestsMatchShardedGoldensAcrossShardCounts) {
+  // The pinned contract: one golden file per scenario is reproduced
+  // byte-for-byte at every shard count. K = 1 included — the serial sharded
+  // run is the same model, just never parallel.
+  for (const auto& scenario : scenarios()) {
+    if (!scenario_sharded(scenario)) continue;
+    SCOPED_TRACE(scenario.name);
+    const GoldenEntry golden = read_golden(scenario.name, /*sharded=*/true);
+    for (const std::size_t k : {1u, 2u, 4u}) {
+      SCOPED_TRACE("shards=" + std::to_string(k));
+      ScenarioOptions options;  // kGoldenSeed, kCount
+      options.shards = k;
+      const ScenarioResult result = scenario.run(options);
+      EXPECT_EQ(result.digest.value(), golden.digest)
+          << "sharded digest drift: got " << result.digest.hex();
+      EXPECT_EQ(result.events, golden.events);
+      EXPECT_EQ(result.violations, 0u);
+    }
+  }
+}
+
+TEST(ShardGoldenScenarios, CalendarBackendMatchesShardedGoldens) {
+  // Backend invariance holds inside each shard's private engine too: the
+  // calendar queue must reproduce the (heap-generated) sharded goldens.
+  for (const auto& scenario : scenarios()) {
+    if (!scenario_sharded(scenario)) continue;
+    SCOPED_TRACE(scenario.name);
+    const GoldenEntry golden = read_golden(scenario.name, /*sharded=*/true);
+    ScenarioOptions options;
+    options.shards = 2;
+    options.queue = des::QueueBackend::kCalendar;
+    const ScenarioResult result = scenario.run(options);
+    EXPECT_EQ(result.digest.value(), golden.digest)
+        << "calendar-backend sharded digest drift: got "
+        << result.digest.hex();
+    EXPECT_EQ(result.events, golden.events);
+    EXPECT_EQ(result.violations, 0u);
+  }
+}
+
+TEST(ShardGoldenScenarios, NonShardedScenariosIgnoreTheShardOption) {
+  // Scenarios that construct no cluster must match their BASE goldens with
+  // options.shards set — the flag is a strict no-op for them, which is what
+  // lets `llverify --shards K` run the full registry.
+  for (const auto& scenario : scenarios()) {
+    if (scenario_sharded(scenario)) continue;
+    SCOPED_TRACE(scenario.name);
+    const GoldenEntry golden = read_golden(scenario.name, /*sharded=*/false);
+    ScenarioOptions options;
+    options.shards = 4;
+    const ScenarioResult result = scenario.run(options);
+    EXPECT_EQ(result.digest.value(), golden.digest)
+        << "shard option perturbed a non-cluster scenario: got "
+        << result.digest.hex();
+    EXPECT_EQ(result.events, golden.events);
+    EXPECT_EQ(result.violations, 0u);
+  }
+}
+
+TEST(ShardGoldenScenarios, ShardCountInvarianceHoldsAtArbitrarySeeds) {
+  // The pinned files prove invariance at kGoldenSeed; this proves it is a
+  // property of the model, not of one lucky seed (mirrors the llverify
+  // SHARD-COUNT-DEPENDENT differential check).
+  for (const auto& scenario : scenarios()) {
+    if (!scenario_sharded(scenario)) continue;
+    SCOPED_TRACE(scenario.name);
+    ScenarioOptions a;
+    a.seed = 20260808;
+    a.shards = 1;
+    ScenarioOptions b = a;
+    b.shards = 3;
+    const ScenarioResult ra = scenario.run(a);
+    const ScenarioResult rb = scenario.run(b);
+    EXPECT_EQ(ra.digest.value(), rb.digest.value())
+        << "digest depends on shard count at a non-golden seed";
+    EXPECT_EQ(ra.events, rb.events);
+  }
+}
+
+TEST(ShardGoldenScenarios, ShardedDigestsDifferFromMonolithDigests) {
+  // The sharded model is window-granular, not an event-for-event replica of
+  // the monolith — its goldens are pinned separately ON PURPOSE. If the two
+  // files ever collapse to the same digest, the separate-file machinery is
+  // probably pinning the wrong run.
+  for (const auto& scenario : scenarios()) {
+    if (!scenario_sharded(scenario)) continue;
+    SCOPED_TRACE(scenario.name);
+    const GoldenEntry base = read_golden(scenario.name, /*sharded=*/false);
+    const GoldenEntry sharded = read_golden(scenario.name, /*sharded=*/true);
+    EXPECT_NE(base.digest, sharded.digest);
+  }
+}
+
+}  // namespace
+}  // namespace ll::verify

@@ -1,7 +1,7 @@
 // lltrace — validate and summarize a Chrome trace-event JSON file written
 // by `llsim trace` (or any tool emitting the same subset).
 //
-//   lltrace <trace.json> [--top=N]
+//   lltrace <trace.json> [--top=N] [--shard-tracks=OUT.json]
 //
 // Validation: the document must be an object with a "traceEvents" array;
 // every event needs a string "name", a string "ph", and numeric
@@ -14,6 +14,13 @@
 // events nested inside an event on the same (pid, tid) track, computed by
 // the usual sorted-interval stack sweep — plus virtual-time totals for the
 // pid 2 track and the instant-event counts.
+//
+// Sharded traces (`llsim trace --shards K`): "shard:<k>" window spans get
+// their own per-shard table and "shard.barrier" instants (arg = imbalance
+// wait ns) a barrier-wait summary. --shard-tracks=OUT.json rewrites the
+// trace with one Chrome track per shard — shard:<k> spans move to pid 3 /
+// tid k+1 (barrier instants to tid 0) so Perfetto renders the window
+// timeline per shard instead of per recording thread.
 
 #include <algorithm>
 #include <cstdio>
@@ -78,6 +85,62 @@ int fail(const std::string& message) {
   return 1;
 }
 
+/// Parses the k out of "shard:<k>"; -1 when the name is not a shard span.
+long shard_index(const std::string& name) {
+  constexpr std::string_view kPrefix = "shard:";
+  if (name.rfind(kPrefix, 0) != 0 || name.size() == kPrefix.size()) return -1;
+  long k = 0;
+  for (std::size_t i = kPrefix.size(); i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    k = k * 10 + (name[i] - '0');
+  }
+  return k;
+}
+
+/// Re-emits one validated trace event, optionally overriding its track.
+/// Only the exporter's known field subset (name/ph/s/pid/tid/ts/dur and
+/// args.vt/args.arg) survives the rewrite — lltrace has already validated
+/// that this subset is all the event carries meaning in.
+void write_event(std::ostream& out, const json::Value& ev, double pid,
+                 double tid) {
+  char buf[64];
+  const auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  out << "{\"name\":\"" << json::escape(ev.find("name")->as_string())
+      << "\",\"ph\":\"" << json::escape(ev.find("ph")->as_string()) << "\"";
+  if (const json::Value* s = ev.find("s");
+      s && s->kind() == json::Kind::kString) {
+    out << ",\"s\":\"" << json::escape(s->as_string()) << "\"";
+  }
+  out << ",\"pid\":" << num(pid) << ",\"tid\":" << num(tid);
+  for (const char* key : {"ts", "dur"}) {
+    if (const json::Value* v = ev.find(key);
+        v && v->kind() == json::Kind::kNumber) {
+      out << ",\"" << key << "\":" << num(v->as_number());
+    }
+  }
+  if (const json::Value* args = ev.find("args");
+      args && args->kind() == json::Kind::kObject) {
+    out << ",\"args\":{";
+    bool first = true;
+    for (const auto& [key, value] : args->as_object()) {
+      if (value.kind() == json::Kind::kNumber) {
+        out << (first ? "" : ",") << "\"" << json::escape(key)
+            << "\":" << num(value.as_number());
+        first = false;
+      } else if (value.kind() == json::Kind::kString) {
+        out << (first ? "" : ",") << "\"" << json::escape(key) << "\":\""
+            << json::escape(value.as_string()) << "\"";
+        first = false;
+      }
+    }
+    out << "}";
+  }
+  out << "}";
+}
+
 }  // namespace
 
 int main(int argc, const char** argv) {
@@ -85,6 +148,10 @@ int main(int argc, const char** argv) {
                         "Validate and summarize a Chrome trace-event JSON "
                         "file written by `llsim trace`.");
   auto top = flags.add_int("top", 12, "rows in the hot-tag table");
+  auto shard_tracks = flags.add_string(
+      "shard-tracks", "",
+      "rewrite the trace to this path with one Chrome track per shard "
+      "(shard:<k> spans on pid 3 / tid k+1, barrier instants on tid 0)");
   std::string path;
   try {
     std::vector<const char*> rest{argv[0]};
@@ -130,6 +197,9 @@ int main(int argc, const char** argv) {
   std::map<std::string, std::uint64_t> instants;
   std::size_t span_count = 0;
   std::size_t metadata_count = 0;
+  std::uint64_t barrier_count = 0;
+  double barrier_wait_ns = 0.0;
+  double barrier_max_ns = 0.0;
 
   for (std::size_t i = 0; i < events->as_array().size(); ++i) {
     const json::Value& ev = events->as_array()[i];
@@ -160,6 +230,19 @@ int main(int argc, const char** argv) {
         return fail(where + " (instant) lacks a numeric ts");
       }
       ++instants[name->as_string()];
+      if (name->as_string() == "shard.barrier") {
+        // arg carries the window's barrier-imbalance wait in nanoseconds.
+        if (const json::Value* args = ev.find("args");
+            args && args->kind() == json::Kind::kObject) {
+          if (const json::Value* arg = args->find("arg");
+              arg && arg->kind() == json::Kind::kNumber) {
+            const double ns = arg->as_number();
+            ++barrier_count;
+            barrier_wait_ns += ns;
+            barrier_max_ns = std::max(barrier_max_ns, ns);
+          }
+        }
+      }
       continue;
     }
     if (phase != "X") {
@@ -242,6 +325,75 @@ int main(int argc, const char** argv) {
       it.add_row({name, std::to_string(count)});
     }
     std::cout << "\n" << it.render();
+  }
+
+  // Sharded-engine summary: per-shard window-span totals plus the barrier
+  // imbalance recorded by the coordinator's shard.barrier instants.
+  std::vector<std::pair<long, NameStats>> shard_rows;
+  for (const auto& [name, stats] : wall_totals) {
+    const long k = shard_index(name);
+    if (k >= 0) shard_rows.emplace_back(k, stats);
+  }
+  std::sort(shard_rows.begin(), shard_rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (!shard_rows.empty() || barrier_count > 0) {
+    ll::util::Table st({"shard", "windows", "busy ms", "share"});
+    double busy_total = 0.0;
+    for (const auto& [k, stats] : shard_rows) busy_total += stats.total_us;
+    for (const auto& [k, stats] : shard_rows) {
+      char share[32];
+      std::snprintf(share, sizeof(share), "%.1f%%",
+                    busy_total > 0.0 ? 100.0 * stats.total_us / busy_total
+                                     : 0.0);
+      st.add_row({std::to_string(k), std::to_string(stats.count),
+                  ms(stats.total_us), share});
+    }
+    std::cout << "\n" << st.render();
+    if (barrier_count > 0) {
+      ll::util::Table bt({"barrier waits", "value"});
+      bt.add_row({"barriers", std::to_string(barrier_count)});
+      std::snprintf(buf, sizeof(buf), "%.3f", barrier_wait_ns / 1e6);
+      bt.add_row({"total wait ms", buf});
+      std::snprintf(buf, sizeof(buf), "%.1f",
+                    barrier_wait_ns / 1e3 /
+                        static_cast<double>(barrier_count));
+      bt.add_row({"mean wait us", buf});
+      std::snprintf(buf, sizeof(buf), "%.1f", barrier_max_ns / 1e3);
+      bt.add_row({"max wait us", buf});
+      std::cout << "\n" << bt.render();
+    }
+  }
+
+  if (!shard_tracks->empty()) {
+    std::ofstream rewritten(*shard_tracks, std::ios::trunc);
+    if (!rewritten) return fail("cannot open " + *shard_tracks);
+    rewritten << "{\"traceEvents\":[\n";
+    rewritten << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,"
+                 "\"tid\":0,\"args\":{\"name\":\"shards (re-tracked)\"}}";
+    rewritten << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":3,"
+                 "\"tid\":0,\"args\":{\"name\":\"barriers\"}}";
+    for (const auto& [k, stats] : shard_rows) {
+      rewritten << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":3,"
+                   "\"tid\":"
+                << (k + 1) << ",\"args\":{\"name\":\"shard " << k << "\"}}";
+    }
+    for (const json::Value& ev : events->as_array()) {
+      const std::string& name = ev.find("name")->as_string();
+      const long k = shard_index(name);
+      double pid = ev.find("pid")->as_number();
+      double tid = ev.find("tid")->as_number();
+      if (k >= 0) {
+        pid = 3.0;
+        tid = static_cast<double>(k + 1);
+      } else if (name == "shard.barrier") {
+        pid = 3.0;
+        tid = 0.0;
+      }
+      rewritten << ",\n";
+      write_event(rewritten, ev, pid, tid);
+    }
+    rewritten << "\n]}\n";
+    std::cout << "\nwrote per-shard tracks to " << *shard_tracks << "\n";
   }
   return 0;
 }

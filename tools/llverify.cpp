@@ -52,8 +52,9 @@ struct GoldenEntry {
   std::uint64_t events = 0;
 };
 
-std::string golden_path(const std::string& dir, const std::string& name) {
-  return dir + "/" + name + ".golden";
+std::string golden_path(const std::string& dir, const std::string& name,
+                        bool sharded) {
+  return dir + "/" + name + (sharded ? ".shards.golden" : ".golden");
 }
 
 bool read_golden(const std::string& path, GoldenEntry& out,
@@ -99,14 +100,16 @@ struct CheckOutcome {
 };
 
 CheckOutcome check_scenario(const Scenario& scenario, std::uint64_t seed,
-                            ll::des::QueueBackend queue,
+                            ll::des::QueueBackend queue, std::size_t shards,
                             const std::string& golden_dir, bool update_golden,
                             std::ostream& out) {
   CheckOutcome outcome;
+  const bool sharded = shards > 0 && ll::verify::scenario_sharded(scenario);
   ScenarioOptions options;
   options.seed = seed;
   options.mode = ll::verify::Mode::kCount;
   options.queue = queue;
+  options.shards = shards;
 
   const ScenarioResult first = scenario.run(options);
   const ScenarioResult second = scenario.run(options);
@@ -136,6 +139,21 @@ CheckOutcome check_scenario(const Scenario& scenario, std::uint64_t seed,
                  " under a perturbed fork order");
   }
 
+  // 3b. Shard-count invariance: the sharded model's digest is a pure
+  //     function of the scenario, never of the partition — one shard must
+  //     reproduce the K-shard digest byte for byte.
+  if (sharded && shards > 1) {
+    ScenarioOptions solo = options;
+    solo.shards = 1;
+    const ScenarioResult single = scenario.run(solo);
+    if (single.digest.value() != first.digest.value() ||
+        single.events != first.events) {
+      outcome.fail("SHARD-COUNT-DEPENDENT: --shards " +
+                   std::to_string(shards) + " digest " + first.digest.hex() +
+                   " != --shards 1 digest " + single.digest.hex());
+    }
+  }
+
   // 4. Invariants: checks must run, and must pass.
   if (first.checks == 0) {
     outcome.fail("NO-CHECKS: scenario executed zero invariant checks");
@@ -148,7 +166,7 @@ CheckOutcome check_scenario(const Scenario& scenario, std::uint64_t seed,
   // 5. Golden comparison (only at the pinned seed — goldens are
   //    seed-specific by construction).
   if (!golden_dir.empty()) {
-    const std::string path = golden_path(golden_dir, scenario.name);
+    const std::string path = golden_path(golden_dir, scenario.name, sharded);
     if (update_golden) {
       std::string error;
       if (!write_golden(path, first, error)) outcome.fail(error);
@@ -206,6 +224,12 @@ int main(int argc, char** argv) {
       "event-queue backend for every engine the scenarios build (heap | "
       "calendar); digests are backend-invariant, so goldens must pass "
       "under both");
+  auto shards = flags.add_uint64(
+      "shards", 0,
+      "run the cluster-backed scenarios on the conservative time-windowed "
+      "sharded engine with this many shards (0 = monolithic ClusterSim); "
+      "sharded digests compare against <name>.shards.golden and must be "
+      "shard-count invariant");
 
   try {
     flags.parse(argc, argv);
@@ -256,7 +280,8 @@ int main(int argc, char** argv) {
     // Sequential path (and always for golden regeneration — file writes
     // stay ordered and easy to reason about).
     for (const Scenario* s : selected) {
-      if (!check_scenario(*s, *seed, *queue, golden_dir, updating, std::cout)
+      if (!check_scenario(*s, *seed, *queue, *shards, golden_dir, updating,
+                          std::cout)
                .ok) {
         ++failures;
       }
@@ -271,8 +296,9 @@ int main(int argc, char** argv) {
     tasks.reserve(selected.size());
     for (std::size_t i = 0; i < selected.size(); ++i) {
       tasks.push_back([&, i] {
-        outcomes[i] = check_scenario(*selected[i], *seed, *queue, golden_dir,
-                                     /*update_golden=*/false, reports[i]);
+        outcomes[i] =
+            check_scenario(*selected[i], *seed, *queue, *shards, golden_dir,
+                           /*update_golden=*/false, reports[i]);
       });
     }
     ll::util::TaskRunner runner(static_cast<std::size_t>(*jobs));
